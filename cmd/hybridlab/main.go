@@ -1,0 +1,121 @@
+// Command hybridlab regenerates every table and figure of the paper
+// "A Simple Hybrid Model for Accurate Delay Modeling of a Multi-Input
+// Gate" (DATE 2022) from this repository's implementation.
+//
+// Usage:
+//
+//	hybridlab <experiment> [flags]
+//
+// Experiments:
+//
+//	fig2-wave   analog NOR waveforms, falling & rising (Fig. 2a/2c)
+//	fig2-fall   golden falling MIS sweep delta_fall(Delta) (Fig. 2b)
+//	fig2-rise   golden rising MIS sweep delta_rise(Delta) (Fig. 2d)
+//	fig4        hybrid mode trajectories (Fig. 4)
+//	table1      parametrization of the hybrid model (Table I analogue)
+//	fig5        hybrid vs golden falling MIS delays (Fig. 5)
+//	fig6        hybrid rising MIS delays for three V_N values (Fig. 6)
+//	fig7        deviation-area accuracy comparison (Fig. 7)
+//	fig8        falling delays with and without the pure delay (Fig. 8)
+//	charlie     closed-form Charlie formulas vs exact solver (§V)
+//	all         every experiment at reduced size
+//
+// Common flags (accepted after the experiment name):
+//
+//	-csv        emit CSV instead of aligned tables/plots
+//	-fast       reduce sweep resolution and repetition counts
+//	-reps N     repetitions for fig7 (default 5; paper uses 20)
+//	-trans N    transitions per fig7 run (default from the paper configs)
+//	-seed N     base RNG seed (default 1)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+)
+
+// options carries the common CLI flags.
+type options struct {
+	csv   bool
+	fast  bool
+	reps  int
+	trans int
+	seed  int64
+}
+
+type experiment struct {
+	name string
+	desc string
+	run  func(opt options) error
+}
+
+func experiments() []experiment {
+	return []experiment{
+		{"fig2-wave", "analog NOR waveforms (Fig. 2a/2c)", runFig2Wave},
+		{"fig2-fall", "golden falling MIS sweep (Fig. 2b)", runFig2Fall},
+		{"fig2-rise", "golden rising MIS sweep (Fig. 2d)", runFig2Rise},
+		{"fig4", "hybrid mode trajectories (Fig. 4)", runFig4},
+		{"table1", "hybrid model parametrization (Table I)", runTable1},
+		{"fig5", "hybrid vs golden falling delays (Fig. 5)", runFig5},
+		{"fig6", "hybrid rising delays, three V_N values (Fig. 6)", runFig6},
+		{"fig7", "deviation-area accuracy comparison (Fig. 7)", runFig7},
+		{"fig8", "falling delays with/without pure delay (Fig. 8)", runFig8},
+		{"charlie", "Charlie formulas vs exact solver (§V)", runCharlie},
+		{"nand", "NAND duality extension: model vs analog bench", runNAND},
+		{"nor3", "3-input NOR extension: model vs analog bench", runNOR3},
+	}
+}
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	name := os.Args[1]
+	fs := flag.NewFlagSet(name, flag.ExitOnError)
+	var opt options
+	fs.BoolVar(&opt.csv, "csv", false, "emit CSV")
+	fs.BoolVar(&opt.fast, "fast", false, "reduced resolution")
+	fs.IntVar(&opt.reps, "reps", 5, "fig7 repetitions")
+	fs.IntVar(&opt.trans, "trans", 0, "fig7 transitions per run (0 = paper value)")
+	fs.Int64Var(&opt.seed, "seed", 1, "base RNG seed")
+	if err := fs.Parse(os.Args[2:]); err != nil {
+		os.Exit(2)
+	}
+
+	if name == "all" {
+		opt.fast = true
+		for _, e := range experiments() {
+			fmt.Printf("==== %s — %s ====\n", e.name, e.desc)
+			if err := e.run(opt); err != nil {
+				fmt.Fprintf(os.Stderr, "hybridlab %s: %v\n", e.name, err)
+				os.Exit(1)
+			}
+			fmt.Println()
+		}
+		return
+	}
+	for _, e := range experiments() {
+		if e.name == name {
+			if err := e.run(opt); err != nil {
+				fmt.Fprintf(os.Stderr, "hybridlab %s: %v\n", name, err)
+				os.Exit(1)
+			}
+			return
+		}
+	}
+	fmt.Fprintf(os.Stderr, "hybridlab: unknown experiment %q\n\n", name)
+	usage()
+	os.Exit(2)
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: hybridlab <experiment> [flags]")
+	fmt.Fprintln(os.Stderr, "\nexperiments:")
+	for _, e := range experiments() {
+		fmt.Fprintf(os.Stderr, "  %-10s %s\n", e.name, e.desc)
+	}
+	fmt.Fprintln(os.Stderr, "  all        run everything at reduced size")
+	fmt.Fprintln(os.Stderr, "\nflags: -csv -fast -reps N -trans N -seed N")
+}

@@ -1,0 +1,70 @@
+// circuit composes a small multi-gate netlist in the event-driven
+// simulator: a hybrid 2-input NOR channel (the paper's model, carrying
+// MIS state) feeding a three-stage inverter chain of involution
+// exp-channels. It demonstrates how MIS-induced glitches at the NOR
+// output propagate — or die — down the chain.
+//
+// Run with:
+//
+//	go run ./examples/circuit
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"hybriddelay"
+)
+
+func main() {
+	p := hybriddelay.TableI()
+
+	run := func(sepPs float64) (norEvents, outEvents int) {
+		sim := hybriddelay.NewSimulator()
+		a := hybriddelay.NewNet("a", true) // both inputs high: output low
+		b := hybriddelay.NewNet("b", true)
+		norOut := hybriddelay.NewNet("nor_out", false)
+		norOut.Record()
+
+		// The paper's hybrid NOR channel (V_N worst case GND).
+		if _, err := hybriddelay.NewNORChannel(sim, p, a, b, norOut, 0); err != nil {
+			log.Fatal(err)
+		}
+
+		// Three inverter stages with exp-channels behind the NOR.
+		exp := hybriddelay.ExpChannel{TauUp: 30e-12, TauDown: 25e-12, DMin: 8e-12}
+		out, err := hybriddelay.InverterChain(sim, norOut, 3, func(i int, from, to *hybriddelay.Net) {
+			hybriddelay.NewChannel(sim, fmt.Sprintf("ch%d", i), from, to, exp,
+				hybriddelay.PolicyInvolution)
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		out.Record()
+
+		// Stimulus: both inputs drop (NOR output rises), then input A
+		// rises again sepPs later — producing an output pulse of roughly
+		// sepPs width at the NOR, which the chain may or may not carry.
+		t0 := hybriddelay.Ps(500)
+		if err := hybriddelay.Drive(sim, a, hybriddelay.NewTrace(true, t0, t0+hybriddelay.Ps(sepPs))); err != nil {
+			log.Fatal(err)
+		}
+		if err := hybriddelay.Drive(sim, b, hybriddelay.NewTrace(true, t0)); err != nil {
+			log.Fatal(err)
+		}
+		if err := sim.Run(10e-9); err != nil {
+			log.Fatal(err)
+		}
+		return norOut.Trace().NumEvents(), out.Trace().NumEvents()
+	}
+
+	fmt.Println("pulse created at the NOR by re-raising input A after `sep`:")
+	fmt.Printf("%10s %18s %18s\n", "sep [ps]", "NOR transitions", "chain-out transitions")
+	for _, sep := range []float64{10, 20, 30, 40, 60, 80, 100, 140, 220, 400} {
+		n, o := run(sep)
+		fmt.Printf("%10.0f %18d %18d\n", sep, n, o)
+	}
+	fmt.Println("\nShort separations die at the NOR itself (its trajectory never")
+	fmt.Println("recrosses V_th); marginal ones emerge but shrink through the")
+	fmt.Println("involution chain and vanish; long ones propagate to the end.")
+}

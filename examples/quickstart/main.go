@@ -1,0 +1,55 @@
+// Quickstart: load the paper's Table I parametrization of the hybrid
+// NOR delay model and query MIS (multiple-input-switching) delays.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"hybriddelay"
+)
+
+func main() {
+	// The paper's fitted parameters (Table I), including the 18 ps pure
+	// delay that makes the characteristic delays fittable.
+	p := hybriddelay.TableI()
+	fmt.Println("model:", p)
+
+	// Falling output (both inputs rise): the MIS speed-up. Delta is the
+	// input separation tB - tA; the delay is measured from the earlier
+	// input's threshold crossing.
+	fmt.Println("\nfalling-output delay (speed-up near Delta = 0):")
+	for _, dPs := range []float64{-200, -40, -10, 0, 10, 40, 200} {
+		d, err := p.FallingDelay(hybriddelay.Ps(dPs))
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  delta_fall(%+6.0f ps) = %6.2f ps\n", dPs, hybriddelay.ToPs(d))
+	}
+
+	// Rising output (both inputs fall): the delay is measured from the
+	// later input and depends on the internal node's initial voltage.
+	fmt.Println("\nrising-output delay (V_N history dependence):")
+	for _, vn := range []hybriddelay.VNInitial{
+		hybriddelay.VNGround, hybriddelay.VNHalf, hybriddelay.VNSupply,
+	} {
+		d, err := p.RisingDelay(0, vn)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  delta_rise(0) with V_N = %-5s = %6.2f ps\n", vn, hybriddelay.ToPs(d))
+	}
+
+	// Closed-form characteristic Charlie delays (paper §V, eqs. 8-12).
+	c, err := p.CharlieCharacteristic()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ncharacteristic Charlie delays [ps]: fall %.2f / %.2f / %.2f, rise %.2f / %.2f / %.2f\n",
+		hybriddelay.ToPs(c.FallMinusInf), hybriddelay.ToPs(c.FallZero), hybriddelay.ToPs(c.FallPlusInf),
+		hybriddelay.ToPs(c.RiseMinusInf), hybriddelay.ToPs(c.RiseZero), hybriddelay.ToPs(c.RisePlusInf))
+}

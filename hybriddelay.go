@@ -1,0 +1,305 @@
+// Package hybriddelay is a Go implementation of the hybrid delay model
+// for multi-input gates from
+//
+//	A. Ferdowsi, J. Maier, D. Öhlinger, U. Schmid:
+//	"A Simple Hybrid Model for Accurate Delay Modeling of a
+//	Multi-Input Gate", DATE 2022 (arXiv:2111.11182),
+//
+// together with every substrate the paper's evaluation depends on: a
+// transistor-level analog circuit simulator standing in for the SPICE
+// golden reference, an event-driven digital timing simulator standing in
+// for the Involution Tool, involution (IDM) and inertial delay channels,
+// random trace generation, and the least-squares parametrization
+// machinery.
+//
+// # The model in one paragraph
+//
+// A 2-input CMOS NOR gate is abstracted into a hybrid automaton with one
+// mode per input state (A, B) ∈ {0,1}²: transistors become ideal
+// switches (on-resistance R or open), so each mode is a 2-dimensional
+// linear RC system in the internal node voltage V_N and the output
+// voltage V_O. Mode switches occur — deferred by a pure delay δ_min — at
+// input threshold crossings, with the state carried continuously. The
+// gate delay is the time at which V_O crosses V_th = VDD/2. Because the
+// channel sees both inputs, it reproduces multiple-input-switching (MIS,
+// "Charlie") effects that single-input delay channels cannot.
+//
+// # Package layout
+//
+// This root package is a facade re-exporting the stable public surface.
+// The implementation lives in internal packages:
+//
+//	internal/hybrid  - the four-mode model, delays, Charlie formulas,
+//	                   parametrization, the 2-input digital channel
+//	internal/spice   - MNA transient analog simulator (golden reference)
+//	internal/nor     - transistor-level NOR testbench (paper Fig. 1)
+//	internal/dtsim   - event-driven digital timing simulator
+//	internal/idm     - involution (exp / sum-exp) channels
+//	internal/inertial- pure/inertial and per-arc NOR baselines
+//	internal/gen     - §VI random waveform configurations
+//	internal/eval    - Fig. 7 deviation-area accuracy pipeline
+//	internal/fit     - Nelder-Mead / Brent / Levenberg-Marquardt
+//	internal/la, ode, roots, waveform, trace - math & signal substrates
+//
+// # Quick start
+//
+//	p := hybriddelay.TableI()              // the paper's parameters
+//	d, _ := p.FallingDelay(0)              // MIS delay at Delta = 0
+//	fmt.Println(d)                         // ~28 ps
+//
+// See examples/ for runnable programs and EXPERIMENTS.md for the full
+// paper-vs-measured record.
+package hybriddelay
+
+import (
+	"hybriddelay/internal/dtsim"
+	"hybriddelay/internal/eval"
+	"hybriddelay/internal/gen"
+	"hybriddelay/internal/hybrid"
+	"hybriddelay/internal/idm"
+	"hybriddelay/internal/inertial"
+	"hybriddelay/internal/nor"
+	"hybriddelay/internal/trace"
+	"hybriddelay/internal/waveform"
+)
+
+// ModelParams are the hybrid model's parameters: switch-level
+// resistances R1..R4, capacitances C_N and C_O, the supply, and the pure
+// delay DMin (paper Table I).
+type ModelParams = hybrid.Params
+
+// Characteristic bundles the six characteristic Charlie delays
+// delta_fall(-inf, 0, +inf) and delta_rise(-inf, 0, +inf) (paper §V).
+type Characteristic = hybrid.Characteristic
+
+// FitOptions configures FitCharacteristic.
+type FitOptions = hybrid.FitOptions
+
+// FitReport describes a parametrization outcome.
+type FitReport = hybrid.FitReport
+
+// Mode is one of the four input states of the NOR gate.
+type Mode = hybrid.Mode
+
+// The four hybrid modes.
+const (
+	Mode00 = hybrid.Mode00
+	Mode01 = hybrid.Mode01
+	Mode10 = hybrid.Mode10
+	Mode11 = hybrid.Mode11
+)
+
+// VNInitial selects the internal-node initial value for rising-output
+// delay queries (paper Fig. 6).
+type VNInitial = hybrid.VNInitial
+
+// The three studied V_N initial values.
+const (
+	VNGround = hybrid.VNGround
+	VNHalf   = hybrid.VNHalf
+	VNSupply = hybrid.VNSupply
+)
+
+// Supply is the voltage environment (VDD and the logic threshold).
+type Supply = waveform.Supply
+
+// Trace is a digital signal trace (initial value plus transitions).
+type Trace = trace.Trace
+
+// BenchParams configures the transistor-level NOR golden reference.
+type BenchParams = nor.Params
+
+// Bench is the instantiated transistor-level NOR testbench.
+type Bench = nor.Bench
+
+// Models bundles the delay models compared in the Fig. 7 evaluation.
+type Models = eval.Models
+
+// TraceConfig describes one random waveform configuration (§VI).
+type TraceConfig = gen.Config
+
+// ExpChannel is the IDM exponential involution channel.
+type ExpChannel = idm.Exp
+
+// NORArcs is the per-arc inertial NOR baseline.
+type NORArcs = inertial.NORArcs
+
+// TableI returns the paper's fitted parameter values (Table I) with
+// delta_min = 18 ps.
+func TableI() ModelParams { return hybrid.TableI() }
+
+// DefaultSupply returns the paper's 15nm environment: VDD = 0.8 V,
+// V_th = 0.4 V.
+func DefaultSupply() Supply { return waveform.DefaultSupply() }
+
+// DefaultBenchParams returns the calibrated golden-reference testbench.
+func DefaultBenchParams() BenchParams { return nor.DefaultParams() }
+
+// NewBench instantiates the transistor-level NOR testbench.
+func NewBench(p BenchParams) (*Bench, error) { return nor.New(p) }
+
+// FitCharacteristic calibrates model parameters against measured
+// characteristic Charlie delays (paper §V).
+func FitCharacteristic(target Characteristic, supply Supply, opt *FitOptions) (ModelParams, FitReport, error) {
+	return hybrid.FitCharacteristic(target, supply, opt)
+}
+
+// AutoDMin returns the pure delay that makes the falling targets
+// fittable (paper §IV): 2*delta_fall(0) - delta_fall(-inf).
+func AutoDMin(target Characteristic) float64 { return hybrid.AutoDMin(target) }
+
+// BuildModels parametrizes the Fig. 7 model set (inertial, exp-channel,
+// hybrid with and without pure delay) from measured characteristic
+// delays.
+func BuildModels(target Characteristic, supply Supply, expDMin float64) (Models, error) {
+	return eval.BuildModels(target, supply, expDMin)
+}
+
+// MeasureCharacteristic measures the six characteristic Charlie delays
+// of a golden-reference bench.
+func MeasureCharacteristic(bench *Bench) (Characteristic, error) {
+	return eval.MeasureCharacteristic(bench)
+}
+
+// Evaluate runs the Fig. 7 accuracy pipeline for one waveform
+// configuration over the given seeds.
+func Evaluate(bench *Bench, m Models, cfg TraceConfig, seeds []int64) (eval.RunResult, error) {
+	return eval.Evaluate(bench, m, cfg, seeds)
+}
+
+// RunResult aggregates the deviation areas of one evaluation run.
+type RunResult = eval.RunResult
+
+// ApplyNOR runs two digital input traces through the hybrid NOR channel
+// and returns the output trace.
+func ApplyNOR(p ModelParams, a, b Trace, until, vn0 float64) (Trace, error) {
+	return hybrid.ApplyNOR(p, a, b, until, vn0)
+}
+
+// PaperConfigs returns the four waveform configurations of Fig. 7.
+func PaperConfigs() []TraceConfig { return gen.PaperConfigs() }
+
+// GenerateTraces produces the random input traces of a configuration.
+func GenerateTraces(cfg TraceConfig, seed int64) ([]Trace, error) { return gen.Traces(cfg, seed) }
+
+// DeviationArea is the paper's accuracy metric: total disagreement time
+// between two digital traces on [t0, t1].
+func DeviationArea(a, b Trace, t0, t1 float64) float64 { return trace.DeviationArea(a, b, t0, t1) }
+
+// NANDParams is the hybrid model of the dual 2-input NAND gate.
+type NANDParams = hybrid.NANDParams
+
+// NANDFromDual builds the NAND model dual to a NOR parametrization.
+func NANDFromDual(p ModelParams) NANDParams { return hybrid.NANDFromDual(p) }
+
+// ApplyNAND runs two digital input traces through the hybrid NAND
+// channel.
+func ApplyNAND(n NANDParams, a, b Trace, until, vm0 float64) (Trace, error) {
+	return hybrid.ApplyNAND(n, a, b, until, vm0)
+}
+
+// SwitchGate is the generalized switch-level RC gate model with any
+// number of inputs and internal nodes (n-dimensional modes).
+type SwitchGate = hybrid.SwitchGate
+
+// NOR3Params parameterises the 3-input NOR extension.
+type NOR3Params = hybrid.NOR3Params
+
+// NOR3FromNOR2 extrapolates a 3-input NOR model from a fitted 2-input
+// parametrization.
+func NOR3FromNOR2(p ModelParams) NOR3Params { return hybrid.NOR3FromNOR2(p) }
+
+// DelayFunc is a single-history delay function pair delta_up/down(T).
+type DelayFunc = dtsim.DelayFunc
+
+// Circuit-composition API (the Involution Tool substitute): build
+// netlists of zero-time gates and delay channels and simulate them
+// event-driven.
+
+// Simulator is the event-driven digital timing simulator.
+type Simulator = dtsim.Simulator
+
+// Net is a named boolean signal in a simulated circuit.
+type Net = dtsim.Net
+
+// Gate is a zero-time boolean function between nets.
+type Gate = dtsim.Gate
+
+// NewSimulator returns an empty simulator at time zero.
+func NewSimulator() *Simulator { return dtsim.NewSimulator() }
+
+// NewNet returns a net with the given initial value.
+func NewNet(name string, initial bool) *Net { return dtsim.NewNet(name, initial) }
+
+// NewGate wires a zero-time boolean function from input nets to an
+// output net.
+func NewGate(name string, fn func([]bool) bool, inputs []*Net, out *Net) (*Gate, error) {
+	return dtsim.NewGate(name, fn, inputs, out)
+}
+
+// NewChannel wires a single-input delay channel between two nets with
+// the given cancellation policy.
+func NewChannel(sim *Simulator, name string, in, out *Net, df DelayFunc, policy ChannelPolicy) *dtsim.Channel {
+	return dtsim.NewChannelWithPolicy(sim, name, in, out, df, policy)
+}
+
+// NewNORChannel wires the paper's 2-input hybrid NOR channel between two
+// input nets and an output net.
+func NewNORChannel(sim *Simulator, p ModelParams, a, b, out *Net, vn0 float64) (*hybrid.Channel, error) {
+	return hybrid.NewChannel(sim, p, a, b, out, vn0)
+}
+
+// Drive schedules a trace's transitions onto a net.
+func Drive(sim *Simulator, n *Net, tr Trace) error { return dtsim.Drive(sim, n, tr) }
+
+// InverterChain builds a chain of inverters, each followed by a channel
+// created by mkChannel, and returns the final output net.
+func InverterChain(sim *Simulator, in *Net, stages int, mkChannel func(i int, from, to *Net)) (*Net, error) {
+	return dtsim.InverterChain(sim, in, stages, mkChannel)
+}
+
+// Common zero-time gate functions.
+var (
+	FnInv   = dtsim.FnInv
+	FnBuf   = dtsim.FnBuf
+	FnNOR2  = dtsim.FnNOR2
+	FnNAND2 = dtsim.FnNAND2
+	FnAND2  = dtsim.FnAND2
+	FnOR2   = dtsim.FnOR2
+	FnXOR2  = dtsim.FnXOR2
+)
+
+// ChannelPolicy selects a channel's pulse-cancellation semantics.
+type ChannelPolicy = dtsim.Policy
+
+// The available cancellation policies.
+const (
+	PolicyInvolution = dtsim.PolicyInvolution
+	PolicyInertial   = dtsim.PolicyInertial
+)
+
+// ApplyDelay transforms a digital trace through a single-input delay
+// channel with the given cancellation policy.
+func ApplyDelay(in Trace, df DelayFunc, policy ChannelPolicy) Trace {
+	return dtsim.ApplyDelayWithPolicy(in, df, policy)
+}
+
+// NOR2Trace returns the zero-delay NOR of two traces.
+func NOR2Trace(a, b Trace) Trace { return trace.NOR2(a, b) }
+
+// NewTrace builds a digital trace from an initial value and a sorted
+// sequence of transition times (each transition toggles the value).
+func NewTrace(initial bool, times ...float64) Trace {
+	ev := make([]trace.Event, 0, len(times))
+	v := initial
+	for _, t := range times {
+		v = !v
+		ev = append(ev, trace.Event{Time: t, Value: v})
+	}
+	return trace.New(initial, ev)
+}
+
+// Ps converts picoseconds to seconds; ToPs converts seconds to
+// picoseconds.
+func Ps(v float64) float64   { return waveform.Ps(v) }
+func ToPs(v float64) float64 { return waveform.ToPs(v) }

@@ -1,0 +1,94 @@
+package hybriddelay
+
+import (
+	"math"
+	"testing"
+)
+
+// TestFacadeTableI exercises the re-exported core API end to end.
+func TestFacadeTableI(t *testing.T) {
+	p := TableI()
+	d, err := p.FallingDelay(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(ToPs(d)-28.03) > 0.05 {
+		t.Errorf("TableI fall(0) = %.2f ps, want ~28.03", ToPs(d))
+	}
+	r, err := p.RisingDelay(0, VNGround)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(ToPs(r)-55.0) > 0.05 {
+		t.Errorf("TableI rise(0) = %.2f ps, want ~55.0", ToPs(r))
+	}
+	if Ps(1) != 1e-12 {
+		t.Error("unit helpers broken")
+	}
+	s := DefaultSupply()
+	if s.VDD != 0.8 {
+		t.Error("supply broken")
+	}
+}
+
+// TestFacadePipeline runs the complete public workflow: build the golden
+// bench, measure, parametrize, and query the fitted model.
+func TestFacadePipeline(t *testing.T) {
+	bp := DefaultBenchParams()
+	bp.MaxStep = 8e-12
+	bench, err := NewBench(bp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	target, err := MeasureCharacteristic(bench)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if AutoDMin(target) <= 0 {
+		t.Error("expected a positive auto pure delay for the calibrated bench")
+	}
+	p, rep, err := FitCharacteristic(target, bp.Supply, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Converged && rep.Cost > 0.1 {
+		t.Errorf("fit did not converge: %+v", rep)
+	}
+	// Fitted model reproduces the golden falling MIS dip.
+	d0, err := p.FallingDelay(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel := math.Abs(d0-target.FallZero) / target.FallZero; rel > 0.05 {
+		t.Errorf("fitted fall(0) off by %.1f%%", 100*rel)
+	}
+}
+
+// TestFacadeChannels: trace generation and the hybrid channel through
+// the public API.
+func TestFacadeChannels(t *testing.T) {
+	cfgs := PaperConfigs()
+	if len(cfgs) != 4 {
+		t.Fatal("PaperConfigs wrong")
+	}
+	cfg := cfgs[0]
+	cfg.Transitions = 20
+	traces, err := GenerateTraces(cfg, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(traces) != 2 {
+		t.Fatal("expected 2 input traces")
+	}
+	p := TableI()
+	out, err := ApplyNOR(p, traces[0], traces[1], 1e-6, p.Supply.VDD)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := out.Validate(); err != nil {
+		t.Error(err)
+	}
+	if DeviationArea(out, out, 0, 1e-6) != 0 {
+		t.Error("self deviation nonzero")
+	}
+}

@@ -1,0 +1,85 @@
+package dtsim
+
+import "fmt"
+
+// Gate is a zero-time boolean function from input nets to an output net
+// (the Involution Tool's circuit model: all delays live in channels, the
+// boolean gates themselves are instantaneous). Gates re-evaluate on
+// every input change and propagate synchronously, so combinational
+// cascades settle within a single event; feedback loops must be broken
+// by a channel (which schedules through the event queue).
+type Gate struct {
+	Name   string
+	fn     func([]bool) bool
+	inputs []*Net
+	out    *Net
+	vals   []bool
+}
+
+// NewGate wires a boolean function. The output net's initial value is
+// set to the function of the inputs' initial values.
+func NewGate(name string, fn func([]bool) bool, inputs []*Net, out *Net) (*Gate, error) {
+	if len(inputs) == 0 {
+		return nil, fmt.Errorf("dtsim: gate %q has no inputs", name)
+	}
+	if fn == nil {
+		return nil, fmt.Errorf("dtsim: gate %q has no function", name)
+	}
+	g := &Gate{Name: name, fn: fn, inputs: inputs, out: out, vals: make([]bool, len(inputs))}
+	for i, in := range inputs {
+		g.vals[i] = in.Value()
+	}
+	out.SetInitial(fn(g.vals))
+	for i, in := range inputs {
+		i := i
+		in.OnChange(func(t float64, v bool) {
+			g.vals[i] = v
+			g.out.Set(t, g.fn(g.vals))
+		})
+	}
+	return g, nil
+}
+
+// Common gate functions.
+
+// FnInv is the inverter function.
+func FnInv(v []bool) bool { return !v[0] }
+
+// FnBuf is the buffer (identity) function.
+func FnBuf(v []bool) bool { return v[0] }
+
+// FnNOR2 is the 2-input NOR function.
+func FnNOR2(v []bool) bool { return !(v[0] || v[1]) }
+
+// FnNAND2 is the 2-input NAND function.
+func FnNAND2(v []bool) bool { return !(v[0] && v[1]) }
+
+// FnAND2 is the 2-input AND function.
+func FnAND2(v []bool) bool { return v[0] && v[1] }
+
+// FnOR2 is the 2-input OR function.
+func FnOR2(v []bool) bool { return v[0] || v[1] }
+
+// FnXOR2 is the 2-input XOR function.
+func FnXOR2(v []bool) bool { return v[0] != v[1] }
+
+// InverterChain builds a chain of `stages` inverters, each followed by a
+// delay channel built by mkChannel (called with the stage index and the
+// nets to connect). It returns the chain's final output net. This is the
+// circuit class the Involution Tool's original evaluation used.
+func InverterChain(sim *Simulator, in *Net, stages int, mkChannel func(i int, from, to *Net)) (*Net, error) {
+	if stages < 1 {
+		return nil, fmt.Errorf("dtsim: need at least one stage")
+	}
+	cur := in
+	for i := 0; i < stages; i++ {
+		gateOut := NewNet(fmt.Sprintf("inv%d_raw", i), !cur.Value())
+		if _, err := NewGate(fmt.Sprintf("inv%d", i), FnInv, []*Net{cur}, gateOut); err != nil {
+			return nil, err
+		}
+		chanOut := NewNet(fmt.Sprintf("inv%d_out", i), gateOut.Value())
+		mkChannel(i, gateOut, chanOut)
+		cur = chanOut
+	}
+	return cur, nil
+}

@@ -1,0 +1,200 @@
+package dtsim
+
+import (
+	"math"
+	"testing"
+
+	"hybriddelay/internal/idm"
+	"hybriddelay/internal/trace"
+)
+
+func TestNewGateValidation(t *testing.T) {
+	out := NewNet("o", false)
+	if _, err := NewGate("g", FnInv, nil, out); err == nil {
+		t.Error("no inputs accepted")
+	}
+	if _, err := NewGate("g", nil, []*Net{NewNet("a", false)}, out); err == nil {
+		t.Error("nil function accepted")
+	}
+}
+
+func TestGateFunctions(t *testing.T) {
+	cases := []struct {
+		name string
+		fn   func([]bool) bool
+		in   []bool
+		want bool
+	}{
+		{"inv", FnInv, []bool{true}, false},
+		{"buf", FnBuf, []bool{true}, true},
+		{"nor", FnNOR2, []bool{false, false}, true},
+		{"nor", FnNOR2, []bool{true, false}, false},
+		{"nand", FnNAND2, []bool{true, true}, false},
+		{"nand", FnNAND2, []bool{true, false}, true},
+		{"and", FnAND2, []bool{true, true}, true},
+		{"or", FnOR2, []bool{false, true}, true},
+		{"xor", FnXOR2, []bool{true, true}, false},
+	}
+	for _, c := range cases {
+		if got := c.fn(c.in); got != c.want {
+			t.Errorf("%s(%v) = %v, want %v", c.name, c.in, got, c.want)
+		}
+	}
+}
+
+// TestGateZeroTimePropagation: combinational cascades settle within one
+// event (no intermediate glitches on the recorded trace).
+func TestGateZeroTimePropagation(t *testing.T) {
+	sim := NewSimulator()
+	a := NewNet("a", false)
+	b := NewNet("b", false)
+	n1 := NewNet("n1", false)
+	n2 := NewNet("n2", false)
+	n2.Record()
+	if _, err := NewGate("nor", FnNOR2, []*Net{a, b}, n1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewGate("inv", FnInv, []*Net{n1}, n2); err != nil {
+		t.Fatal(err)
+	}
+	// Initial: a=b=0 -> n1=1 -> n2=0.
+	if n1.Value() != true || n2.Value() != false {
+		t.Fatalf("initial values wrong: n1=%v n2=%v", n1.Value(), n2.Value())
+	}
+	Drive(sim, a, trace.New(false, []trace.Event{{Time: 10, Value: true}}))
+	sim.Run(100)
+	got := n2.Trace()
+	if got.NumEvents() != 1 || !got.Events[0].Value || got.Events[0].Time != 10 {
+		t.Errorf("cascade output %+v", got.Events)
+	}
+}
+
+// TestInverterChainDelayAccumulates: a chain of N inverters, each with a
+// symmetric exp channel, delays a single edge by ~N*delta(inf).
+func TestInverterChainDelayAccumulates(t *testing.T) {
+	const stages = 5
+	ch, err := idm.NewExp(20e-12, 20e-12, 5e-12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim := NewSimulator()
+	in := NewNet("in", false)
+	out, err := InverterChain(sim, in, stages, func(i int, from, to *Net) {
+		NewChannel(sim, "ch", from, to, ch)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out.Record()
+	edge := 1e-9
+	Drive(sim, in, trace.New(false, []trace.Event{{Time: edge, Value: true}}))
+	if err := sim.Run(5e-9); err != nil {
+		t.Fatal(err)
+	}
+	got := out.Trace()
+	if got.NumEvents() != 1 {
+		t.Fatalf("chain output %+v", got.Events)
+	}
+	// Parity: 5 inverters invert; initial out = !...!false.
+	if got.Initial != true || got.Events[0].Value != false {
+		t.Errorf("chain polarity wrong: %+v", got)
+	}
+	want := edge + stages*ch.DelayUpInf() // all stages see T = inf on a first edge
+	if math.Abs(got.Events[0].Time-want) > 1e-15 {
+		t.Errorf("chain delay %g, want %g", got.Events[0].Time-edge, want-edge)
+	}
+}
+
+// TestInverterChainPulseShrinks: a short pulse through involution
+// channels shrinks at every stage and eventually vanishes — the
+// short-pulse filtration behaviour the IDM models faithfully.
+func TestInverterChainPulseShrinks(t *testing.T) {
+	ch, err := idm.NewExp(20e-12, 20e-12, 5e-12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(widthPs float64, stages int) int {
+		sim := NewSimulator()
+		in := NewNet("in", false)
+		out, err := InverterChain(sim, in, stages, func(i int, from, to *Net) {
+			NewChannel(sim, "ch", from, to, ch)
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		out.Record()
+		Drive(sim, in, trace.New(false, []trace.Event{
+			{Time: 1e-9, Value: true},
+			{Time: 1e-9 + widthPs*1e-12, Value: false},
+		}))
+		if err := sim.Run(20e-9); err != nil {
+			t.Fatal(err)
+		}
+		return out.Trace().NumEvents()
+	}
+	// A wide pulse survives 8 stages.
+	if got := run(200, 8); got != 2 {
+		t.Errorf("wide pulse: %d output events, want 2", got)
+	}
+	// A marginal pulse dies somewhere down the chain.
+	if got := run(16, 8); got != 0 {
+		t.Errorf("marginal pulse survived 8 stages: %d events", got)
+	}
+	// The same marginal pulse survives a single stage (it shrinks, it is
+	// not instantly removed — unlike inertial delay).
+	if got := run(16, 1); got != 2 {
+		t.Errorf("marginal pulse through one stage: %d events, want 2", got)
+	}
+}
+
+// TestInverterChainValidation: degenerate stage counts error.
+func TestInverterChainValidation(t *testing.T) {
+	sim := NewSimulator()
+	if _, err := InverterChain(sim, NewNet("in", false), 0, func(int, *Net, *Net) {}); err == nil {
+		t.Error("zero stages accepted")
+	}
+}
+
+// TestMixedCircuit: a NOR gate + inverter netlist with channels of
+// different types composes correctly.
+func TestMixedCircuit(t *testing.T) {
+	sim := NewSimulator()
+	a := NewNet("a", false)
+	b := NewNet("b", false)
+	norRaw := NewNet("nor_raw", false)
+	norOut := NewNet("nor_out", false)
+	invRaw := NewNet("inv_raw", false)
+	invOut := NewNet("inv_out", false)
+	invOut.Record()
+
+	if _, err := NewGate("nor", FnNOR2, []*Net{a, b}, norRaw); err != nil {
+		t.Fatal(err)
+	}
+	exp, err := idm.NewExp(15e-12, 10e-12, 3e-12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	NewChannel(sim, "c1", norRaw, norOut, exp)
+	if _, err := NewGate("inv", FnInv, []*Net{norOut}, invRaw); err != nil {
+		t.Fatal(err)
+	}
+	NewChannel(sim, "c2", invRaw, invOut, exp)
+
+	// a=b=0: nor=1, inv=0 initially.
+	if invOut.Value() != false {
+		t.Fatal("initial state wrong")
+	}
+	Drive(sim, a, trace.New(false, []trace.Event{{Time: 1e-9, Value: true}}))
+	if err := sim.Run(5e-9); err != nil {
+		t.Fatal(err)
+	}
+	got := invOut.Trace()
+	if got.NumEvents() != 1 || !got.Events[0].Value {
+		t.Fatalf("circuit output %+v", got.Events)
+	}
+	// Total delay = fall delay of c1 + rise delay of c2 (both at T=inf).
+	want := 1e-9 + exp.DelayDownInf() + exp.DelayUpInf()
+	if math.Abs(got.Events[0].Time-want) > 1e-15 {
+		t.Errorf("total delay %g, want %g", got.Events[0].Time, want)
+	}
+}

@@ -1,0 +1,138 @@
+package fit
+
+import (
+	"fmt"
+	"math"
+)
+
+// golden is the golden ratio section constant (3 - sqrt(5))/2.
+const golden = 0.3819660112501051
+
+// MinimizeScalarResult reports the outcome of 1-D minimisation.
+type MinimizeScalarResult struct {
+	X     float64 // minimiser
+	F     float64 // value at X
+	Evals int
+}
+
+// GoldenSection minimises f on [a, b] by golden-section search to the
+// given absolute x tolerance.
+func GoldenSection(f func(float64) float64, a, b, tol float64) (MinimizeScalarResult, error) {
+	if b <= a {
+		return MinimizeScalarResult{}, fmt.Errorf("fit: invalid interval [%g, %g]", a, b)
+	}
+	if tol <= 0 {
+		tol = 1e-12 * math.Max(math.Abs(a), math.Abs(b))
+		if tol == 0 {
+			tol = 1e-18
+		}
+	}
+	x1 := a + golden*(b-a)
+	x2 := b - golden*(b-a)
+	f1, f2 := f(x1), f(x2)
+	evals := 2
+	for b-a > tol && evals < 500 {
+		if f1 < f2 {
+			b, x2, f2 = x2, x1, f1
+			x1 = a + golden*(b-a)
+			f1 = f(x1)
+		} else {
+			a, x1, f1 = x1, x2, f2
+			x2 = b - golden*(b-a)
+			f2 = f(x2)
+		}
+		evals++
+	}
+	if f1 < f2 {
+		return MinimizeScalarResult{X: x1, F: f1, Evals: evals}, nil
+	}
+	return MinimizeScalarResult{X: x2, F: f2, Evals: evals}, nil
+}
+
+// BrentMin minimises f on [a, b] using Brent's parabolic-interpolation
+// method (the algorithm behind MATLAB's fminbnd, which the paper used to
+// validate its closed-form Charlie delay expressions).
+func BrentMin(f func(float64) float64, a, b, tol float64) (MinimizeScalarResult, error) {
+	if b <= a {
+		return MinimizeScalarResult{}, fmt.Errorf("fit: invalid interval [%g, %g]", a, b)
+	}
+	if tol <= 0 {
+		tol = 1e-12
+	}
+	const cgold = golden
+	const zeps = 1e-300
+	var d, e float64
+	x := a + cgold*(b-a)
+	w, v := x, x
+	fx := f(x)
+	fw, fv := fx, fx
+	evals := 1
+	for iter := 0; iter < 200; iter++ {
+		xm := 0.5 * (a + b)
+		tol1 := tol*math.Abs(x) + zeps
+		tol2 := 2 * tol1
+		if math.Abs(x-xm) <= tol2-0.5*(b-a) {
+			return MinimizeScalarResult{X: x, F: fx, Evals: evals}, nil
+		}
+		useGolden := true
+		if math.Abs(e) > tol1 {
+			// Trial parabolic fit through x, v, w.
+			r := (x - w) * (fx - fv)
+			q := (x - v) * (fx - fw)
+			p := (x-v)*q - (x-w)*r
+			q = 2 * (q - r)
+			if q > 0 {
+				p = -p
+			}
+			q = math.Abs(q)
+			etemp := e
+			e = d
+			if math.Abs(p) < math.Abs(0.5*q*etemp) && p > q*(a-x) && p < q*(b-x) {
+				d = p / q
+				u := x + d
+				if u-a < tol2 || b-u < tol2 {
+					d = math.Copysign(tol1, xm-x)
+				}
+				useGolden = false
+			}
+		}
+		if useGolden {
+			if x >= xm {
+				e = a - x
+			} else {
+				e = b - x
+			}
+			d = cgold * e
+		}
+		var u float64
+		if math.Abs(d) >= tol1 {
+			u = x + d
+		} else {
+			u = x + math.Copysign(tol1, d)
+		}
+		fu := f(u)
+		evals++
+		if fu <= fx {
+			if u >= x {
+				a = x
+			} else {
+				b = x
+			}
+			v, w, x = w, x, u
+			fv, fw, fx = fw, fx, fu
+		} else {
+			if u < x {
+				a = u
+			} else {
+				b = u
+			}
+			if fu <= fw || w == x {
+				v, fv = w, fw
+				w, fw = u, fu
+			} else if fu <= fv || v == x || v == w {
+				v, fv = u, fu
+			}
+		}
+	}
+	return MinimizeScalarResult{X: x, F: fx, Evals: evals}, ErrMaxEval
+}

@@ -1,0 +1,153 @@
+// Package gen generates the random input stimuli of the paper's accuracy
+// evaluation (§VI): sequences of input transitions whose spacing follows
+// a normal distribution, in two flavours:
+//
+//   - LOCAL:  every input gets its own independent gap sequence
+//     (transitions on different inputs frequently fall close together,
+//     stressing the MIS regime), and
+//   - GLOBAL: a single global gap sequence is generated and each
+//     transition is assigned to a random input (concurrent transitions
+//     on different inputs become unlikely, stressing the SIS regime).
+//
+// All generation is deterministic given the seed.
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"hybriddelay/internal/trace"
+	"hybriddelay/internal/waveform"
+)
+
+// Mode selects how transition times are distributed over the inputs.
+type Mode int
+
+const (
+	// Local generates an independent gap sequence per input.
+	Local Mode = iota
+	// Global generates one gap sequence and assigns transitions to
+	// random inputs.
+	Global
+)
+
+// String implements fmt.Stringer.
+func (m Mode) String() string {
+	if m == Local {
+		return "LOCAL"
+	}
+	return "GLOBAL"
+}
+
+// Config describes one waveform configuration ("100/50 - LOCAL" etc.).
+type Config struct {
+	Mu          float64 // mean transition gap [s]
+	Sigma       float64 // gap standard deviation [s]
+	Mode        Mode
+	Inputs      int     // number of inputs (2 for the NOR)
+	Transitions int     // total number of transitions to generate
+	Start       float64 // time of the first possible transition [s]
+	MinGap      float64 // lower clamp for gaps [s]; default 1 ps
+}
+
+// Name renders the paper's labels, e.g. "100/50 - LOCAL".
+func (c Config) Name() string {
+	return fmt.Sprintf("%.0f/%.0f - %s", c.Mu/waveform.Pico, c.Sigma/waveform.Pico, c.Mode)
+}
+
+// PaperConfigs returns the four waveform configurations of Fig. 7 for a
+// 2-input gate: 100/50 LOCAL, 200/100 LOCAL, 2000/1000 GLOBAL and
+// 5000/5 GLOBAL, with 500 transitions each except 250 for the last.
+func PaperConfigs() []Config {
+	mk := func(mu, sigma float64, mode Mode, n int) Config {
+		return Config{
+			Mu:          mu * waveform.Pico,
+			Sigma:       sigma * waveform.Pico,
+			Mode:        mode,
+			Inputs:      2,
+			Transitions: n,
+			Start:       200 * waveform.Pico,
+		}
+	}
+	return []Config{
+		mk(100, 50, Local, 500),
+		mk(200, 100, Local, 500),
+		mk(2000, 1000, Global, 500),
+		mk(5000, 5, Global, 250),
+	}
+}
+
+// Traces generates the per-input digital traces for the configuration.
+// All inputs start low.
+func Traces(cfg Config, seed int64) ([]trace.Trace, error) {
+	if cfg.Inputs < 1 {
+		return nil, fmt.Errorf("gen: need at least one input")
+	}
+	if cfg.Transitions < 1 {
+		return nil, fmt.Errorf("gen: need at least one transition")
+	}
+	if cfg.Mu <= 0 || cfg.Sigma < 0 {
+		return nil, fmt.Errorf("gen: invalid gap distribution mu=%g sigma=%g", cfg.Mu, cfg.Sigma)
+	}
+	minGap := cfg.MinGap
+	if minGap <= 0 {
+		minGap = waveform.Pico
+	}
+	rng := rand.New(rand.NewSource(seed))
+	gap := func() float64 {
+		g := cfg.Mu + cfg.Sigma*rng.NormFloat64()
+		if g < minGap {
+			g = minGap
+		}
+		return g
+	}
+	events := make([][]trace.Event, cfg.Inputs)
+	switch cfg.Mode {
+	case Local:
+		per := cfg.Transitions / cfg.Inputs
+		extra := cfg.Transitions % cfg.Inputs
+		for i := 0; i < cfg.Inputs; i++ {
+			n := per
+			if i < extra {
+				n++
+			}
+			t := cfg.Start
+			val := false
+			for k := 0; k < n; k++ {
+				t += gap()
+				val = !val
+				events[i] = append(events[i], trace.Event{Time: t, Value: val})
+			}
+		}
+	case Global:
+		t := cfg.Start
+		vals := make([]bool, cfg.Inputs)
+		for k := 0; k < cfg.Transitions; k++ {
+			t += gap()
+			i := rng.Intn(cfg.Inputs)
+			vals[i] = !vals[i]
+			events[i] = append(events[i], trace.Event{Time: t, Value: vals[i]})
+		}
+	default:
+		return nil, fmt.Errorf("gen: unknown mode %d", int(cfg.Mode))
+	}
+	out := make([]trace.Trace, cfg.Inputs)
+	for i := range events {
+		out[i] = trace.New(false, events[i])
+	}
+	return out, nil
+}
+
+// Horizon returns a simulation end time that comfortably covers all
+// generated activity plus settling.
+func Horizon(traces []trace.Trace, settle float64) float64 {
+	end := 0.0
+	for _, tr := range traces {
+		if n := tr.NumEvents(); n > 0 {
+			if t := tr.Events[n-1].Time; t > end {
+				end = t
+			}
+		}
+	}
+	return end + settle
+}

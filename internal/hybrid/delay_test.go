@@ -1,0 +1,278 @@
+package hybrid
+
+import (
+	"math"
+	"testing"
+
+	"hybriddelay/internal/waveform"
+)
+
+// Golden characteristic delays of the Table I parametrization, computed
+// by the exact trajectory solver and cross-checked against the paper's
+// Fig. 5/6 (fall ~38.9/28.0/39.1 ps, rise ~55.0/55.0/52.7 ps — compare
+// the paper's SPICE values 38/28/40 and 55.6/56.8/53.4).
+const (
+	goldFallMinusInf = 38.86e-12
+	goldFallZero     = 28.03e-12
+	goldFallPlusInf  = 39.08e-12
+	goldRiseMinusInf = 55.00e-12
+	goldRiseZero     = 55.00e-12
+	goldRisePlusInf  = 52.74e-12
+)
+
+func TestTableICharacteristic(t *testing.T) {
+	p := TableI()
+	c, err := p.Characteristic()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name      string
+		got, want float64
+	}{
+		{"fall(-inf)", c.FallMinusInf, goldFallMinusInf},
+		{"fall(0)", c.FallZero, goldFallZero},
+		{"fall(+inf)", c.FallPlusInf, goldFallPlusInf},
+		{"rise(-inf)", c.RiseMinusInf, goldRiseMinusInf},
+		{"rise(0)", c.RiseZero, goldRiseZero},
+		{"rise(+inf)", c.RisePlusInf, goldRisePlusInf},
+	}
+	for _, cse := range cases {
+		if math.Abs(cse.got-cse.want) > 0.02e-12 {
+			t.Errorf("%s = %.3f ps, want %.3f ps", cse.name, waveform.ToPs(cse.got), waveform.ToPs(cse.want))
+		}
+	}
+}
+
+// TestFallingSpeedUp: the MIS speed-up of §II/Fig. 5 — delta_fall is
+// minimal at Delta = 0 and increases monotonically toward both tails.
+func TestFallingSpeedUp(t *testing.T) {
+	p := TableI()
+	d0, err := p.FallingDelay(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prevPos, prevNeg := d0, d0
+	for dd := 5e-12; dd <= 100e-12; dd += 5e-12 {
+		dp, err := p.FallingDelay(dd)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dn, err := p.FallingDelay(-dd)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if dp < prevPos-1e-16 {
+			t.Errorf("delta_fall not increasing at Delta=%g", dd)
+		}
+		if dn < prevNeg-1e-16 {
+			t.Errorf("delta_fall not increasing at Delta=-%g", dd)
+		}
+		prevPos, prevNeg = dp, dn
+	}
+	// The speed-up magnitude: the paper's Table I model gives
+	// (38.86-28.03)/38.86 ~ 28%.
+	cm, _ := p.FallingDelay(-SISFar)
+	rel := (cm - d0) / cm
+	if rel < 0.2 || rel > 0.35 {
+		t.Errorf("speed-up = %.1f%%, expected 20-35%%", 100*rel)
+	}
+}
+
+// TestFallingTailAsymmetry: delta_fall(+inf) > delta_fall(-inf) because
+// mode (1,0) also drains C_N through R2 (the T2 connection, §II).
+func TestFallingTailAsymmetry(t *testing.T) {
+	p := TableI()
+	cm, err := p.FallingDelay(-SISFar)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp, err := p.FallingDelay(SISFar)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cp <= cm {
+		t.Errorf("fall(+inf)=%g should exceed fall(-inf)=%g", cp, cm)
+	}
+}
+
+// TestRisingVNInvariance: with V_N = GND the model's rising delay is
+// exactly flat for Delta <= 0 — the deficiency the paper reports in
+// Fig. 6 (mode (1,1) cannot change V_N, and from V_N = GND mode (1,0)
+// keeps the state at the origin).
+func TestRisingVNInvariance(t *testing.T) {
+	p := TableI()
+	base, err := p.RisingDelay(0, VNGround)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, dd := range []float64{-5e-12, -20e-12, -60e-12, -150e-12} {
+		d, err := p.RisingDelay(dd, VNGround)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(d-base) > 1e-15 {
+			t.Errorf("delta_rise(%g) = %g differs from delta_rise(0) = %g at VN=GND", dd, d, base)
+		}
+	}
+}
+
+// TestRisingPrecharge: for Delta > 0 the internal node precharges in
+// mode (0,1), so the delay decreases monotonically toward rise(+inf).
+func TestRisingPrecharge(t *testing.T) {
+	p := TableI()
+	prev := math.Inf(1)
+	for _, dd := range []float64{0, 10e-12, 30e-12, 60e-12, 120e-12, SISFar} {
+		d, err := p.RisingDelay(dd, VNGround)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d > prev+1e-16 {
+			t.Errorf("delta_rise not decreasing at Delta=%g (%g > %g)", dd, d, prev)
+		}
+		prev = d
+	}
+}
+
+// TestRisingVNVariants: a higher initial V_N can only shorten the rising
+// delay (less charge to supply through R1), matching Fig. 6's ordering
+// for Delta < 0.
+func TestRisingVNVariants(t *testing.T) {
+	p := TableI()
+	for _, dd := range []float64{-60e-12, -20e-12, 0} {
+		dg, err := p.RisingDelay(dd, VNGround)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dh, err := p.RisingDelay(dd, VNHalf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dv, err := p.RisingDelay(dd, VNSupply)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !(dv <= dh+1e-16 && dh <= dg+1e-16) {
+			t.Errorf("Delta=%g: VN ordering violated: GND %g, VDD/2 %g, VDD %g", dd, dg, dh, dv)
+		}
+	}
+}
+
+// TestDMinShift: the pure delay shifts every delay by exactly DMin.
+func TestDMinShift(t *testing.T) {
+	p := TableI()
+	q := p.WithoutDMin()
+	for _, dd := range []float64{-40e-12, 0, 25e-12} {
+		a, err := p.FallingDelay(dd)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := q.FallingDelay(dd)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(a-b-p.DMin) > 1e-18 {
+			t.Errorf("fall(%g): DMin shift broken: %g vs %g", dd, a, b)
+		}
+		ar, err := p.RisingDelay(dd, VNGround)
+		if err != nil {
+			t.Fatal(err)
+		}
+		br, err := q.RisingDelay(dd, VNGround)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(ar-br-p.DMin) > 1e-18 {
+			t.Errorf("rise(%g): DMin shift broken", dd)
+		}
+	}
+}
+
+// TestDelayContinuityInDelta: delta(Delta) is continuous — small changes
+// in the separation change the delay smoothly (needed for a sane delay
+// model; discontinuities would make timing analysis unstable).
+func TestDelayContinuityInDelta(t *testing.T) {
+	p := TableI()
+	prevF := math.NaN()
+	prevR := math.NaN()
+	const step = 1e-12
+	for dd := -80e-12; dd <= 80e-12; dd += step {
+		f, err := p.FallingDelay(dd)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := p.RisingDelay(dd, VNGround)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !math.IsNaN(prevF) {
+			if math.Abs(f-prevF) > 2e-12 {
+				t.Fatalf("delta_fall jumps by %g at Delta=%g", f-prevF, dd)
+			}
+			if math.Abs(r-prevR) > 2e-12 {
+				t.Fatalf("delta_rise jumps by %g at Delta=%g", r-prevR, dd)
+			}
+		}
+		prevF, prevR = f, r
+	}
+}
+
+// TestFallingTailsSaturate: beyond the SIS horizon the delay no longer
+// depends on Delta (the crossing happens before the second transition).
+func TestFallingTailsSaturate(t *testing.T) {
+	p := TableI()
+	a, err := p.FallingDelay(SISFar)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := p.FallingDelay(2 * SISFar)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(a-b) > 1e-16 {
+		t.Errorf("falling tail not saturated: %g vs %g", a, b)
+	}
+}
+
+func TestSweeps(t *testing.T) {
+	p := TableI()
+	deltas := []float64{-60e-12, -30e-12, 0, 30e-12, 60e-12}
+	fs, err := p.FallingSweep(deltas)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fs) != len(deltas) {
+		t.Fatal("falling sweep size wrong")
+	}
+	for i, pt := range fs {
+		if pt.Delta != deltas[i] {
+			t.Error("sweep deltas mangled")
+		}
+		if pt.Delay <= 0 {
+			t.Error("non-positive delay in sweep")
+		}
+	}
+	rs, err := p.RisingSweep(deltas, VNGround)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != len(deltas) {
+		t.Fatal("rising sweep size wrong")
+	}
+}
+
+func TestVNInitialVoltage(t *testing.T) {
+	p := TableI()
+	if VNGround.Voltage(p) != 0 {
+		t.Error("GND voltage wrong")
+	}
+	if VNHalf.Voltage(p) != p.Supply.VDD/2 {
+		t.Error("VDD/2 voltage wrong")
+	}
+	if VNSupply.Voltage(p) != p.Supply.VDD {
+		t.Error("VDD voltage wrong")
+	}
+	if VNGround.String() != "GND" || VNHalf.String() != "VDD/2" || VNSupply.String() != "VDD" {
+		t.Error("VNInitial names wrong")
+	}
+}

@@ -1,0 +1,174 @@
+package hybrid
+
+import (
+	"math"
+	"testing"
+
+	"hybriddelay/internal/waveform"
+)
+
+// TestFitRecoversTableI: fitting against the Table I model's own
+// characteristic delays (with its CO pinned and DMin given) must
+// reproduce those delays essentially exactly — the fit problem has an
+// exact solution.
+func TestFitRecoversTableI(t *testing.T) {
+	p := TableI()
+	target, err := p.Characteristic()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fitted, rep, err := FitCharacteristic(target, p.Supply, &FitOptions{
+		DMin: p.DMin,
+		CO:   p.CO,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := rep.Achieved.AsSlice()
+	want := target.AsSlice()
+	// The rising -inf/0 pair coincides in the model, so an exact match is
+	// attainable on all six targets.
+	for i := range want {
+		if rel := math.Abs(got[i]-want[i]) / want[i]; rel > 2e-3 {
+			t.Errorf("target %d: achieved %.4f ps vs target %.4f ps (rel %.2e)",
+				i, waveform.ToPs(got[i]), waveform.ToPs(want[i]), rel)
+		}
+	}
+	if err := fitted.Validate(); err != nil {
+		t.Errorf("fitted parameters invalid: %v", err)
+	}
+	// The falling-side products are identified: CO*R4 and CO*R3||R4 are
+	// pinned by the exact equations (8) and (9).
+	if rel := math.Abs(fitted.R4-p.R4) / p.R4; rel > 1e-2 {
+		t.Errorf("R4 = %g, want %g (identified by eq (9))", fitted.R4, p.R4)
+	}
+	if rel := math.Abs(fitted.R3-p.R3) / p.R3; rel > 1e-2 {
+		t.Errorf("R3 = %g, want %g (identified by eq (8))", fitted.R3, p.R3)
+	}
+}
+
+func TestAutoDMin(t *testing.T) {
+	c := Characteristic{FallMinusInf: 38e-12, FallZero: 28e-12}
+	// d = 2*28 - 38 = 18 ps: exactly the paper's delta_min for its
+	// measured ratio 38/28.
+	if got := AutoDMin(c); math.Abs(got-18e-12) > 1e-18 {
+		t.Errorf("AutoDMin = %g, want 18 ps", got)
+	}
+	// Ratio already >= 2: no pure delay needed.
+	c2 := Characteristic{FallMinusInf: 60e-12, FallZero: 28e-12}
+	if got := AutoDMin(c2); got != 0 {
+		t.Errorf("AutoDMin = %g, want 0", got)
+	}
+}
+
+func TestFitValidation(t *testing.T) {
+	sup := waveform.DefaultSupply()
+	// Target below the pure delay is impossible.
+	bad := Characteristic{
+		FallMinusInf: 10e-12, FallZero: 10e-12, FallPlusInf: 10e-12,
+		RiseMinusInf: 10e-12, RiseZero: 10e-12, RisePlusInf: 10e-12,
+	}
+	if _, _, err := FitCharacteristic(bad, sup, &FitOptions{DMin: 20e-12}); err == nil {
+		t.Error("expected error for targets below the pure delay")
+	}
+	good := Characteristic{
+		FallMinusInf: 38e-12, FallZero: 28e-12, FallPlusInf: 39e-12,
+		RiseMinusInf: 55e-12, RiseZero: 56e-12, RisePlusInf: 53e-12,
+	}
+	if _, _, err := FitCharacteristic(good, sup, &FitOptions{Weights: []float64{1, 2}}); err == nil {
+		t.Error("expected error for wrong weight count")
+	}
+}
+
+// TestFitPaperTargets: fitting the paper's measured SPICE values (Fig. 2)
+// with the auto pure delay lands close on the falling side and resolves
+// the rising conflict by compromise, exactly as §V describes.
+func TestFitPaperTargets(t *testing.T) {
+	target := Characteristic{
+		FallMinusInf: 38e-12, FallZero: 28e-12, FallPlusInf: 40e-12,
+		RiseMinusInf: 55.6e-12, RiseZero: 56.8e-12, RisePlusInf: 53.4e-12,
+	}
+	sup := waveform.DefaultSupply()
+	p, rep, err := FitCharacteristic(target, sup, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(rep.DMin-18e-12) > 0.5e-12 {
+		t.Errorf("auto DMin = %.2f ps, want ~18 ps (paper)", waveform.ToPs(rep.DMin))
+	}
+	a := rep.Achieved
+	for i, pair := range [][2]float64{
+		{a.FallMinusInf, target.FallMinusInf},
+		{a.FallZero, target.FallZero},
+		{a.FallPlusInf, target.FallPlusInf},
+	} {
+		if rel := math.Abs(pair[0]-pair[1]) / pair[1]; rel > 0.02 {
+			t.Errorf("falling target %d off by %.1f%%", i, 100*rel)
+		}
+	}
+	// The rising tails land within a few percent (the model trades
+	// rise(-inf) against rise(0), which coincide at VN=GND).
+	if rel := math.Abs(a.RisePlusInf-target.RisePlusInf) / target.RisePlusInf; rel > 0.05 {
+		t.Errorf("rise(+inf) off by %.1f%%", 100*rel)
+	}
+	if err := p.Validate(); err != nil {
+		t.Errorf("fitted params invalid: %v", err)
+	}
+	// Parameters land in the same decade as Table I (sanity against
+	// degenerate fits).
+	if p.R4 < 10e3 || p.R4 > 200e3 {
+		t.Errorf("R4 = %g outside plausible range", p.R4)
+	}
+}
+
+// TestFitNoDMinBounded: the forced DMin = 0 ablation cannot reach its
+// targets, but the soft bounds must keep the parameters physical.
+func TestFitNoDMinBounded(t *testing.T) {
+	target := Characteristic{
+		FallMinusInf: 35e-12, FallZero: 22.7e-12, FallPlusInf: 37e-12,
+		RiseMinusInf: 60e-12, RiseZero: 63e-12, RisePlusInf: 56e-12,
+	}
+	p, rep, err := FitCharacteristic(target, waveform.DefaultSupply(), &FitOptions{DMin: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.R1 < 100 || p.R2 < 100 || p.R3 < 100 || p.R4 < 100 {
+		t.Errorf("degenerate resistance in no-dmin fit: %s", p)
+	}
+	if p.CN < p.CO/1e4/2 {
+		t.Errorf("degenerate CN in no-dmin fit: %s", p)
+	}
+	if rep.DMin != 0 {
+		t.Error("DMin not honored")
+	}
+	// The fit cost must be clearly nonzero: the targets are infeasible
+	// without a pure delay (the §IV impossibility).
+	if rep.Cost < 1e-6 {
+		t.Errorf("no-dmin fit cost suspiciously low: %g", rep.Cost)
+	}
+}
+
+// TestFitGaugeFreedom: pinning CO at a different value yields the same
+// characteristic delays (only the products matter).
+func TestFitGaugeFreedom(t *testing.T) {
+	target := Characteristic{
+		FallMinusInf: 38e-12, FallZero: 28e-12, FallPlusInf: 40e-12,
+		RiseMinusInf: 55.6e-12, RiseZero: 56.8e-12, RisePlusInf: 53.4e-12,
+	}
+	sup := waveform.DefaultSupply()
+	_, repA, err := FitCharacteristic(target, sup, &FitOptions{DMin: -1, CO: 617.259e-18})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, repB, err := FitCharacteristic(target, sup, &FitOptions{DMin: -1, CO: 300e-18})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := repA.Achieved.AsSlice()
+	b := repB.Achieved.AsSlice()
+	for i := range a {
+		if rel := math.Abs(a[i]-b[i]) / a[i]; rel > 0.02 {
+			t.Errorf("achieved delay %d differs across gauge: %.4g vs %.4g", i, a[i], b[i])
+		}
+	}
+}

@@ -1,0 +1,231 @@
+package hybrid
+
+import (
+	"math"
+	"testing"
+
+	"hybriddelay/internal/la"
+)
+
+func TestModeOfRoundTrip(t *testing.T) {
+	for _, m := range []Mode{Mode00, Mode01, Mode10, Mode11} {
+		a, b := m.Inputs()
+		if ModeOf(a, b) != m {
+			t.Errorf("mode %v round trip failed", m)
+		}
+	}
+	if Mode10.String() != "(1,0)" || Mode01.String() != "(0,1)" {
+		t.Error("mode names wrong")
+	}
+}
+
+// TestSystemMatrices pins every mode's (A, g) against the paper's §III
+// derivations, element by element, for the Table I parameters.
+func TestSystemMatrices(t *testing.T) {
+	p := TableI()
+	vdd := p.Supply.VDD
+
+	s11 := p.System(Mode11)
+	if s11.A.A11 != 0 || s11.A.A12 != 0 || s11.A.A21 != 0 {
+		t.Error("mode (1,1): V_N must be isolated")
+	}
+	want := -(1/(p.CO*p.R3) + 1/(p.CO*p.R4))
+	if math.Abs(s11.A.A22-want) > 1e-6*math.Abs(want) {
+		t.Errorf("mode (1,1) A22 = %g, want %g", s11.A.A22, want)
+	}
+	if s11.G != (la.Vec2{}) {
+		t.Error("mode (1,1) must be homogeneous")
+	}
+
+	s10 := p.System(Mode10)
+	checks := []struct {
+		name      string
+		got, want float64
+	}{
+		{"(1,0) A11", s10.A.A11, -1 / (p.CN * p.R2)},
+		{"(1,0) A12", s10.A.A12, 1 / (p.CN * p.R2)},
+		{"(1,0) A21", s10.A.A21, 1 / (p.CO * p.R2)},
+		{"(1,0) A22", s10.A.A22, -(1/(p.CO*p.R2) + 1/(p.CO*p.R3))},
+	}
+	s01 := p.System(Mode01)
+	checks = append(checks,
+		struct {
+			name      string
+			got, want float64
+		}{"(0,1) A11", s01.A.A11, -1 / (p.CN * p.R1)},
+		struct {
+			name      string
+			got, want float64
+		}{"(0,1) A22", s01.A.A22, -1 / (p.CO * p.R4)},
+		struct {
+			name      string
+			got, want float64
+		}{"(0,1) gN", s01.G.X, vdd / (p.CN * p.R1)},
+	)
+	s00 := p.System(Mode00)
+	checks = append(checks,
+		struct {
+			name      string
+			got, want float64
+		}{"(0,0) A11", s00.A.A11, -(1/(p.CN*p.R1) + 1/(p.CN*p.R2))},
+		struct {
+			name      string
+			got, want float64
+		}{"(0,0) A12", s00.A.A12, 1 / (p.CN * p.R2)},
+		struct {
+			name      string
+			got, want float64
+		}{"(0,0) A21", s00.A.A21, 1 / (p.CO * p.R2)},
+		struct {
+			name      string
+			got, want float64
+		}{"(0,0) A22", s00.A.A22, -1 / (p.CO * p.R2)},
+		struct {
+			name      string
+			got, want float64
+		}{"(0,0) gN", s00.G.X, vdd / (p.CN * p.R1)},
+	)
+	for _, c := range checks {
+		if math.Abs(c.got-c.want) > 1e-9*math.Abs(c.want) {
+			t.Errorf("%s = %g, want %g", c.name, c.got, c.want)
+		}
+	}
+	if s01.A.A12 != 0 || s01.A.A21 != 0 {
+		t.Error("mode (0,1) must be decoupled")
+	}
+}
+
+// TestCoefficients10MatchEigen: the paper's alpha/beta/lambda formulas
+// (1)-(3) agree with the numeric eigen-decomposition of the mode matrix.
+func TestCoefficients10MatchEigen(t *testing.T) {
+	p := TableI()
+	co := p.Coefficients10()
+	eig, err := la.EigenDecompose2(p.System(Mode10).A)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(co.Lambda1-eig.Lambda1) > 1e-6*math.Abs(eig.Lambda1) {
+		t.Errorf("lambda1 = %g, eigen %g", co.Lambda1, eig.Lambda1)
+	}
+	if math.Abs(co.Lambda2-eig.Lambda2) > 1e-6*math.Abs(eig.Lambda2) {
+		t.Errorf("lambda2 = %g, eigen %g", co.Lambda2, eig.Lambda2)
+	}
+	// Paper eigenbasis: lambda_{1,2} = alpha +/- beta - 1/(CN R2).
+	if got := co.Alpha + co.Beta - 1/(p.CN*p.R2); math.Abs(got-co.Lambda1) > 1e-6*math.Abs(co.Lambda1) {
+		t.Errorf("lambda1 from alpha+beta = %g, want %g", got, co.Lambda1)
+	}
+	if got := co.Alpha - co.Beta - 1/(p.CN*p.R2); math.Abs(got-co.Lambda2) > 1e-6*math.Abs(co.Lambda2) {
+		t.Errorf("lambda2 from alpha-beta = %g, want %g", got, co.Lambda2)
+	}
+	// Eigenvector check: A * (1/(CN R2), alpha+beta) = lambda1 * v.
+	v := la.Vec2{X: 1 / (p.CN * p.R2), Y: co.Alpha + co.Beta}
+	av := p.System(Mode10).A.MulVec(v)
+	lv := v.Scale(co.Lambda1)
+	if av.Sub(lv).Norm() > 1e-6*lv.Norm() {
+		t.Errorf("paper eigenvector relation violated: %v vs %v", av, lv)
+	}
+}
+
+// TestCoefficients00MatchEigen: formulas (4)-(7).
+func TestCoefficients00MatchEigen(t *testing.T) {
+	p := TableI()
+	co := p.Coefficients00()
+	eig, err := la.EigenDecompose2(p.System(Mode00).A)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(co.Lambda1-eig.Lambda1) > 1e-6*math.Abs(eig.Lambda1) {
+		t.Errorf("lambda1 = %g, eigen %g", co.Lambda1, eig.Lambda1)
+	}
+	if math.Abs(co.Lambda2-eig.Lambda2) > 1e-6*math.Abs(eig.Lambda2) {
+		t.Errorf("lambda2 = %g, eigen %g", co.Lambda2, eig.Lambda2)
+	}
+	// lambda = gamma +/- beta by (7).
+	if math.Abs(co.Gamma+co.Beta-co.Lambda1) > 1e-9*math.Abs(co.Lambda1) {
+		t.Error("lambda1 != gamma + beta")
+	}
+	v := la.Vec2{X: 1 / (p.CN * p.R2), Y: co.Alpha + co.Beta}
+	av := p.System(Mode00).A.MulVec(v)
+	lv := v.Scale(co.Lambda1)
+	if av.Sub(lv).Norm() > 1e-6*lv.Norm() {
+		t.Errorf("paper eigenvector relation violated: %v vs %v", av, lv)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	good := TableI()
+	if err := good.Validate(); err != nil {
+		t.Errorf("Table I invalid: %v", err)
+	}
+	bad := good
+	bad.R2 = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("zero resistance accepted")
+	}
+	bad = good
+	bad.CN = -1
+	if err := bad.Validate(); err == nil {
+		t.Error("negative capacitance accepted")
+	}
+	bad = good
+	bad.DMin = -1e-12
+	if err := bad.Validate(); err == nil {
+		t.Error("negative pure delay accepted")
+	}
+	bad = good
+	bad.Supply.Vth = 1
+	if err := bad.Validate(); err == nil {
+		t.Error("threshold above VDD accepted")
+	}
+}
+
+func TestWithoutDMin(t *testing.T) {
+	p := TableI()
+	q := p.WithoutDMin()
+	if q.DMin != 0 || p.DMin == 0 {
+		t.Error("WithoutDMin wrong")
+	}
+	if q.R1 != p.R1 || q.CO != p.CO {
+		t.Error("WithoutDMin changed other fields")
+	}
+}
+
+func TestParamsString(t *testing.T) {
+	s := TableI().String()
+	if s == "" {
+		t.Error("empty String()")
+	}
+}
+
+// TestSteadyStates: every mode's steady state is physically right.
+func TestSteadyStates(t *testing.T) {
+	p := TableI()
+	vdd := p.Supply.VDD
+	cases := []struct {
+		mode Mode
+		want la.Vec2
+	}{
+		{Mode00, la.Vec2{X: vdd, Y: vdd}},
+		{Mode01, la.Vec2{X: vdd, Y: 0}},
+		{Mode10, la.Vec2{X: 0, Y: 0}},
+	}
+	for _, c := range cases {
+		sol, err := p.System(c.mode).Solve(la.Vec2{X: vdd / 3, Y: vdd / 2})
+		if err != nil {
+			t.Fatalf("mode %v: %v", c.mode, err)
+		}
+		got := sol.At(1e-6) // far past all time constants
+		if got.Sub(c.want).Norm() > 1e-6 {
+			t.Errorf("mode %v settles at %v, want %v", c.mode, got, c.want)
+		}
+	}
+	// Mode (1,1): V_O drains, V_N frozen at its initial value.
+	sol, err := p.System(Mode11).Solve(la.Vec2{X: 0.123, Y: vdd})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := sol.At(1e-6)
+	if math.Abs(got.X-0.123) > 1e-12 || math.Abs(got.Y) > 1e-6 {
+		t.Errorf("mode (1,1) settles at %v, want (0.123, 0)", got)
+	}
+}

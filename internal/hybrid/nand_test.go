@@ -1,0 +1,184 @@
+package hybrid
+
+import (
+	"math"
+	"testing"
+
+	"hybriddelay/internal/trace"
+)
+
+// tableINAND is the NAND dual of the Table I NOR parametrization.
+func tableINAND() NANDParams {
+	return NANDFromDual(TableI())
+}
+
+func TestNANDDualRoundTrip(t *testing.T) {
+	n := tableINAND()
+	if err := n.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	back := NANDFromDual(n.Dual())
+	if back != n {
+		t.Errorf("dual round trip changed parameters: %+v vs %+v", back, n)
+	}
+	if n.String() == "" {
+		t.Error("empty String()")
+	}
+	bad := n
+	bad.CM = -1
+	if err := bad.Validate(); err == nil {
+		t.Error("invalid NAND params accepted")
+	}
+}
+
+// TestNANDDualityExact: every NAND delay equals the mirrored NOR delay —
+// the model-level duality is exact by construction and pinned here.
+func TestNANDDualityExact(t *testing.T) {
+	nor := TableI()
+	nand := NANDFromDual(nor)
+	for _, dd := range []float64{-SISFar, -40e-12, 0, 40e-12, SISFar} {
+		// NAND rising (parallel pMOS) <-> NOR falling (parallel nMOS).
+		nr, err := nand.RisingDelay(dd)
+		if err != nil {
+			t.Fatal(err)
+		}
+		nf, err := nor.FallingDelay(dd)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if nr != nf {
+			t.Errorf("Delta=%g: NAND rise %g != NOR fall %g", dd, nr, nf)
+		}
+		// NAND falling with VM=x <-> NOR rising with VN=VDD-x.
+		for _, vm := range []float64{0, 0.4, 0.8} {
+			a, err := nand.FallingDelay(dd, vm)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := nor.RisingDelayFrom(dd, 0.8-vm)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if a != b {
+				t.Errorf("Delta=%g VM=%g: NAND fall %g != dual NOR rise %g", dd, vm, a, b)
+			}
+		}
+	}
+}
+
+// TestNANDMISDirections: the NAND's MIS effects mirror the NOR's —
+// rising speed-up (parallel pull-up), falling slow-down with worst-case
+// M history.
+func TestNANDMISDirections(t *testing.T) {
+	n := tableINAND()
+	c, err := n.Characteristic()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rising: speed-up at Delta = 0.
+	if !(c.RiseZero < c.RiseMinusInf && c.RiseZero < c.RisePlusInf) {
+		t.Errorf("NAND rising speed-up missing: %+v", c)
+	}
+	// Falling: worst-case M makes Delta=0 at least as slow as one tail
+	// (flat for Delta <= 0, mirroring Fig. 6 at VN=GND).
+	if c.FallZero < c.FallMinusInf-1e-15 {
+		t.Errorf("NAND falling slow-down missing: %+v", c)
+	}
+	// Falling is slower than rising for the Table I dual (the serial
+	// stack discharges through two resistors).
+	if c.FallZero < c.RiseZero {
+		t.Errorf("NAND fall(0)=%g should exceed rise(0)=%g", c.FallZero, c.RiseZero)
+	}
+}
+
+// TestNANDSweepsAndCharacteristic: sweep APIs work and agree with the
+// pointwise queries.
+func TestNANDSweeps(t *testing.T) {
+	n := tableINAND()
+	deltas := []float64{-50e-12, 0, 50e-12}
+	fs, err := n.FallingSweep(deltas, n.Supply.VDD)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, err := n.RisingSweep(deltas)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, d := range deltas {
+		want, err := n.FallingDelay(d, n.Supply.VDD)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fs[i].Delay != want {
+			t.Errorf("falling sweep mismatch at %g", d)
+		}
+		want, err = n.RisingDelay(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rs[i].Delay != want {
+			t.Errorf("rising sweep mismatch at %g", d)
+		}
+	}
+}
+
+// TestApplyNANDTruth: the NAND channel computes NAND logic with
+// plausible delays and well-formed traces.
+func TestApplyNANDTruth(t *testing.T) {
+	n := tableINAND()
+	// Both inputs rise together: output falls after the MIS fall delay.
+	a := trace.New(false, []trace.Event{{Time: 500e-12, Value: true}})
+	b := trace.New(false, []trace.Event{{Time: 500e-12, Value: true}})
+	out, err := ApplyNAND(n, a, b, 3e-9, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Initial {
+		t.Fatal("NAND of (0,0) must start high")
+	}
+	if out.NumEvents() != 1 || out.Events[0].Value {
+		t.Fatalf("output %+v", out.Events)
+	}
+	want, err := n.FallingDelay(0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := out.Events[0].Time - 500e-12
+	if math.Abs(got-want) > 1e-15 {
+		t.Errorf("channel fall delay %g, want %g", got, want)
+	}
+	// Only one input rises: no output change.
+	out, err = ApplyNAND(n, a, trace.Trace{Initial: false}, 3e-9, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.NumEvents() != 0 {
+		t.Errorf("single input rose but NAND switched: %+v", out.Events)
+	}
+}
+
+// TestApplyNANDValid: random stimuli produce valid traces that settle to
+// the NAND of the final values.
+func TestApplyNANDSettles(t *testing.T) {
+	n := tableINAND()
+	a := trace.New(false, []trace.Event{
+		{Time: 400e-12, Value: true},
+		{Time: 900e-12, Value: false},
+		{Time: 1400e-12, Value: true},
+	})
+	b := trace.New(false, []trace.Event{
+		{Time: 420e-12, Value: true},
+		{Time: 1000e-12, Value: false},
+	})
+	out, err := ApplyNAND(n, a, b, 20e-9, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := out.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	want := !(a.Final() && b.Final())
+	if out.Final() != want {
+		t.Errorf("NAND settled at %v, want %v", out.Final(), want)
+	}
+}

@@ -1,0 +1,135 @@
+package hybrid
+
+import (
+	"math"
+	"testing"
+)
+
+func tableINOR3() NOR3Params {
+	return NOR3FromNOR2(TableI())
+}
+
+func TestNOR3Validate(t *testing.T) {
+	p := tableINOR3()
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if p.String() == "" {
+		t.Error("empty String()")
+	}
+	bad := p
+	bad.CN2 = -1
+	if err := bad.Validate(); err == nil {
+		t.Error("invalid NOR3 params accepted")
+	}
+}
+
+// TestNOR3FallingSpeedUpStronger: the defining 3-input MIS prediction —
+// three simultaneous rising inputs discharge through three parallel
+// pull-downs, so the Delta=0 speed-up exceeds the pairwise one, which
+// exceeds the SIS delay... i.e. delays order
+// all-simultaneous < two-simultaneous < single-input.
+func TestNOR3FallingSpeedUpStronger(t *testing.T) {
+	p := tableINOR3()
+	c, err := p.Characteristic3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(c.FallAllZero < c.FallTwoZero && c.FallTwoZero < c.FallSIS) {
+		t.Errorf("3-input falling ordering broken: all=%g two=%g sis=%g",
+			c.FallAllZero, c.FallTwoZero, c.FallSIS)
+	}
+	// The three-way speed-up approaches the ideal 1/3 (plus pure delay).
+	idealAll := p.DMin + math.Ln2*p.CO/(1/p.RN1+1/p.RN2+1/p.RN3)
+	if math.Abs(c.FallAllZero-idealAll) > 1e-15 {
+		t.Errorf("all-zero fall = %g, closed form %g", c.FallAllZero, idealAll)
+	}
+}
+
+// TestNOR3RisingStackPenalty: with a three-deep stack the rising delay
+// grows, and the worst separation (stack-top input last, internal nodes
+// discharged) is the slowest.
+func TestNOR3RisingStackPenalty(t *testing.T) {
+	p3 := tableINOR3()
+	c3, err := p3.Characteristic3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2 := TableI()
+	c2, err := p2.Characteristic()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Three-deep stack is slower than the two-deep one at Delta = 0.
+	if c3.RiseAllZero <= c2.RiseZero {
+		t.Errorf("NOR3 rise(0) = %g should exceed NOR2 rise(0) = %g",
+			c3.RiseAllZero, c2.RiseZero)
+	}
+	// Precharged path (A first) is at least as fast as A-last.
+	if c3.RiseWorstSep < c3.RiseSIS-1e-15 {
+		t.Errorf("rise worst-sep %g should be >= rise SIS %g", c3.RiseWorstSep, c3.RiseSIS)
+	}
+}
+
+// TestNOR3ReducesToNOR2: pinning input C at logic 0 permanently must
+// reproduce the 2-input NOR exactly (the extra stack device is fully
+// conducting, in series with T2's resistance).
+func TestNOR3ReducesToNOR2(t *testing.T) {
+	p2 := TableI()
+	// Build a NOR3 whose lower stack halves R2 across two devices and
+	// whose third pull-down never conducts (input C stays 0).
+	p3 := NOR3Params{
+		RP1: p2.R1, RP2: p2.R2 / 2, RP3: p2.R2 / 2,
+		RN1: p2.R3, RN2: p2.R4, RN3: 1e9, // RN3 unused: C stays low
+		CN1: p2.CN, CN2: 1e-21, // negligible mid-stack cap
+		CO:     p2.CO,
+		Supply: p2.Supply,
+		DMin:   p2.DMin,
+	}
+	for _, dd := range []float64{-40e-12, 0, 40e-12} {
+		d3, err := p3.FallingDelay3(dd, 1e-6 /* C never rises within the window */)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d2, err := p2.FallingDelay(dd)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rel := math.Abs(d3-d2) / d2; rel > 5e-3 {
+			t.Errorf("Delta=%g: NOR3-with-C-low fall %g vs NOR2 %g (rel %.2e)", dd, d3, d2, rel)
+		}
+	}
+}
+
+// TestNOR3DelaySurface: the falling delay is continuous in both
+// separations and minimal at the origin.
+func TestNOR3DelaySurface(t *testing.T) {
+	p := tableINOR3()
+	base, err := p.FallingDelay3(0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := base
+	for _, d := range []float64{5e-12, 15e-12, 30e-12, 60e-12, 120e-12} {
+		v, err := p.FallingDelay3(d, d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v < prev-1e-15 {
+			t.Errorf("diagonal fall delay not increasing at %g", d)
+		}
+		prev = v
+	}
+	// Asymmetric arrivals are between the extremes.
+	mid, err := p.FallingDelay3(30e-12, 60e-12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sis, err := p.FallingDelay3(SISFar, 2*SISFar)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(mid > base && mid < sis+1e-15) {
+		t.Errorf("mixed-arrival delay %g outside (%g, %g)", mid, base, sis)
+	}
+}

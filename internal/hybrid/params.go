@@ -1,0 +1,93 @@
+// Package hybrid implements the paper's primary contribution: the
+// four-mode hybrid ODE delay model of a 2-input CMOS NOR gate.
+//
+// Each input state (A, B) in {0,1}^2 selects a first-order RC circuit
+// (paper Fig. 3) obtained by replacing the transistors of Fig. 1 with
+// ideal switches: a conducting transistor becomes a fixed resistor
+// (R1..R4 for T1..T4), a blocking one an open circuit. The state vector
+// V = (V_N, V_O) then obeys V' = A V + g with mode-dependent (A, g), and
+// the gate delay is the time at which V_O crosses V_th = VDD/2.
+//
+// The package provides
+//   - the mode systems and their closed-form trajectories (§III),
+//   - piecewise (mode-schedule) simulation with continuity across
+//     switches and exact threshold-crossing extraction,
+//   - the MIS delay functions delta_fall(Delta), delta_rise(Delta) with
+//     the pure delay delta_min (§IV),
+//   - the characteristic Charlie delay formulas (8)-(12) (§V),
+//   - least-squares parametrization from measured characteristic delays
+//     (§V, Table I), and
+//   - a 2-input delay channel for the digital timing simulator (§VI).
+package hybrid
+
+import (
+	"fmt"
+
+	"hybriddelay/internal/waveform"
+)
+
+// Params holds the model parameters: the switch-level resistances of the
+// four transistors, the two capacitances, the supply, and the pure delay
+// delta_min that defers mode switches after input threshold crossings.
+type Params struct {
+	R1 float64 // T1 on-resistance (pMOS, VDD -> N) [Ohm]
+	R2 float64 // T2 on-resistance (pMOS, N -> O) [Ohm]
+	R3 float64 // T3 on-resistance (nMOS, O -> GND) [Ohm]
+	R4 float64 // T4 on-resistance (nMOS, O -> GND) [Ohm]
+	CN float64 // internal node capacitance [F]
+	CO float64 // output capacitance [F]
+
+	Supply waveform.Supply
+
+	// DMin is the pure delay [s] added to every input-to-output delay;
+	// the paper needs delta_min = 18 ps to make the characteristic delay
+	// ratios attainable by any (R, C) choice (§IV).
+	DMin float64
+}
+
+// TableI returns the paper's empirically fitted parameter values
+// (Table I) with the pure delay delta_min = 18 ps at the 15nm supply.
+func TableI() Params {
+	return Params{
+		R1:     37.088e3,
+		R2:     44.926e3,
+		R3:     45.150e3,
+		R4:     48.761e3,
+		CN:     59.486e-18,
+		CO:     617.259e-18,
+		Supply: waveform.DefaultSupply(),
+		DMin:   18e-12,
+	}
+}
+
+// Validate checks physical plausibility.
+func (p Params) Validate() error {
+	if p.R1 <= 0 || p.R2 <= 0 || p.R3 <= 0 || p.R4 <= 0 {
+		return fmt.Errorf("hybrid: resistances must be positive: %+v", p)
+	}
+	if p.CN <= 0 || p.CO <= 0 {
+		return fmt.Errorf("hybrid: capacitances must be positive: CN=%g CO=%g", p.CN, p.CO)
+	}
+	if !p.Supply.Valid() {
+		return fmt.Errorf("hybrid: invalid supply %+v", p.Supply)
+	}
+	if p.DMin < 0 {
+		return fmt.Errorf("hybrid: negative pure delay %g", p.DMin)
+	}
+	return nil
+}
+
+// WithoutDMin returns a copy of p with the pure delay removed (used by
+// the Fig. 7/8 ablations comparing the model with and without delta_min).
+func (p Params) WithoutDMin() Params {
+	q := p
+	q.DMin = 0
+	return q
+}
+
+// String renders the parameters in the units of Table I.
+func (p Params) String() string {
+	return fmt.Sprintf(
+		"R1=%.3fkΩ R2=%.3fkΩ R3=%.3fkΩ R4=%.3fkΩ CN=%.3faF CO=%.3faF δmin=%.1fps",
+		p.R1/1e3, p.R2/1e3, p.R3/1e3, p.R4/1e3, p.CN/1e-18, p.CO/1e-18, p.DMin/1e-12)
+}

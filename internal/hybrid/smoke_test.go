@@ -1,0 +1,27 @@
+package hybrid
+
+import (
+	"testing"
+
+	"hybriddelay/internal/waveform"
+)
+
+// TestSmokeTableI prints the characteristic delays of the Table I
+// parametrization; tight assertions live in the dedicated test files.
+func TestSmokeTableI(t *testing.T) {
+	p := TableI()
+	c, err := p.Characteristic()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("exact : fall %.2f %.2f %.2f | rise %.2f %.2f %.2f [ps]",
+		waveform.ToPs(c.FallMinusInf), waveform.ToPs(c.FallZero), waveform.ToPs(c.FallPlusInf),
+		waveform.ToPs(c.RiseMinusInf), waveform.ToPs(c.RiseZero), waveform.ToPs(c.RisePlusInf))
+	f, err := p.CharlieCharacteristic()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("charlie: fall %.2f %.2f %.2f | rise %.2f %.2f %.2f [ps]",
+		waveform.ToPs(f.FallMinusInf), waveform.ToPs(f.FallZero), waveform.ToPs(f.FallPlusInf),
+		waveform.ToPs(f.RiseMinusInf), waveform.ToPs(f.RiseZero), waveform.ToPs(f.RisePlusInf))
+}

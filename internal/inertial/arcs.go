@@ -1,0 +1,118 @@
+package inertial
+
+import (
+	"fmt"
+	"sort"
+
+	"hybriddelay/internal/trace"
+)
+
+// NORArcs is a pin-aware inertial delay model of a 2-input NOR gate: the
+// delay of an output transition depends on which input caused it, as in
+// standard per-arc (NLDM-style) timing. This is the "inertial delay"
+// baseline of the paper's Fig. 7: for widely separated input events it
+// reproduces the exact SIS delays per arc, while (unlike the hybrid
+// channel) it knows nothing about MIS interactions.
+type NORArcs struct {
+	// AFall is the delay of a falling output caused by input A rising.
+	AFall float64
+	// ARise is the delay of a rising output caused by input A falling.
+	ARise float64
+	// BFall is the delay of a falling output caused by input B rising.
+	BFall float64
+	// BRise is the delay of a rising output caused by input B falling.
+	BRise float64
+}
+
+// NORArcsFromSIS builds per-arc delays from the characteristic SIS
+// delays: a falling output caused by A corresponds to delta_fall(+inf)
+// (A switched first), caused by B to delta_fall(-inf); a rising output
+// caused by A corresponds to delta_rise(-inf) (A switched last), caused
+// by B to delta_rise(+inf).
+func NORArcsFromSIS(fallMinusInf, fallPlusInf, riseMinusInf, risePlusInf float64) (NORArcs, error) {
+	a := NORArcs{
+		AFall: fallPlusInf,
+		ARise: riseMinusInf,
+		BFall: fallMinusInf,
+		BRise: risePlusInf,
+	}
+	for _, d := range []float64{a.AFall, a.ARise, a.BFall, a.BRise} {
+		if d < 0 {
+			return NORArcs{}, fmt.Errorf("inertial: negative arc delay in %+v", a)
+		}
+	}
+	return a, nil
+}
+
+// Apply transforms two input traces into the NOR output trace with
+// per-arc inertial delays and pulse cancellation: an output transition
+// scheduled not after the pending opposite transition annihilates with
+// it.
+func (n NORArcs) Apply(a, b trace.Trace) trace.Trace {
+	type tagged struct {
+		time float64
+		isA  bool
+		val  bool
+	}
+	var events []tagged
+	for _, e := range a.Events {
+		events = append(events, tagged{e.Time, true, e.Value})
+	}
+	for _, e := range b.Events {
+		events = append(events, tagged{e.Time, false, e.Value})
+	}
+	sort.SliceStable(events, func(i, j int) bool { return events[i].time < events[j].time })
+
+	va, vb := a.Initial, b.Initial
+	outVal := !(va || vb)
+	out := trace.Trace{Initial: outVal}
+
+	type pend struct {
+		time  float64
+		value bool
+	}
+	var pending []pend
+	flush := func(t float64) {
+		for len(pending) > 0 && pending[0].time <= t {
+			out.Events = append(out.Events, trace.Event{Time: pending[0].time, Value: pending[0].value})
+			outVal = pending[0].value
+			pending = pending[1:]
+		}
+	}
+	// cur tracks the zero-time NOR value to detect causal transitions.
+	cur := outVal
+	for _, e := range events {
+		flush(e.time)
+		if e.isA {
+			va = e.val
+		} else {
+			vb = e.val
+		}
+		v := !(va || vb)
+		if v == cur {
+			continue
+		}
+		cur = v
+		var d float64
+		switch {
+		case e.isA && !v:
+			d = n.AFall
+		case e.isA && v:
+			d = n.ARise
+		case !e.isA && !v:
+			d = n.BFall
+		default:
+			d = n.BRise
+		}
+		// VHDL inertial semantics: the new transaction replaces any
+		// pending one; a transaction restoring the committed value means
+		// the pulse was too short to transmit.
+		pending = pending[:0]
+		if v == outVal {
+			continue
+		}
+		pending = append(pending, pend{e.time + d, v})
+	}
+	flush(1e300)
+	return out
+}

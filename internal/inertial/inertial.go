@@ -1,0 +1,39 @@
+// Package inertial provides the classic constant-delay channel models
+// used as baselines in the paper's accuracy evaluation (§VI): pure delay
+// (constant delay, no filtering) and inertial delay (constant delay,
+// pulses shorter than the delay are removed).
+//
+// Both are expressed as dtsim.DelayFunc values: with a constant delay
+// function delta(T) = d, the channel's built-in cancellation rule removes
+// exactly the pulses shorter than the delay difference, which reproduces
+// inertial behaviour; PureDelay opts out of cancellation by construction
+// (its per-direction delays are equal, so ordering is preserved and
+// cancellation never triggers for well-formed alternating inputs — a
+// pulse is only removed if it has non-positive width).
+package inertial
+
+import "fmt"
+
+// Const is a constant (possibly asymmetric) delay function: the inertial
+// delay channel of the paper when used with dtsim's cancellation rule.
+type Const struct {
+	Up   float64 // rising-output delay [s]
+	Down float64 // falling-output delay [s]
+}
+
+// NewConst validates and builds a constant delay pair.
+func NewConst(up, down float64) (Const, error) {
+	if up < 0 || down < 0 {
+		return Const{}, fmt.Errorf("inertial: negative delay (up=%g, down=%g)", up, down)
+	}
+	return Const{Up: up, Down: down}, nil
+}
+
+// DelayUp implements dtsim.DelayFunc.
+func (c Const) DelayUp(float64) float64 { return c.Up }
+
+// DelayDown implements dtsim.DelayFunc.
+func (c Const) DelayDown(float64) float64 { return c.Down }
+
+// Symmetric returns a constant delay with equal rise/fall delays.
+func Symmetric(d float64) Const { return Const{Up: d, Down: d} }

@@ -1,0 +1,206 @@
+package inertial
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"hybriddelay/internal/trace"
+)
+
+func TestNewConst(t *testing.T) {
+	c, err := NewConst(2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.DelayUp(123) != 2 || c.DelayDown(-5) != 3 {
+		t.Error("constant delays wrong")
+	}
+	if _, err := NewConst(-1, 0); err == nil {
+		t.Error("expected error for negative delay")
+	}
+	s := Symmetric(4)
+	if s.Up != 4 || s.Down != 4 {
+		t.Error("Symmetric wrong")
+	}
+}
+
+func TestNORArcsFromSIS(t *testing.T) {
+	a, err := NORArcsFromSIS(35e-12, 37e-12, 60e-12, 56e-12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.BFall != 35e-12 || a.AFall != 37e-12 || a.ARise != 60e-12 || a.BRise != 56e-12 {
+		t.Errorf("arc mapping wrong: %+v", a)
+	}
+	if _, err := NORArcsFromSIS(-1, 0, 0, 0); err == nil {
+		t.Error("expected error for negative arc delay")
+	}
+}
+
+func mk(initial bool, times ...float64) trace.Trace {
+	var ev []trace.Event
+	v := initial
+	for _, tm := range times {
+		v = !v
+		ev = append(ev, trace.Event{Time: tm, Value: v})
+	}
+	return trace.New(initial, ev)
+}
+
+func TestNORArcsSIS(t *testing.T) {
+	arcs := NORArcs{AFall: 3, ARise: 6, BFall: 2, BRise: 5}
+	// Only A switches (B stays low): output falls at tA + AFall, rises at
+	// tA2 + ARise.
+	a := mk(false, 100, 200)
+	b := trace.Trace{Initial: false}
+	out := arcs.Apply(a, b)
+	if !out.Initial {
+		t.Fatal("NOR of (0,0) must start high")
+	}
+	if out.NumEvents() != 2 {
+		t.Fatalf("events = %+v", out.Events)
+	}
+	if out.Events[0].Time != 103 || out.Events[0].Value {
+		t.Errorf("fall event %+v, want 0@103", out.Events[0])
+	}
+	if out.Events[1].Time != 206 || !out.Events[1].Value {
+		t.Errorf("rise event %+v, want 1@206", out.Events[1])
+	}
+	// Only B switches: B arcs are used.
+	out = arcs.Apply(trace.Trace{Initial: false}, mk(false, 100, 200))
+	if out.Events[0].Time != 102 || out.Events[1].Time != 205 {
+		t.Errorf("B-caused events %+v", out.Events)
+	}
+}
+
+func TestNORArcsCausality(t *testing.T) {
+	arcs := NORArcs{AFall: 3, ARise: 6, BFall: 2, BRise: 5}
+	// A rises at 100 (output falls, A-caused). B rises at 150 (no output
+	// change). A falls at 200 (no change: B still high). B falls at 300:
+	// rising output caused by B.
+	a := mk(false, 100, 200)
+	b := mk(false, 150, 300)
+	out := arcs.Apply(a, b)
+	if out.NumEvents() != 2 {
+		t.Fatalf("events = %+v", out.Events)
+	}
+	if out.Events[0].Time != 103 {
+		t.Errorf("fall at %g, want 103 (A-caused)", out.Events[0].Time)
+	}
+	if out.Events[1].Time != 305 {
+		t.Errorf("rise at %g, want 305 (B-caused)", out.Events[1].Time)
+	}
+}
+
+func TestNORArcsPulseFiltering(t *testing.T) {
+	arcs := NORArcs{AFall: 10, ARise: 10, BFall: 10, BRise: 10}
+	// A 4-wide low pulse on A (B low): the output pulse is shorter than
+	// the inertial delay and must vanish... here: A pulses high 100-104,
+	// output would fall at 110 and rise at 114; inertial keeps it only if
+	// the first transition commits before the second is scheduled. VHDL
+	// semantics: at 104 the pending fall@110 is replaced by rise@114,
+	// which restores the current (high) value: nothing is emitted.
+	a := mk(false, 100, 104)
+	out := arcs.Apply(a, trace.Trace{Initial: false})
+	if out.NumEvents() != 0 {
+		t.Errorf("short pulse survived: %+v", out.Events)
+	}
+	// A 15-wide pulse commits the first transition before the second
+	// event arrives and is transmitted.
+	a = mk(false, 100, 115)
+	out = arcs.Apply(a, trace.Trace{Initial: false})
+	if out.NumEvents() != 2 {
+		t.Errorf("long pulse mangled: %+v", out.Events)
+	}
+}
+
+// TestNORArcsTraceValid: outputs are always well-formed alternating
+// traces, for random inputs.
+func TestNORArcsTraceValid(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		gen := func() trace.Trace {
+			var ev []trace.Event
+			tm := 0.0
+			v := false
+			for i := 0; i < rng.Intn(25); i++ {
+				tm += 0.5 + rng.ExpFloat64()*10
+				v = !v
+				ev = append(ev, trace.Event{Time: tm, Value: v})
+			}
+			return trace.New(false, ev)
+		}
+		arcs := NORArcs{
+			AFall: rng.Float64() * 8, ARise: rng.Float64() * 8,
+			BFall: rng.Float64() * 8, BRise: rng.Float64() * 8,
+		}
+		out := arcs.Apply(gen(), gen())
+		return out.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestNORArcsSettles: after all inputs settle, the output value is the
+// NOR of the final input values.
+func TestNORArcsSettles(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		gen := func() trace.Trace {
+			var ev []trace.Event
+			tm := 0.0
+			v := false
+			for i := 0; i < rng.Intn(15); i++ {
+				tm += 20 + rng.Float64()*50 // widely spaced: no filtering
+				v = !v
+				ev = append(ev, trace.Event{Time: tm, Value: v})
+			}
+			return trace.New(false, ev)
+		}
+		a, b := gen(), gen()
+		arcs := NORArcs{AFall: 3, ARise: 6, BFall: 2, BRise: 5}
+		out := arcs.Apply(a, b)
+		want := !(a.Final() || b.Final())
+		return out.Final() == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNORArcsMatchesIdealOrdering(t *testing.T) {
+	// With zero delays the arcs model equals the zero-time NOR.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		gen := func() trace.Trace {
+			var ev []trace.Event
+			tm := 0.0
+			v := false
+			for i := 0; i < rng.Intn(20); i++ {
+				tm += 0.5 + rng.ExpFloat64()*5
+				v = !v
+				ev = append(ev, trace.Event{Time: tm, Value: v})
+			}
+			return trace.New(false, ev)
+		}
+		a, b := gen(), gen()
+		out := NORArcs{}.Apply(a, b)
+		ideal := trace.NOR2(a, b)
+		if out.NumEvents() != ideal.NumEvents() {
+			return false
+		}
+		for i := range out.Events {
+			if math.Abs(out.Events[i].Time-ideal.Events[i].Time) > 1e-12 ||
+				out.Events[i].Value != ideal.Events[i].Value {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

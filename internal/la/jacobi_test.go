@@ -1,0 +1,125 @@
+package la
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestJacobiEigenDiagonal(t *testing.T) {
+	m := NewMatrix(3, 3)
+	m.Set(0, 0, -1)
+	m.Set(1, 1, -5)
+	m.Set(2, 2, -3)
+	e, err := JacobiEigen(m, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := append([]float64(nil), e.Lambda...)
+	want := map[float64]bool{-1: false, -5: false, -3: false}
+	for _, l := range got {
+		for w := range want {
+			if math.Abs(l-w) < 1e-12 {
+				want[w] = true
+			}
+		}
+	}
+	for w, seen := range want {
+		if !seen {
+			t.Errorf("eigenvalue %g missing from %v", w, got)
+		}
+	}
+}
+
+func TestJacobiEigenRejectsAsymmetric(t *testing.T) {
+	m := NewMatrix(2, 2)
+	m.Set(0, 1, 1)
+	m.Set(1, 0, 5)
+	if _, err := JacobiEigen(m, 0); err == nil {
+		t.Error("asymmetric matrix accepted")
+	}
+	if _, err := JacobiEigen(NewMatrix(2, 3), 0); err == nil {
+		t.Error("non-square matrix accepted")
+	}
+}
+
+// TestJacobiReconstruction: S = V diag(L) V^T and V orthonormal, for
+// random symmetric matrices up to 8x8.
+func TestJacobiReconstruction(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 200; trial++ {
+		n := 2 + rng.Intn(7)
+		s := NewMatrix(n, n)
+		for i := 0; i < n; i++ {
+			for j := i; j < n; j++ {
+				v := rng.NormFloat64()
+				s.Set(i, j, v)
+				s.Set(j, i, v)
+			}
+		}
+		e, err := JacobiEigen(s, 0)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		// Orthonormality.
+		for a := 0; a < n; a++ {
+			for b := 0; b < n; b++ {
+				dot := 0.0
+				for i := 0; i < n; i++ {
+					dot += e.V.At(i, a) * e.V.At(i, b)
+				}
+				want := 0.0
+				if a == b {
+					want = 1
+				}
+				if math.Abs(dot-want) > 1e-9 {
+					t.Fatalf("trial %d: V not orthonormal (%d,%d): %g", trial, a, b, dot)
+				}
+			}
+		}
+		// Reconstruction.
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				rec := 0.0
+				for k := 0; k < n; k++ {
+					rec += e.V.At(i, k) * e.Lambda[k] * e.V.At(j, k)
+				}
+				if math.Abs(rec-s.At(i, j)) > 1e-8*(1+math.Abs(s.At(i, j))) {
+					t.Fatalf("trial %d: reconstruction (%d,%d): %g vs %g", trial, i, j, rec, s.At(i, j))
+				}
+			}
+		}
+	}
+}
+
+// TestJacobiMatches2x2: agreement with the closed-form 2x2 eigensolver
+// on symmetric inputs.
+func TestJacobiMatches2x2(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	for trial := 0; trial < 100; trial++ {
+		a, b, c := rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64()
+		m2 := Mat2{a, b, b, c}
+		e2, err := EigenDecompose2(m2)
+		if err != nil {
+			continue
+		}
+		m := NewMatrix(2, 2)
+		m.Set(0, 0, a)
+		m.Set(0, 1, b)
+		m.Set(1, 0, b)
+		m.Set(1, 1, c)
+		ej, err := JacobiEigen(m, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		l1, l2 := ej.Lambda[0], ej.Lambda[1]
+		if l1 < l2 {
+			l1, l2 = l2, l1
+		}
+		if math.Abs(l1-e2.Lambda1) > 1e-10*(1+math.Abs(l1)) ||
+			math.Abs(l2-e2.Lambda2) > 1e-10*(1+math.Abs(l2)) {
+			t.Fatalf("trial %d: jacobi (%g, %g) vs closed form (%g, %g)",
+				trial, l1, l2, e2.Lambda1, e2.Lambda2)
+		}
+	}
+}

@@ -1,0 +1,193 @@
+package la
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestMatrixBasics(t *testing.T) {
+	m := NewMatrix(2, 3)
+	if m.Rows != 2 || m.Cols != 3 {
+		t.Fatalf("unexpected dims %dx%d", m.Rows, m.Cols)
+	}
+	m.Set(0, 1, 4)
+	m.Add(0, 1, 2)
+	if got := m.At(0, 1); got != 6 {
+		t.Errorf("At(0,1) = %g, want 6", got)
+	}
+	c := m.Clone()
+	c.Set(0, 1, 9)
+	if m.At(0, 1) != 6 {
+		t.Error("Clone aliases the original data")
+	}
+	m.Zero()
+	for i, v := range m.Data {
+		if v != 0 {
+			t.Fatalf("Zero left entry %d = %g", i, v)
+		}
+	}
+	if s := c.String(); s == "" {
+		t.Error("String returned empty")
+	}
+}
+
+func TestNewMatrixPanicsOnBadDims(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for 0x3 matrix")
+		}
+	}()
+	NewMatrix(0, 3)
+}
+
+func TestLUSolveKnownSystem(t *testing.T) {
+	// 2x + y = 5; x + 3y = 10  =>  x = 1, y = 3.
+	a := NewMatrix(2, 2)
+	a.Set(0, 0, 2)
+	a.Set(0, 1, 1)
+	a.Set(1, 0, 1)
+	a.Set(1, 1, 3)
+	x, err := SolveDense(a, []float64{5, 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(x[0]-1) > 1e-12 || math.Abs(x[1]-3) > 1e-12 {
+		t.Errorf("solution = %v, want [1 3]", x)
+	}
+}
+
+func TestLUSingular(t *testing.T) {
+	a := NewMatrix(2, 2)
+	a.Set(0, 0, 1)
+	a.Set(0, 1, 2)
+	a.Set(1, 0, 2)
+	a.Set(1, 1, 4)
+	if _, err := Factor(a); err == nil {
+		t.Error("expected singular-matrix error")
+	}
+}
+
+func TestLUNonSquare(t *testing.T) {
+	a := NewMatrix(2, 3)
+	if _, err := Factor(a); err == nil {
+		t.Error("expected error for non-square factorization")
+	}
+}
+
+func TestLUDeterminant(t *testing.T) {
+	a := NewMatrix(3, 3)
+	vals := [][]float64{{2, 0, 1}, {1, 3, 2}, {1, 1, 2}}
+	for i := range vals {
+		for j := range vals[i] {
+			a.Set(i, j, vals[i][j])
+		}
+	}
+	f, err := Factor(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// det = 2*(3*2-2*1) - 0 + 1*(1*1-3*1) = 8 - 2 = 6.
+	if got := f.Det(); math.Abs(got-6) > 1e-12 {
+		t.Errorf("det = %g, want 6", got)
+	}
+}
+
+func TestLUSolveRandomProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(8)
+		a := NewMatrix(n, n)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				a.Set(i, j, rng.NormFloat64())
+			}
+			a.Add(i, i, float64(n)) // diagonally dominant => well-conditioned
+		}
+		want := make([]float64, n)
+		for i := range want {
+			want[i] = rng.NormFloat64()
+		}
+		b := MatVec(a, want)
+		got, err := SolveDense(a, b)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		for i := range want {
+			if math.Abs(got[i]-want[i]) > 1e-9 {
+				t.Fatalf("trial %d: x[%d] = %g, want %g", trial, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestSolveIntoValidatesLengths(t *testing.T) {
+	a := NewMatrix(2, 2)
+	a.Set(0, 0, 1)
+	a.Set(1, 1, 1)
+	f, err := Factor(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.SolveInto(make([]float64, 3), make([]float64, 2)); err == nil {
+		t.Error("expected length-mismatch error")
+	}
+	if _, err := f.Solve(make([]float64, 1)); err == nil {
+		t.Error("expected rhs-length error")
+	}
+}
+
+func TestMatVecPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	MatVec(NewMatrix(2, 2), []float64{1})
+}
+
+func TestNorms(t *testing.T) {
+	v := []float64{3, -4}
+	if got := Norm2(v); math.Abs(got-5) > 1e-15 {
+		t.Errorf("Norm2 = %g, want 5", got)
+	}
+	if got := NormInf(v); got != 4 {
+		t.Errorf("NormInf = %g, want 4", got)
+	}
+	if got := NormInf(nil); got != 0 {
+		t.Errorf("NormInf(nil) = %g, want 0", got)
+	}
+}
+
+// TestLUPermutationProperty: solving with a permuted identity recovers
+// the permutation.
+func TestLUPermutationProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(5)
+		perm := rng.Perm(n)
+		a := NewMatrix(n, n)
+		for i, p := range perm {
+			a.Set(i, p, 1)
+		}
+		b := make([]float64, n)
+		for i := range b {
+			b[i] = float64(i + 1)
+		}
+		x, err := SolveDense(a, b)
+		if err != nil {
+			return false
+		}
+		// a*x = b  =>  x[perm[i]] = b[i].
+		for i, p := range perm {
+			if math.Abs(x[p]-b[i]) > 1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

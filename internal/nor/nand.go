@@ -1,0 +1,192 @@
+package nor
+
+import (
+	"fmt"
+	"math"
+
+	"hybriddelay/internal/spice"
+	"hybriddelay/internal/waveform"
+)
+
+// NANDBench is the transistor-level 2-input CMOS NAND testbench: the
+// structural dual of the NOR bench (parallel pMOS pull-ups, serial nMOS
+// stack with the internal node M). It validates the hybrid package's
+// duality-based NAND model against analog truth.
+type NANDBench struct {
+	P Params // device models are reused; T1..T4 keep their Fig. 1 roles via duality
+
+	circuit *spice.Circuit
+	nodeA   spice.NodeID
+	nodeB   spice.NodeID
+	nodeM   spice.NodeID
+	nodeO   spice.NodeID
+	srcA    *spice.VSource
+	srcB    *spice.VSource
+}
+
+// NewNAND builds the dual testbench from the same parameter set as the
+// NOR bench: the NOR's pMOS stack devices (T1, T2) become the NAND's
+// nMOS stack and vice versa, with channel polarity flipped and threshold
+// magnitudes kept, so the two benches are electrical mirrors.
+func NewNAND(p Params) (*NANDBench, error) {
+	if !p.Supply.Valid() {
+		return nil, fmt.Errorf("nand: invalid supply %+v", p.Supply)
+	}
+	if p.CN <= 0 || p.CO <= 0 {
+		return nil, fmt.Errorf("nand: capacitances must be positive")
+	}
+	if p.InputRise <= 0 {
+		return nil, fmt.Errorf("nand: input rise time must be positive")
+	}
+	b := &NANDBench{P: p}
+	c := spice.NewCircuit()
+	vdd := c.Node("vdd")
+	b.nodeA = c.Node("a")
+	b.nodeB = c.Node("b")
+	b.nodeM = c.Node("m")
+	b.nodeO = c.Node("o")
+
+	c.AddDCVSource("Vdd", vdd, spice.Ground, p.Supply.VDD)
+	b.srcA = c.AddVSource("Va", b.nodeA, spice.Ground, waveform.Constant(0))
+	b.srcB = c.AddVSource("Vb", b.nodeB, spice.Ground, waveform.Constant(0))
+
+	flip := func(m spice.MOSParams) spice.MOSParams {
+		m.PMOS = !m.PMOS
+		return m
+	}
+	// Duality: NOR T1 (pMOS A, VDD->N) -> nMOS A, M->GND (stack bottom);
+	// NOR T2 (pMOS B, N->O) -> nMOS B, O->M (stack top); NOR T3/T4
+	// (nMOS A/B to GND) -> pMOS A/B pull-ups.
+	c.AddMOSFET("TNA", b.nodeM, b.nodeA, spice.Ground, flip(p.T1))
+	c.AddMOSFET("TNB", b.nodeO, b.nodeB, b.nodeM, flip(p.T2))
+	c.AddMOSFET("TPA", b.nodeO, b.nodeA, vdd, flip(p.T3))
+	c.AddMOSFET("TPB", b.nodeO, b.nodeB, vdd, flip(p.T4))
+
+	c.AddCapacitor("Cm", b.nodeM, spice.Ground, p.CN)
+	c.AddCapacitor("Co", b.nodeO, spice.Ground, p.CO)
+
+	b.circuit = c
+	return b, nil
+}
+
+// Run drives the NAND bench with the given signals over [0, tStop].
+func (b *NANDBench) Run(sigA, sigB waveform.Signal, tStop float64, vM0, vO0 float64, breakpoints []float64) (*Result, error) {
+	b.srcA.Signal = sigA
+	b.srcB.Signal = sigB
+	res, err := spice.Transient(b.circuit, spice.TransientOptions{
+		TStart:      0,
+		TStop:       tStop,
+		MaxStep:     b.P.MaxStep,
+		LTETol:      b.P.LTETol,
+		Method:      b.P.Method,
+		Breakpoints: append([]float64(nil), breakpoints...),
+		InitialConditions: map[spice.NodeID]float64{
+			b.nodeM: vM0,
+			b.nodeO: vO0,
+		},
+		Record: []spice.NodeID{b.nodeA, b.nodeB, b.nodeM, b.nodeO},
+	})
+	if err != nil {
+		return nil, err
+	}
+	wa, err := res.Waveform(b.nodeA)
+	if err != nil {
+		return nil, err
+	}
+	wb, err := res.Waveform(b.nodeB)
+	if err != nil {
+		return nil, err
+	}
+	wm, err := res.Waveform(b.nodeM)
+	if err != nil {
+		return nil, err
+	}
+	wo, err := res.Waveform(b.nodeO)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{A: wa, B: wb, N: wm, O: wo, Supply: b.P.Supply}, nil
+}
+
+// FallingDelay measures the falling-output NAND MIS delay
+// delta_fall(Delta) = tO - max(tA, tB) (both inputs rising; the gate
+// only switches after both inputs are high). vM0 is the initial internal
+// stack-node voltage; VDD is the worst case.
+func (b *NANDBench) FallingDelay(delta, vM0 float64) (float64, error) {
+	lead := 20*b.P.InputRise + 60e-12
+	tA := lead
+	tB := lead + delta
+	if delta < 0 {
+		tA, tB = lead-delta, lead
+	}
+	last := math.Max(tA, tB)
+	tStop := last + 400e-12
+	v0, v1 := 0.0, b.P.Supply.VDD
+	sa := waveform.RaisedCosineEdge(tA, b.P.InputRise, v0, v1)
+	sb := waveform.RaisedCosineEdge(tB, b.P.InputRise, v0, v1)
+	res, err := b.Run(sa, sb, tStop, vM0, b.P.Supply.VDD,
+		[]float64{tA - b.P.InputRise/2, tB - b.P.InputRise/2})
+	if err != nil {
+		return 0, err
+	}
+	tO, ok := res.O.FirstCrossingAfter(0, b.P.Supply.Vth, false)
+	if !ok {
+		return 0, fmt.Errorf("nand: output never fell (delta=%g)", delta)
+	}
+	return tO - last, nil
+}
+
+// RisingDelay measures the rising-output NAND MIS delay
+// delta_rise(Delta) = tO - min(tA, tB) (both inputs falling; the earlier
+// input already charges the output through its pMOS).
+func (b *NANDBench) RisingDelay(delta float64) (float64, error) {
+	lead := 20*b.P.InputRise + 60e-12
+	tA := lead
+	tB := lead + delta
+	if delta < 0 {
+		tA, tB = lead-delta, lead
+	}
+	first := math.Min(tA, tB)
+	tStop := math.Max(tA, tB) + 300e-12
+	v0, v1 := b.P.Supply.VDD, 0.0
+	sa := waveform.RaisedCosineEdge(tA, b.P.InputRise, v0, v1)
+	sb := waveform.RaisedCosineEdge(tB, b.P.InputRise, v0, v1)
+	// Start settled in (1,1): output low, M at its (1,1) steady state 0.
+	res, err := b.Run(sa, sb, tStop, 0, 0,
+		[]float64{tA - b.P.InputRise/2, tB - b.P.InputRise/2})
+	if err != nil {
+		return 0, err
+	}
+	tO, ok := res.O.FirstCrossingAfter(first-b.P.InputRise, b.P.Supply.Vth, true)
+	if !ok {
+		return 0, fmt.Errorf("nand: output never rose (delta=%g)", delta)
+	}
+	return tO - first, nil
+}
+
+// Characteristic measures the six characteristic NAND delays (falling
+// with the worst case vM0 = VDD).
+func (b *NANDBench) Characteristic() (CharacteristicDelays, error) {
+	var c CharacteristicDelays
+	var err error
+	vdd := b.P.Supply.VDD
+	if c.FallMinusInf, err = b.FallingDelay(-SISFar, vdd); err != nil {
+		return c, err
+	}
+	if c.FallZero, err = b.FallingDelay(0, vdd); err != nil {
+		return c, err
+	}
+	if c.FallPlusInf, err = b.FallingDelay(SISFar, vdd); err != nil {
+		return c, err
+	}
+	if c.RiseMinusInf, err = b.RisingDelay(-SISFar); err != nil {
+		return c, err
+	}
+	if c.RiseZero, err = b.RisingDelay(0); err != nil {
+		return c, err
+	}
+	if c.RisePlusInf, err = b.RisingDelay(SISFar); err != nil {
+		return c, err
+	}
+	return c, nil
+}

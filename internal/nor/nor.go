@@ -1,0 +1,358 @@
+// Package nor builds the transistor-level 2-input CMOS NOR testbench of
+// the paper's Fig. 1 on top of the spice package and measures its MIS
+// (multiple-input-switching, "Charlie effect") delays. It plays the role
+// of the Spectre + FreePDK15 golden reference: Fig. 2 of the paper is a
+// product of this package.
+//
+// Topology (Fig. 1): the pMOS transistors T1 (gate A) and T2 (gate B) are
+// stacked in series from VDD through the internal node N to the output O;
+// the nMOS transistors T3 (gate A) and T4 (gate B) pull O to ground in
+// parallel. C_N loads the internal node, C_O the output.
+package nor
+
+import (
+	"fmt"
+	"math"
+
+	"hybriddelay/internal/spice"
+	"hybriddelay/internal/waveform"
+)
+
+// Params describes the testbench. The default values are calibrated so
+// that the SIS delays land in the paper's ballpark (delta_fall 28-40 ps,
+// delta_rise 53-56 ps at VDD = 0.8 V) while keeping the structural MIS
+// mechanisms (parallel pull-down, serial pull-up, Miller coupling) intact.
+type Params struct {
+	Supply waveform.Supply
+
+	// Per-transistor device models following Fig. 1: T1 (pMOS, gate A,
+	// VDD->N), T2 (pMOS, gate B, N->O), T3 (nMOS, gate A, O->GND),
+	// T4 (nMOS, gate B, O->GND).
+	T1, T2, T3, T4 spice.MOSParams
+
+	CN float64 // internal-node capacitance [F]
+	CO float64 // output load capacitance [F]
+
+	InputRise float64 // input edge duration (20%-80% spans most of it) [s]
+
+	// Transient accuracy knobs.
+	MaxStep float64                 // max integrator step [s]
+	LTETol  float64                 // step-control voltage tolerance [V]
+	Method  spice.IntegrationMethod // charge integration scheme (default trapezoidal)
+}
+
+// DefaultParams returns the calibrated testbench configuration.
+func DefaultParams() Params {
+	nmos := spice.MOSParams{
+		PMOS:   false,
+		VT0:    0.2,
+		K:      70e-6,
+		Lambda: 0.25,
+		Cgs:    0.03e-15,
+		Cgd:    0.02e-15,
+		Cdb:    0.05e-15,
+		Gmin:   1e-12,
+	}
+	pmos := spice.MOSParams{
+		PMOS:   true,
+		VT0:    0.2,
+		K:      68e-6,
+		Lambda: 0.25,
+		Cgs:    0.02e-15,
+		Cgd:    0.008e-15,
+		Cdb:    0.05e-15,
+		Gmin:   1e-12,
+	}
+	// T1 is drawn stronger than T2: this shrinks the spurious
+	// delta_rise(-inf) vs delta_rise(+inf) gap the ideal series stack
+	// would otherwise exhibit, bringing the rising tails to the ~4-7%
+	// separation the paper reports for FreePDK15.
+	pmosTop := pmos
+	pmosTop.K = 95e-6
+	return Params{
+		Supply:    waveform.DefaultSupply(),
+		T1:        pmosTop,
+		T2:        pmos,
+		T3:        nmos,
+		T4:        nmos,
+		CN:        0.03e-15,
+		CO:        0.66e-15,
+		InputRise: 50e-12,
+		MaxStep:   4e-12,
+		LTETol:    2e-4,
+	}
+}
+
+// Bench is an instantiated NOR testbench.
+type Bench struct {
+	P Params
+
+	circuit *spice.Circuit
+	nodeA   spice.NodeID
+	nodeB   spice.NodeID
+	nodeN   spice.NodeID
+	nodeO   spice.NodeID
+	srcA    *spice.VSource
+	srcB    *spice.VSource
+}
+
+// New builds the testbench netlist with placeholder (constant-low) input
+// sources; Run substitutes per-experiment stimuli.
+func New(p Params) (*Bench, error) {
+	if !p.Supply.Valid() {
+		return nil, fmt.Errorf("nor: invalid supply %+v", p.Supply)
+	}
+	if p.CN <= 0 || p.CO <= 0 {
+		return nil, fmt.Errorf("nor: capacitances must be positive (CN=%g, CO=%g)", p.CN, p.CO)
+	}
+	if p.InputRise <= 0 {
+		return nil, fmt.Errorf("nor: input rise time must be positive")
+	}
+	b := &Bench{P: p}
+	c := spice.NewCircuit()
+	vdd := c.Node("vdd")
+	b.nodeA = c.Node("a")
+	b.nodeB = c.Node("b")
+	b.nodeN = c.Node("n")
+	b.nodeO = c.Node("o")
+
+	c.AddDCVSource("Vdd", vdd, spice.Ground, p.Supply.VDD)
+	b.srcA = c.AddVSource("Va", b.nodeA, spice.Ground, waveform.Constant(0))
+	b.srcB = c.AddVSource("Vb", b.nodeB, spice.Ground, waveform.Constant(0))
+
+	// Fig. 1: pMOS stack VDD -> N -> O, parallel nMOS O -> GND.
+	c.AddMOSFET("T1", b.nodeN, b.nodeA, vdd, p.T1)
+	c.AddMOSFET("T2", b.nodeO, b.nodeB, b.nodeN, p.T2)
+	c.AddMOSFET("T3", b.nodeO, b.nodeA, spice.Ground, p.T3)
+	c.AddMOSFET("T4", b.nodeO, b.nodeB, spice.Ground, p.T4)
+
+	c.AddCapacitor("Cn", b.nodeN, spice.Ground, p.CN)
+	c.AddCapacitor("Co", b.nodeO, spice.Ground, p.CO)
+
+	b.circuit = c
+	return b, nil
+}
+
+// Result bundles the waveforms of one transient run.
+type Result struct {
+	A, B, N, O *waveform.Waveform
+	Supply     waveform.Supply
+}
+
+// Run drives the bench with the given input signals over [0, tStop],
+// starting from the supplied initial node voltages for N and O (the
+// inputs and rails are held by their sources).
+func (b *Bench) Run(sigA, sigB waveform.Signal, tStop float64, vN0, vO0 float64, breakpoints []float64) (*Result, error) {
+	b.srcA.Signal = sigA
+	b.srcB.Signal = sigB
+	res, err := spice.Transient(b.circuit, spice.TransientOptions{
+		TStart:      0,
+		TStop:       tStop,
+		MaxStep:     b.P.MaxStep,
+		LTETol:      b.P.LTETol,
+		Method:      b.P.Method,
+		Breakpoints: append([]float64(nil), breakpoints...),
+		InitialConditions: map[spice.NodeID]float64{
+			b.nodeN: vN0,
+			b.nodeO: vO0,
+		},
+		Record: []spice.NodeID{b.nodeA, b.nodeB, b.nodeN, b.nodeO},
+	})
+	if err != nil {
+		return nil, err
+	}
+	wa, err := res.Waveform(b.nodeA)
+	if err != nil {
+		return nil, err
+	}
+	wb, err := res.Waveform(b.nodeB)
+	if err != nil {
+		return nil, err
+	}
+	wn, err := res.Waveform(b.nodeN)
+	if err != nil {
+		return nil, err
+	}
+	wo, err := res.Waveform(b.nodeO)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{A: wa, B: wb, N: wn, O: wo, Supply: b.P.Supply}, nil
+}
+
+// edgePair builds raised-cosine input signals where input A crosses V_th
+// at tA and input B at tB, both with direction `rising`.
+func (b *Bench) edgePair(tA, tB float64, rising bool) (waveform.Signal, waveform.Signal) {
+	v0, v1 := 0.0, b.P.Supply.VDD
+	if !rising {
+		v0, v1 = v1, v0
+	}
+	sa := waveform.RaisedCosineEdge(tA, b.P.InputRise, v0, v1)
+	sb := waveform.RaisedCosineEdge(tB, b.P.InputRise, v0, v1)
+	return sa, sb
+}
+
+// FallingDelay measures the falling-output MIS delay
+// delta_fall(Delta) = tO - min(tA, tB) for input separation Delta =
+// tB - tA (both inputs rising). The gate starts settled in state (0,0)
+// with the output high.
+func (b *Bench) FallingDelay(delta float64) (float64, error) {
+	lead := 20*b.P.InputRise + 60e-12
+	tA := lead
+	tB := lead + delta
+	if delta < 0 {
+		tA = lead - delta
+		tB = lead
+	}
+	first := math.Min(tA, tB)
+	last := math.Max(tA, tB)
+	tStop := last + 300e-12
+	sa, sb := b.edgePair(tA, tB, true)
+	res, err := b.Run(sa, sb, tStop, b.P.Supply.VDD, b.P.Supply.VDD,
+		[]float64{tA - b.P.InputRise/2, tB - b.P.InputRise/2})
+	if err != nil {
+		return 0, err
+	}
+	tO, ok := res.O.FirstCrossingAfter(first-b.P.InputRise, b.P.Supply.Vth, false)
+	if !ok {
+		return 0, fmt.Errorf("nor: output never fell (delta=%g)", delta)
+	}
+	return tO - first, nil
+}
+
+// RisingDelay measures the rising-output MIS delay
+// delta_rise(Delta) = tO - max(tA, tB) for input separation Delta =
+// tB - tA (both inputs falling). The gate starts settled in state (1,1)
+// with the output low and the internal node at vN0 (the paper uses the
+// worst case vN0 = GND).
+func (b *Bench) RisingDelay(delta, vN0 float64) (float64, error) {
+	lead := 20*b.P.InputRise + 60e-12
+	tA := lead
+	tB := lead + delta
+	if delta < 0 {
+		tA = lead - delta
+		tB = lead
+	}
+	last := math.Max(tA, tB)
+	tStop := last + 400e-12
+	sa, sb := b.edgePair(tA, tB, false)
+	res, err := b.Run(sa, sb, tStop, vN0, 0,
+		[]float64{tA - b.P.InputRise/2, tB - b.P.InputRise/2})
+	if err != nil {
+		return 0, err
+	}
+	tO, ok := res.O.FirstCrossingAfter(0, b.P.Supply.Vth, true)
+	if !ok {
+		return 0, fmt.Errorf("nor: output never rose (delta=%g)", delta)
+	}
+	return tO - last, nil
+}
+
+// FallingWaveforms runs the falling-output experiment and returns the
+// waveforms (Fig. 2a).
+func (b *Bench) FallingWaveforms(delta float64) (*Result, error) {
+	lead := 20*b.P.InputRise + 60e-12
+	tA, tB := lead, lead+delta
+	if delta < 0 {
+		tA, tB = lead-delta, lead
+	}
+	sa, sb := b.edgePair(tA, tB, true)
+	return b.Run(sa, sb, math.Max(tA, tB)+300e-12, b.P.Supply.VDD, b.P.Supply.VDD,
+		[]float64{tA - b.P.InputRise/2, tB - b.P.InputRise/2})
+}
+
+// RisingWaveforms runs the rising-output experiment and returns the
+// waveforms (Fig. 2c).
+func (b *Bench) RisingWaveforms(delta, vN0 float64) (*Result, error) {
+	lead := 20*b.P.InputRise + 60e-12
+	tA, tB := lead, lead+delta
+	if delta < 0 {
+		tA, tB = lead-delta, lead
+	}
+	sa, sb := b.edgePair(tA, tB, false)
+	return b.Run(sa, sb, math.Max(tA, tB)+400e-12, vN0, 0,
+		[]float64{tA - b.P.InputRise/2, tB - b.P.InputRise/2})
+}
+
+// SISFar is the separation used to approximate Delta = +/- infinity,
+// matching the paper's 2e-10 s.
+const SISFar = 200e-12
+
+// CharacteristicDelays holds the six characteristic Charlie delays used
+// for parametrization (paper §V).
+type CharacteristicDelays struct {
+	FallMinusInf float64 // delta_fall(-inf): B rises long before A
+	FallZero     float64 // delta_fall(0)
+	FallPlusInf  float64 // delta_fall(+inf): A rises long before B
+	RiseMinusInf float64 // delta_rise(-inf): B falls long before A
+	RiseZero     float64 // delta_rise(0)
+	RisePlusInf  float64 // delta_rise(+inf): A falls long before B
+}
+
+// Characteristic measures the six characteristic delays of the bench
+// (worst-case vN0 = GND for the rising experiments, as in the paper).
+func (b *Bench) Characteristic() (CharacteristicDelays, error) {
+	var c CharacteristicDelays
+	var err error
+	if c.FallMinusInf, err = b.FallingDelay(-SISFar); err != nil {
+		return c, err
+	}
+	if c.FallZero, err = b.FallingDelay(0); err != nil {
+		return c, err
+	}
+	if c.FallPlusInf, err = b.FallingDelay(SISFar); err != nil {
+		return c, err
+	}
+	if c.RiseMinusInf, err = b.RisingDelay(-SISFar, 0); err != nil {
+		return c, err
+	}
+	if c.RiseZero, err = b.RisingDelay(0, 0); err != nil {
+		return c, err
+	}
+	if c.RisePlusInf, err = b.RisingDelay(SISFar, 0); err != nil {
+		return c, err
+	}
+	return c, nil
+}
+
+// SweepPoint is one (Delta, delay) sample of a MIS sweep.
+type SweepPoint struct {
+	Delta float64
+	Delay float64
+}
+
+// FallingSweep samples delta_fall over the given separations.
+func (b *Bench) FallingSweep(deltas []float64) ([]SweepPoint, error) {
+	out := make([]SweepPoint, 0, len(deltas))
+	for _, d := range deltas {
+		v, err := b.FallingDelay(d)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, SweepPoint{Delta: d, Delay: v})
+	}
+	return out, nil
+}
+
+// RisingSweep samples delta_rise over the given separations with the
+// given internal-node initial value.
+func (b *Bench) RisingSweep(deltas []float64, vN0 float64) ([]SweepPoint, error) {
+	out := make([]SweepPoint, 0, len(deltas))
+	for _, d := range deltas {
+		v, err := b.RisingDelay(d, vN0)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, SweepPoint{Delta: d, Delay: v})
+	}
+	return out, nil
+}
+
+// Circuit exposes the underlying netlist (used by the evaluation pipeline
+// to run long random traces through the same golden bench).
+func (b *Bench) Circuit() *spice.Circuit { return b.circuit }
+
+// Nodes returns the IDs of (A, B, N, O).
+func (b *Bench) Nodes() (a, bb, n, o spice.NodeID) {
+	return b.nodeA, b.nodeB, b.nodeN, b.nodeO
+}

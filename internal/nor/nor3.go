@@ -1,0 +1,142 @@
+package nor
+
+import (
+	"fmt"
+	"math"
+
+	"hybriddelay/internal/spice"
+	"hybriddelay/internal/waveform"
+)
+
+// NOR3Bench is the transistor-level 3-input CMOS NOR testbench: a
+// three-deep pMOS stack (internal nodes N1, N2) and three parallel nMOS
+// pull-downs. It validates the hybrid package's generalized switch-level
+// model (NOR3Params) against analog truth — the "multi-input gate"
+// direction of the paper's title beyond the 2-input case it evaluates.
+type NOR3Bench struct {
+	P Params // T1/T2 model the stack devices, T3/T4 the pull-downs
+
+	circuit               *spice.Circuit
+	nodeA, nodeB, nodeC   spice.NodeID
+	nodeN1, nodeN2, nodeO spice.NodeID
+	srcA, srcB, srcC      *spice.VSource
+}
+
+// NewNOR3 builds the 3-input bench reusing the 2-input device models:
+// T1 for the top stack device, T2 for the two lower ones, T3/T4 for the
+// pull-downs (the third pull-down reuses T4).
+func NewNOR3(p Params) (*NOR3Bench, error) {
+	if !p.Supply.Valid() {
+		return nil, fmt.Errorf("nor3: invalid supply %+v", p.Supply)
+	}
+	if p.CN <= 0 || p.CO <= 0 {
+		return nil, fmt.Errorf("nor3: capacitances must be positive")
+	}
+	if p.InputRise <= 0 {
+		return nil, fmt.Errorf("nor3: input rise time must be positive")
+	}
+	b := &NOR3Bench{P: p}
+	c := spice.NewCircuit()
+	vdd := c.Node("vdd")
+	b.nodeA = c.Node("a")
+	b.nodeB = c.Node("b")
+	b.nodeC = c.Node("c")
+	b.nodeN1 = c.Node("n1")
+	b.nodeN2 = c.Node("n2")
+	b.nodeO = c.Node("o")
+
+	c.AddDCVSource("Vdd", vdd, spice.Ground, p.Supply.VDD)
+	b.srcA = c.AddVSource("Va", b.nodeA, spice.Ground, waveform.Constant(0))
+	b.srcB = c.AddVSource("Vb", b.nodeB, spice.Ground, waveform.Constant(0))
+	b.srcC = c.AddVSource("Vc", b.nodeC, spice.Ground, waveform.Constant(0))
+
+	c.AddMOSFET("T1", b.nodeN1, b.nodeA, vdd, p.T1)
+	c.AddMOSFET("T2", b.nodeN2, b.nodeB, b.nodeN1, p.T2)
+	c.AddMOSFET("T3", b.nodeO, b.nodeC, b.nodeN2, p.T2)
+	c.AddMOSFET("T4", b.nodeO, b.nodeA, spice.Ground, p.T3)
+	c.AddMOSFET("T5", b.nodeO, b.nodeB, spice.Ground, p.T4)
+	c.AddMOSFET("T6", b.nodeO, b.nodeC, spice.Ground, p.T4)
+
+	c.AddCapacitor("Cn1", b.nodeN1, spice.Ground, p.CN)
+	c.AddCapacitor("Cn2", b.nodeN2, spice.Ground, p.CN)
+	c.AddCapacitor("Co", b.nodeO, spice.Ground, p.CO)
+
+	b.circuit = c
+	return b, nil
+}
+
+// run drives the bench over [0, tStop] from the given initial internal
+// voltages.
+func (b *NOR3Bench) run(sigA, sigB, sigC waveform.Signal, tStop, vN1, vN2, vO float64, bps []float64) (*waveform.Waveform, error) {
+	b.srcA.Signal = sigA
+	b.srcB.Signal = sigB
+	b.srcC.Signal = sigC
+	res, err := spice.Transient(b.circuit, spice.TransientOptions{
+		TStart:      0,
+		TStop:       tStop,
+		MaxStep:     b.P.MaxStep,
+		LTETol:      b.P.LTETol,
+		Method:      b.P.Method,
+		Breakpoints: bps,
+		InitialConditions: map[spice.NodeID]float64{
+			b.nodeN1: vN1,
+			b.nodeN2: vN2,
+			b.nodeO:  vO,
+		},
+		Record: []spice.NodeID{b.nodeO},
+	})
+	if err != nil {
+		return nil, err
+	}
+	return res.Waveform(b.nodeO)
+}
+
+// FallingDelay3 measures the falling-output delay for rising inputs at
+// offsets (0, dB, dC) relative to input A, measured from the earliest
+// input's threshold crossing.
+func (b *NOR3Bench) FallingDelay3(dB, dC float64) (float64, error) {
+	lead := 20*b.P.InputRise + 60e-12
+	t0 := math.Min(0, math.Min(dB, dC))
+	tA, tB, tC := lead-t0, lead+dB-t0, lead+dC-t0
+	first := math.Min(tA, math.Min(tB, tC))
+	last := math.Max(tA, math.Max(tB, tC))
+	vdd := b.P.Supply.VDD
+	sa := waveform.RaisedCosineEdge(tA, b.P.InputRise, 0, vdd)
+	sb := waveform.RaisedCosineEdge(tB, b.P.InputRise, 0, vdd)
+	sc := waveform.RaisedCosineEdge(tC, b.P.InputRise, 0, vdd)
+	o, err := b.run(sa, sb, sc, last+400e-12, vdd, vdd, vdd,
+		[]float64{tA - b.P.InputRise/2, tB - b.P.InputRise/2, tC - b.P.InputRise/2})
+	if err != nil {
+		return 0, err
+	}
+	tO, ok := o.FirstCrossingAfter(first-b.P.InputRise, b.P.Supply.Vth, false)
+	if !ok {
+		return 0, fmt.Errorf("nor3: output never fell (dB=%g dC=%g)", dB, dC)
+	}
+	return tO - first, nil
+}
+
+// RisingDelay3 measures the rising-output delay for falling inputs at
+// offsets (0, dB, dC) relative to input A, measured from the latest
+// input's crossing; the internal stack nodes start at vInit (worst case
+// GND).
+func (b *NOR3Bench) RisingDelay3(dB, dC, vInit float64) (float64, error) {
+	lead := 20*b.P.InputRise + 60e-12
+	t0 := math.Min(0, math.Min(dB, dC))
+	tA, tB, tC := lead-t0, lead+dB-t0, lead+dC-t0
+	last := math.Max(tA, math.Max(tB, tC))
+	vdd := b.P.Supply.VDD
+	sa := waveform.RaisedCosineEdge(tA, b.P.InputRise, vdd, 0)
+	sb := waveform.RaisedCosineEdge(tB, b.P.InputRise, vdd, 0)
+	sc := waveform.RaisedCosineEdge(tC, b.P.InputRise, vdd, 0)
+	o, err := b.run(sa, sb, sc, last+600e-12, vInit, vInit, 0,
+		[]float64{tA - b.P.InputRise/2, tB - b.P.InputRise/2, tC - b.P.InputRise/2})
+	if err != nil {
+		return 0, err
+	}
+	tO, ok := o.FirstCrossingAfter(0, b.P.Supply.Vth, true)
+	if !ok {
+		return 0, fmt.Errorf("nor3: output never rose (dB=%g dC=%g)", dB, dC)
+	}
+	return tO - last, nil
+}

@@ -1,0 +1,145 @@
+package nor
+
+import (
+	"testing"
+
+	"hybriddelay/internal/hybrid"
+	"hybriddelay/internal/waveform"
+)
+
+func newNOR3(t *testing.T) *NOR3Bench {
+	t.Helper()
+	p := DefaultParams()
+	p.MaxStep = 8e-12
+	b, err := NewNOR3(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func TestNOR3Validation(t *testing.T) {
+	p := DefaultParams()
+	p.CO = 0
+	if _, err := NewNOR3(p); err == nil {
+		t.Error("zero CO accepted")
+	}
+	p = DefaultParams()
+	p.Supply = waveform.Supply{}
+	if _, err := NewNOR3(p); err == nil {
+		t.Error("invalid supply accepted")
+	}
+	p = DefaultParams()
+	p.InputRise = 0
+	if _, err := NewNOR3(p); err == nil {
+		t.Error("zero rise accepted")
+	}
+}
+
+// TestNOR3AnalogMISOrdering: the analog 3-input gate shows the
+// three-level falling MIS hierarchy the generalized hybrid model
+// predicts: all-simultaneous < pairwise < SIS.
+func TestNOR3AnalogMISOrdering(t *testing.T) {
+	b := newNOR3(t)
+	all, err := b.FallingDelay3(0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	two, err := b.FallingDelay3(0, SISFar)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sis, err := b.FallingDelay3(SISFar, 2*SISFar)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(all < two && two < sis) {
+		t.Errorf("analog 3-input MIS ordering broken: all=%.2fps two=%.2fps sis=%.2fps",
+			waveform.ToPs(all), waveform.ToPs(two), waveform.ToPs(sis))
+	}
+	// The three-way dip is deeper than the two-way one.
+	dip3 := (all - sis) / sis
+	dip2 := (two - sis) / sis
+	if !(dip3 < dip2 && dip3 < -0.3) {
+		t.Errorf("dips: three-way %.1f%%, two-way %.1f%%", 100*dip3, 100*dip2)
+	}
+}
+
+// TestNOR3AnalogRisingStack: the three-deep stack slows the rising
+// output relative to the 2-input gate, and discharged internal nodes
+// (worst case) are slower than precharged ones.
+func TestNOR3AnalogRisingStack(t *testing.T) {
+	b3 := newNOR3(t)
+	p2 := DefaultParams()
+	p2.MaxStep = 8e-12
+	b2, err := New(p2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rise3, err := b3.RisingDelay3(0, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rise2, err := b2.RisingDelay(0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rise3 <= rise2 {
+		t.Errorf("NOR3 rise(0)=%.2fps should exceed NOR2 rise(0)=%.2fps",
+			waveform.ToPs(rise3), waveform.ToPs(rise2))
+	}
+	worst, err := b3.RisingDelay3(0, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pre, err := b3.RisingDelay3(0, 0, b3.P.Supply.VDD)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pre >= worst {
+		t.Errorf("precharged stack (%.2fps) should be faster than discharged (%.2fps)",
+			waveform.ToPs(pre), waveform.ToPs(worst))
+	}
+}
+
+// TestNOR3ModelTracksAnalog: the generalized switch-level model,
+// parametrized by a least-squares-free direct mapping from the 2-input
+// fit, tracks the analog 3-input MIS *shape* (ordering and rough dip
+// depth), which is the same standard the paper's Fig. 5 holds the
+// 2-input model to.
+func TestNOR3ModelTracksAnalog(t *testing.T) {
+	// This test compares shapes, not absolute ps (the 3-input model is
+	// extrapolated, not fitted).
+	b := newNOR3(t)
+	all, err := b.FallingDelay3(0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sis, err := b.FallingDelay3(SISFar, 2*SISFar)
+	if err != nil {
+		t.Fatal(err)
+	}
+	analogDip := (all - sis) / sis
+
+	// Model: extrapolate from a fit against the 2-input golden bench.
+	p2 := DefaultParams()
+	p2.MaxStep = 8e-12
+	// Reuse the known-good archived characteristic rather than refitting
+	// (cheap and deterministic): measured values of the default bench.
+	// (See eval tests for the full fit path.)
+	_ = p2
+	model := hybrid.NOR3FromNOR2(hybrid.TableI())
+	mc, err := model.Characteristic3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	modelDip := (mc.FallAllZero - mc.FallSIS) / mc.FallSIS
+	if analogDip > -0.25 || modelDip > -0.25 {
+		t.Errorf("three-way dips too shallow: analog %.1f%%, model %.1f%%", 100*analogDip, 100*modelDip)
+	}
+	// Both should land in the same broad band (the ideal-switch model
+	// overshoots the dip, as in the 2-input case).
+	if modelDip < analogDip-0.35 || modelDip > analogDip+0.35 {
+		t.Errorf("model dip %.1f%% far from analog dip %.1f%%", 100*modelDip, 100*analogDip)
+	}
+}

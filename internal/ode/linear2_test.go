@@ -1,0 +1,194 @@
+package ode
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"hybriddelay/internal/la"
+)
+
+// rcSystem builds a random stable 2x2 RC-like system (real negative
+// eigenvalues guaranteed by similarity to a symmetric matrix).
+func rcSystem(rng *rand.Rand) Linear2 {
+	g1 := 0.5 + rng.Float64()
+	g2 := 0.5 + rng.Float64()
+	gc := rng.Float64()
+	c1 := 0.5 + rng.Float64()
+	c2 := 0.5 + rng.Float64()
+	// Conductance-matrix form: A = -C^{-1} G with G symmetric PSD.
+	a := la.Mat2{
+		A11: -(g1 + gc) / c1, A12: gc / c1,
+		A21: gc / c2, A22: -(g2 + gc) / c2,
+	}
+	return Linear2{A: a, G: la.Vec2{X: rng.Float64() / c1, Y: rng.Float64() / c2}}
+}
+
+func TestSolveMatchesRK4(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 300; trial++ {
+		sys := rcSystem(rng)
+		v0 := la.Vec2{X: rng.NormFloat64(), Y: rng.NormFloat64()}
+		sol, err := sys.Solve(v0)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		T := 3 * rng.Float64()
+		want := sys.RK4(v0, T, 4000)
+		got := sol.At(T)
+		if got.Sub(want).Norm() > 1e-6*(1+want.Norm()) {
+			t.Fatalf("trial %d: analytic %v vs RK4 %v", trial, got, want)
+		}
+	}
+}
+
+func TestSolveInitialValue(t *testing.T) {
+	f := func(x, y float64) bool {
+		rng := rand.New(rand.NewSource(int64(math.Float64bits(x) ^ math.Float64bits(y))))
+		sys := rcSystem(rng)
+		v0 := la.Vec2{X: math.Mod(x, 10), Y: math.Mod(y, 10)}
+		sol, err := sys.Solve(v0)
+		if err != nil {
+			return false
+		}
+		return sol.At(0).Sub(v0).Norm() < 1e-9*(1+v0.Norm())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSolveSingularMode11(t *testing.T) {
+	// Mode (1,1) shape: VN frozen, VO decaying, g = 0.
+	sys := Linear2{A: la.Mat2{A11: 0, A12: 0, A21: 0, A22: -2}}
+	v0 := la.Vec2{X: 0.35, Y: 0.8}
+	sol, err := sys.Solve(v0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tm := range []float64{0, 0.1, 1, 5} {
+		v := sol.At(tm)
+		if math.Abs(v.X-0.35) > 1e-12 {
+			t.Errorf("VN at %g = %g, want frozen 0.35", tm, v.X)
+		}
+		want := 0.8 * math.Exp(-2*tm)
+		if math.Abs(v.Y-want) > 1e-12 {
+			t.Errorf("VO at %g = %g, want %g", tm, v.Y, want)
+		}
+	}
+}
+
+func TestSolveSingularWithForcing(t *testing.T) {
+	// Zero eigenvalue with forcing: x' = 1 (linear growth), y' = -y + 1.
+	sys := Linear2{A: la.Mat2{A11: 0, A12: 0, A21: 0, A22: -1}, G: la.Vec2{X: 1, Y: 1}}
+	sol, err := sys.Solve(la.Vec2{X: 0, Y: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := sol.At(2)
+	if math.Abs(v.X-2) > 1e-9 {
+		t.Errorf("x(2) = %g, want 2 (linear growth)", v.X)
+	}
+	want := 1 - math.Exp(-2.0)
+	if math.Abs(v.Y-want) > 1e-9 {
+		t.Errorf("y(2) = %g, want %g", v.Y, want)
+	}
+	if _, ok := sol.SteadyState(); ok {
+		t.Error("diverging system reported a steady state")
+	}
+}
+
+func TestSteadyState(t *testing.T) {
+	sys := Linear2{A: la.Mat2{A11: -1, A12: 0, A21: 0, A22: -2}, G: la.Vec2{X: 3, Y: 4}}
+	sol, err := sys.Solve(la.Vec2{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ss, ok := sol.SteadyState()
+	if !ok {
+		t.Fatal("expected a steady state")
+	}
+	if math.Abs(ss.X-3) > 1e-12 || math.Abs(ss.Y-2) > 1e-12 {
+		t.Errorf("steady state = %v, want (3, 2)", ss)
+	}
+	// The trajectory approaches it.
+	v := sol.At(50)
+	if v.Sub(ss).Norm() > 1e-9 {
+		t.Errorf("trajectory at t=50 (%v) far from steady state (%v)", v, ss)
+	}
+}
+
+func TestDerivativeConsistent(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 100; trial++ {
+		sys := rcSystem(rng)
+		v0 := la.Vec2{X: rng.NormFloat64(), Y: rng.NormFloat64()}
+		sol, err := sys.Solve(v0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tm := rng.Float64() * 2
+		// Finite-difference check.
+		h := 1e-7
+		num := sol.At(tm + h).Sub(sol.At(tm - h)).Scale(1 / (2 * h))
+		ana := sol.Derivative(tm)
+		if num.Sub(ana).Norm() > 1e-5*(1+ana.Norm()) {
+			t.Fatalf("trial %d: derivative mismatch %v vs %v", trial, ana, num)
+		}
+	}
+}
+
+func TestSlowestTimeConstant(t *testing.T) {
+	sys := Linear2{A: la.Mat2{A11: -0.5, A12: 0, A21: 0, A22: -4}}
+	sol, err := sys.Solve(la.Vec2{X: 1, Y: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sol.SlowestTimeConstant(); math.Abs(got-2) > 1e-12 {
+		t.Errorf("slowest tau = %g, want 2", got)
+	}
+	// Mode (1,1)-like singular system: slowest finite pole is reported.
+	sys2 := Linear2{A: la.Mat2{A22: -2}}
+	sol2, err := sys2.Solve(la.Vec2{X: 1, Y: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sol2.SlowestTimeConstant(); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("slowest tau = %g, want 0.5", got)
+	}
+}
+
+func TestContinuityAcrossRestart(t *testing.T) {
+	// Solving from sol.At(t1) and evaluating at t2-t1 equals sol.At(t2):
+	// the semigroup property the hybrid trajectory machinery relies on.
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 200; trial++ {
+		sys := rcSystem(rng)
+		v0 := la.Vec2{X: rng.NormFloat64(), Y: rng.NormFloat64()}
+		sol, err := sys.Solve(v0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t1 := rng.Float64()
+		t2 := t1 + rng.Float64()
+		mid := sol.At(t1)
+		sol2, err := sys.Solve(mid)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a := sol.At(t2)
+		b := sol2.At(t2 - t1)
+		if a.Sub(b).Norm() > 1e-9*(1+a.Norm()) {
+			t.Fatalf("trial %d: semigroup violated: %v vs %v", trial, a, b)
+		}
+	}
+}
+
+func TestRK4ZeroSteps(t *testing.T) {
+	sys := Linear2{A: la.Mat2{A11: -1, A22: -1}}
+	v := sys.RK4(la.Vec2{X: 1, Y: 1}, 1, 0) // n < 1 clamps to 1
+	if math.IsNaN(v.X) || math.IsNaN(v.Y) {
+		t.Error("RK4 produced NaN with clamped step count")
+	}
+}

@@ -1,0 +1,179 @@
+package ode
+
+import (
+	"fmt"
+	"math"
+
+	"hybriddelay/internal/la"
+)
+
+// LinearN solves the n-dimensional constant-coefficient system
+//
+//	C V'(t) = -G V(t) + u
+//
+// that a switch-level RC gate model produces: C is the diagonal vector
+// of node capacitances (all > 0), G is the symmetric positive
+// semi-definite conductance matrix and u the source-current injection.
+// Writing A = -C^{-1} G, the similarity transform S = C^{1/2} A C^{-1/2}
+// is symmetric, so the spectrum is real and an orthonormal eigenbasis
+// exists — the n-dimensional generalization of the paper's 2x2 modes.
+type LinearN struct {
+	C []float64  // node capacitances [F]
+	G *la.Matrix // conductance matrix [S]
+	U []float64  // current injection [A]
+}
+
+// Dim returns the system dimension.
+func (s LinearN) Dim() int { return len(s.C) }
+
+// SolutionN is a closed-form solution of a LinearN initial-value
+// problem, represented in the symmetrized eigenbasis: every eigenmode is
+// an independent scalar ODE w' = lambda w + f with exact solution.
+type SolutionN struct {
+	n      int
+	lambda []float64 // eigenvalues of A (shared with S)
+	basis  *la.Matrix
+	sqrtC  []float64
+	w0     []float64 // initial value in eigencoordinates
+	f      []float64 // forcing in eigencoordinates
+}
+
+// Solve constructs the closed-form solution with initial value v0.
+func (s LinearN) Solve(v0 []float64) (*SolutionN, error) {
+	n := s.Dim()
+	if n == 0 {
+		return nil, fmt.Errorf("ode: empty system")
+	}
+	if s.G.Rows != n || s.G.Cols != n || len(s.U) != n || len(v0) != n {
+		return nil, fmt.Errorf("ode: dimension mismatch (C=%d, G=%dx%d, U=%d, v0=%d)",
+			n, s.G.Rows, s.G.Cols, len(s.U), len(v0))
+	}
+	sqrtC := make([]float64, n)
+	for i, c := range s.C {
+		if c <= 0 {
+			return nil, fmt.Errorf("ode: non-positive capacitance C[%d] = %g", i, c)
+		}
+		sqrtC[i] = math.Sqrt(c)
+	}
+	// S = -C^{-1/2} G C^{-1/2} (symmetric).
+	sym := la.NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			sym.Set(i, j, -s.G.At(i, j)/(sqrtC[i]*sqrtC[j]))
+		}
+	}
+	eig, err := la.JacobiEigen(sym, 0)
+	if err != nil {
+		return nil, fmt.Errorf("ode: eigen decomposition failed: %w", err)
+	}
+	// Eigencoordinates: w = U^T C^{1/2} v,  f = U^T C^{-1/2} u.
+	w0 := make([]float64, n)
+	f := make([]float64, n)
+	for k := 0; k < n; k++ {
+		sw, sf := 0.0, 0.0
+		for i := 0; i < n; i++ {
+			sw += eig.V.At(i, k) * sqrtC[i] * v0[i]
+			sf += eig.V.At(i, k) * s.U[i] / sqrtC[i]
+		}
+		w0[k] = sw
+		f[k] = sf
+	}
+	return &SolutionN{
+		n:      n,
+		lambda: eig.Lambda,
+		basis:  eig.V,
+		sqrtC:  sqrtC,
+		w0:     w0,
+		f:      f,
+	}, nil
+}
+
+// At evaluates V(t) into a fresh slice.
+func (sol *SolutionN) At(t float64) []float64 {
+	out := make([]float64, sol.n)
+	sol.AtInto(out, t)
+	return out
+}
+
+// AtInto evaluates V(t) into dst (len n).
+func (sol *SolutionN) AtInto(dst []float64, t float64) {
+	n := sol.n
+	// w_k(t) = w0_k e^{l t} + f_k phi(l, t); v = C^{-1/2} U w.
+	for i := 0; i < n; i++ {
+		dst[i] = 0
+	}
+	for k := 0; k < n; k++ {
+		l := sol.lambda[k]
+		wk := sol.w0[k]*math.Exp(l*t) + sol.f[k]*phi(l, t)
+		for i := 0; i < n; i++ {
+			dst[i] += sol.basis.At(i, k) * wk / sol.sqrtC[i]
+		}
+	}
+}
+
+// Component evaluates a single state component at time t (cheaper than
+// At when only the output voltage matters).
+func (sol *SolutionN) Component(i int, t float64) float64 {
+	v := 0.0
+	// Same summation order and per-term scaling as AtInto, so the two
+	// evaluations agree bit for bit.
+	for k := 0; k < sol.n; k++ {
+		l := sol.lambda[k]
+		wk := sol.w0[k]*math.Exp(l*t) + sol.f[k]*phi(l, t)
+		v += sol.basis.At(i, k) * wk / sol.sqrtC[i]
+	}
+	return v
+}
+
+// SlowestTimeConstant returns 1/|lambda| of the slowest nonzero pole, or
+// +Inf if all modes are neutral.
+func (sol *SolutionN) SlowestTimeConstant() float64 {
+	minMag := math.Inf(1)
+	for _, l := range sol.lambda {
+		if m := math.Abs(l); m > 1e-30 && m < minMag {
+			minMag = m
+		}
+	}
+	if math.IsInf(minMag, 1) {
+		return math.Inf(1)
+	}
+	return 1 / minMag
+}
+
+// RK4N integrates C v' = -G v + u numerically (cross-validation).
+func (s LinearN) RK4N(v0 []float64, T float64, steps int) []float64 {
+	if steps < 1 {
+		steps = 1
+	}
+	n := s.Dim()
+	h := T / float64(steps)
+	deriv := func(v []float64) []float64 {
+		d := make([]float64, n)
+		for i := 0; i < n; i++ {
+			acc := s.U[i]
+			for j := 0; j < n; j++ {
+				acc -= s.G.At(i, j) * v[j]
+			}
+			d[i] = acc / s.C[i]
+		}
+		return d
+	}
+	v := append([]float64(nil), v0...)
+	tmp := make([]float64, n)
+	axpy := func(dst, a []float64, scale float64) []float64 {
+		for i := range dst {
+			tmp[i] = dst[i] + scale*a[i]
+		}
+		return append([]float64(nil), tmp...)
+	}
+	for s := 0; s < steps; s++ {
+		k1 := deriv(v)
+		k2 := deriv(axpy(v, k1, h/2))
+		k3 := deriv(axpy(v, k2, h/2))
+		k4 := deriv(axpy(v, k3, h))
+		for i := 0; i < n; i++ {
+			v[i] += h / 6 * (k1[i] + 2*k2[i] + 2*k3[i] + k4[i])
+		}
+	}
+	return v
+}

@@ -1,0 +1,366 @@
+package spice
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"hybriddelay/internal/la"
+	"hybriddelay/internal/waveform"
+)
+
+// NewtonOptions controls the nonlinear solver.
+type NewtonOptions struct {
+	AbsTol  float64 // absolute voltage tolerance [V]; default 1e-9
+	RelTol  float64 // relative tolerance; default 1e-6
+	MaxIter int     // default 100
+	Damping float64 // max Newton update per iteration [V]; default 0.5
+}
+
+func (o *NewtonOptions) defaults() {
+	if o.AbsTol <= 0 {
+		o.AbsTol = 1e-9
+	}
+	if o.RelTol <= 0 {
+		o.RelTol = 1e-6
+	}
+	if o.MaxIter <= 0 {
+		o.MaxIter = 100
+	}
+	if o.Damping <= 0 {
+		o.Damping = 0.5
+	}
+}
+
+// solveNewton iterates the MNA system at a fixed time/step until the
+// update norm is below tolerance. v is used as the starting iterate and
+// holds the solution on success.
+func solveNewton(c *Circuit, ctx *StampContext, v []float64, opt NewtonOptions) error {
+	opt.defaults()
+	n := c.unknowns()
+	if ctx.G == nil || ctx.G.Rows != n {
+		ctx.G = la.NewMatrix(n, n)
+	}
+	if ctx.RHS == nil || len(ctx.RHS) != n {
+		ctx.RHS = make([]float64, n)
+	}
+	xNew := make([]float64, n)
+	for iter := 0; iter < opt.MaxIter; iter++ {
+		ctx.G.Zero()
+		for i := range ctx.RHS {
+			ctx.RHS[i] = 0
+		}
+		ctx.V = v
+		for _, d := range c.devices {
+			d.Stamp(ctx)
+		}
+		f, err := la.Factor(ctx.G)
+		if err != nil {
+			return fmt.Errorf("spice: MNA matrix singular at t=%g: %w", ctx.Time, err)
+		}
+		if err := f.SolveInto(xNew, ctx.RHS); err != nil {
+			return fmt.Errorf("spice: solve failed at t=%g: %w", ctx.Time, err)
+		}
+		// Damped update with convergence check on node voltages.
+		maxDelta := 0.0
+		for i := 0; i < n; i++ {
+			d := xNew[i] - v[i]
+			if i < c.NumNodes()-1 { // voltage unknowns only for damping
+				if d > opt.Damping {
+					d = opt.Damping
+				} else if d < -opt.Damping {
+					d = -opt.Damping
+				}
+			}
+			v[i] += d
+			if i < c.NumNodes()-1 {
+				if a := math.Abs(d); a > maxDelta {
+					maxDelta = a
+				}
+			}
+		}
+		if maxDelta <= opt.AbsTol+opt.RelTol*la.NormInf(v[:c.NumNodes()-1]) {
+			return nil
+		}
+	}
+	return fmt.Errorf("spice: Newton did not converge at t=%g", ctx.Time)
+}
+
+// OperatingPoint computes the DC solution at time t (signals evaluated at
+// t, capacitors open). The returned slice holds the MNA unknowns: node
+// voltages (ground excluded) followed by voltage-source branch currents.
+func OperatingPoint(c *Circuit, t float64, opt NewtonOptions) ([]float64, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	v := make([]float64, c.unknowns())
+	ctx := &StampContext{Time: t, DC: true, circuit: c}
+	if err := solveNewton(c, ctx, v, opt); err == nil {
+		return v, nil
+	}
+	// Gmin homotopy: solve with shrinking shunts to ground, carrying the
+	// solution from stage to stage, then polish without the shunts.
+	for i := range v {
+		v[i] = 0
+	}
+	for _, gmin := range []float64{1e-3, 1e-6, 1e-9, 1e-12} {
+		ctx := &StampContext{Time: t, DC: true, circuit: c}
+		if err := solveWithGmin(c, ctx, v, opt, gmin); err != nil {
+			return nil, fmt.Errorf("spice: operating point gmin stage %g failed: %w", gmin, err)
+		}
+	}
+	ctx = &StampContext{Time: t, DC: true, circuit: c}
+	if err := solveNewton(c, ctx, v, opt); err != nil {
+		return nil, err
+	}
+	return v, nil
+}
+
+// solveWithGmin performs a Newton solve with an extra conductance gmin
+// from every node to ground, used as a homotopy stage.
+func solveWithGmin(c *Circuit, ctx *StampContext, v []float64, opt NewtonOptions, gmin float64) error {
+	opt.defaults()
+	n := c.unknowns()
+	ctx.G = la.NewMatrix(n, n)
+	ctx.RHS = make([]float64, n)
+	xNew := make([]float64, n)
+	for iter := 0; iter < opt.MaxIter; iter++ {
+		ctx.G.Zero()
+		for i := range ctx.RHS {
+			ctx.RHS[i] = 0
+		}
+		ctx.V = v
+		for _, d := range c.devices {
+			d.Stamp(ctx)
+		}
+		for i := 0; i < c.NumNodes()-1; i++ {
+			ctx.G.Add(i, i, gmin)
+		}
+		f, err := la.Factor(ctx.G)
+		if err != nil {
+			return err
+		}
+		if err := f.SolveInto(xNew, ctx.RHS); err != nil {
+			return err
+		}
+		maxDelta := 0.0
+		for i := 0; i < n; i++ {
+			d := xNew[i] - v[i]
+			v[i] += d
+			if i < c.NumNodes()-1 {
+				if a := math.Abs(d); a > maxDelta {
+					maxDelta = a
+				}
+			}
+		}
+		if maxDelta <= opt.AbsTol+opt.RelTol*la.NormInf(v[:c.NumNodes()-1]) {
+			return nil
+		}
+	}
+	return fmt.Errorf("spice: gmin stage did not converge")
+}
+
+// TransientOptions configures transient analysis.
+type TransientOptions struct {
+	TStart, TStop float64
+	// MaxStep bounds the step size; default (TStop-TStart)/50.
+	MaxStep float64
+	// MinStep is the smallest step before the run aborts; default
+	// MaxStep*1e-9.
+	MinStep float64
+	// LTETol is the local truncation error tolerance in volts used for
+	// step control; default 1e-4 V.
+	LTETol float64
+	// Method selects the integration scheme; default Trapezoidal with a
+	// backward-Euler start after every breakpoint.
+	Method IntegrationMethod
+	// Breakpoints are times at which the step size is reset (input edges).
+	Breakpoints []float64
+	// InitialConditions, if non-nil, sets node voltages at TStart directly
+	// (UIC); otherwise a DC operating point at TStart is computed.
+	InitialConditions map[NodeID]float64
+	// Record lists the nodes whose waveforms are captured; nil = all nodes.
+	Record []NodeID
+	Newton NewtonOptions
+}
+
+// TransientResult holds the captured node waveforms.
+type TransientResult struct {
+	Times []float64
+	nodes map[NodeID][]float64
+	names map[NodeID]string
+}
+
+// Waveform returns the waveform recorded for node n.
+func (r *TransientResult) Waveform(n NodeID) (*waveform.Waveform, error) {
+	vs, ok := r.nodes[n]
+	if !ok {
+		return nil, fmt.Errorf("spice: node %d was not recorded", int(n))
+	}
+	return waveform.NewWaveform(r.Times, vs)
+}
+
+// NodeIDs returns the recorded nodes in ascending order.
+func (r *TransientResult) NodeIDs() []NodeID {
+	ids := make([]NodeID, 0, len(r.nodes))
+	for id := range r.nodes {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// Transient runs an adaptive-step transient analysis.
+func Transient(c *Circuit, opt TransientOptions) (*TransientResult, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	if opt.TStop <= opt.TStart {
+		return nil, fmt.Errorf("spice: invalid transient window [%g, %g]", opt.TStart, opt.TStop)
+	}
+	span := opt.TStop - opt.TStart
+	if opt.MaxStep <= 0 {
+		opt.MaxStep = span / 50
+	}
+	if opt.MinStep <= 0 {
+		opt.MinStep = opt.MaxStep * 1e-9
+	}
+	if opt.LTETol <= 0 {
+		opt.LTETol = 1e-4
+	}
+
+	// Initial state.
+	var v []float64
+	if opt.InitialConditions != nil {
+		v = make([]float64, c.unknowns())
+		for n, val := range opt.InitialConditions {
+			if i := nodeVar(n); i >= 0 {
+				v[i] = val
+			}
+		}
+		// Nodes held by voltage sources take the source value at TStart.
+		for _, vs := range c.vsources {
+			val := vs.Signal(opt.TStart)
+			ip, im := nodeVar(vs.plus), nodeVar(vs.minus)
+			if ip >= 0 && im < 0 {
+				v[ip] = val
+			} else if im >= 0 && ip < 0 {
+				v[im] = -val
+			}
+		}
+	} else {
+		op, err := OperatingPoint(c, opt.TStart, opt.Newton)
+		if err != nil {
+			return nil, fmt.Errorf("spice: operating point failed: %w", err)
+		}
+		v = op
+	}
+	for _, d := range c.devices {
+		if s, ok := d.(Stateful); ok {
+			s.Init(v)
+		}
+	}
+
+	// Breakpoint schedule.
+	bps := append([]float64(nil), opt.Breakpoints...)
+	bps = append(bps, opt.TStop)
+	sort.Float64s(bps)
+
+	record := opt.Record
+	if record == nil {
+		for i := 1; i < c.NumNodes(); i++ {
+			record = append(record, NodeID(i))
+		}
+	}
+	res := &TransientResult{
+		nodes: map[NodeID][]float64{},
+		names: map[NodeID]string{},
+	}
+	for _, n := range record {
+		res.nodes[n] = nil
+		res.names[n] = c.NodeName(n)
+	}
+	capture := func(t float64, sol []float64) {
+		res.Times = append(res.Times, t)
+		for _, n := range record {
+			val := 0.0
+			if i := nodeVar(n); i >= 0 {
+				val = sol[i]
+			}
+			res.nodes[n] = append(res.nodes[n], val)
+		}
+	}
+	capture(opt.TStart, v)
+
+	t := opt.TStart
+	h := opt.MaxStep / 16
+	vPrev := append([]float64(nil), v...)
+	justBroke := true // start conservatively with BE
+	nextBp := 0
+	for t < opt.TStop-1e-24 {
+		for nextBp < len(bps) && bps[nextBp] <= t+1e-24 {
+			nextBp++
+		}
+		// Clamp the step to the next breakpoint.
+		hTry := math.Min(h, opt.MaxStep)
+		if nextBp < len(bps) && t+hTry > bps[nextBp] {
+			hTry = bps[nextBp] - t
+		}
+		if hTry < opt.MinStep {
+			hTry = opt.MinStep
+		}
+		method := opt.Method
+		if justBroke {
+			method = BackwardEuler
+		}
+
+		// Solve the step.
+		ctx := &StampContext{Time: t + hTry, Dt: hTry, Method: method, circuit: c}
+		copy(v, vPrev)
+		err := solveNewton(c, ctx, v, opt.Newton)
+		if err != nil {
+			if hTry <= opt.MinStep*1.0001 {
+				return nil, fmt.Errorf("spice: step failed at minimum step size t=%g: %w", t, err)
+			}
+			h = hTry / 4
+			continue
+		}
+		// Simple LTE proxy: largest node-voltage change this step; reject
+		// steps that move any node too fast to resolve the waveforms.
+		maxDv := 0.0
+		for i := 0; i < c.NumNodes()-1; i++ {
+			if d := math.Abs(v[i] - vPrev[i]); d > maxDv {
+				maxDv = d
+			}
+		}
+		limit := 40 * opt.LTETol
+		if maxDv > limit && hTry > opt.MinStep*1.0001 {
+			h = hTry / 2
+			continue
+		}
+
+		// Accept.
+		ctx.V = v
+		for _, d := range c.devices {
+			if s, ok := d.(Stateful); ok {
+				s.Commit(ctx)
+			}
+		}
+		t += hTry
+		copy(vPrev, v)
+		capture(t, v)
+		justBroke = false
+		if nextBp < len(bps) && math.Abs(t-bps[nextBp]) <= 1e-24+1e-12*math.Abs(t) {
+			justBroke = true
+			h = opt.MaxStep / 64
+			continue
+		}
+		// Grow the step gently when the solution is smooth.
+		if maxDv < limit/4 {
+			h = hTry * 1.5
+		} else {
+			h = hTry
+		}
+	}
+	return res, nil
+}

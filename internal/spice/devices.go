@@ -1,0 +1,259 @@
+package spice
+
+import (
+	"hybriddelay/internal/la"
+	"hybriddelay/internal/waveform"
+)
+
+// IntegrationMethod selects the charge integration scheme.
+type IntegrationMethod int
+
+const (
+	// Trapezoidal is second-order accurate; the default.
+	Trapezoidal IntegrationMethod = iota
+	// BackwardEuler is first-order, L-stable; used for the first step
+	// after a breakpoint to damp trapezoidal ringing.
+	BackwardEuler
+)
+
+// StampContext carries the state a device needs to stamp itself into the
+// MNA system for one Newton iteration.
+type StampContext struct {
+	G   *la.Matrix // Jacobian / conductance matrix
+	RHS []float64  // right-hand side (current) vector
+	V   []float64  // current Newton iterate of the unknown vector
+
+	Time   float64           // absolute time of the step being solved
+	Dt     float64           // step size (0 during DC analysis)
+	Method IntegrationMethod // integration scheme for this step
+	DC     bool              // true during operating-point analysis
+
+	circuit *Circuit
+}
+
+// nodeV returns the node voltage in the current iterate (0 for ground).
+func (ctx *StampContext) nodeV(n NodeID) float64 {
+	i := nodeVar(n)
+	if i < 0 {
+		return 0
+	}
+	return ctx.V[i]
+}
+
+// addG accumulates a conductance between variables i and j (node indices
+// already mapped; negative index = ground, ignored).
+func (ctx *StampContext) addG(i, j int, g float64) {
+	if i < 0 || j < 0 {
+		return
+	}
+	ctx.G.Add(i, j, g)
+}
+
+// addRHS accumulates into the right-hand side.
+func (ctx *StampContext) addRHS(i int, v float64) {
+	if i < 0 {
+		return
+	}
+	ctx.RHS[i] += v
+}
+
+// stampConductance stamps a two-terminal conductance g between nodes a, b.
+func (ctx *StampContext) stampConductance(a, b NodeID, g float64) {
+	ia, ib := nodeVar(a), nodeVar(b)
+	ctx.addG(ia, ia, g)
+	ctx.addG(ib, ib, g)
+	ctx.addG(ia, ib, -g)
+	ctx.addG(ib, ia, -g)
+}
+
+// stampCurrent stamps a constant current i flowing from node a to node b
+// through the device (i.e. leaving a, entering b).
+func (ctx *StampContext) stampCurrent(a, b NodeID, i float64) {
+	ctx.addRHS(nodeVar(a), -i)
+	ctx.addRHS(nodeVar(b), +i)
+}
+
+// Device is an element that can stamp itself into the MNA system.
+type Device interface {
+	Name() string
+	Nodes() []NodeID
+	// Stamp adds the device's linearised contribution for the current
+	// Newton iterate.
+	Stamp(ctx *StampContext)
+}
+
+// Stateful devices carry charge state across timesteps.
+type Stateful interface {
+	Device
+	// Init establishes device state from a converged DC solution or
+	// user-supplied initial conditions.
+	Init(v []float64)
+	// Commit updates internal state after a step has been accepted.
+	Commit(ctx *StampContext)
+}
+
+// ---------------------------------------------------------------------
+// Resistor
+
+// Resistor is a linear two-terminal resistor.
+type Resistor struct {
+	name string
+	a, b NodeID
+	R    float64
+}
+
+// Name returns the device name.
+func (r *Resistor) Name() string { return r.name }
+
+// Nodes returns the connected nodes.
+func (r *Resistor) Nodes() []NodeID { return []NodeID{r.a, r.b} }
+
+// Stamp implements Device.
+func (r *Resistor) Stamp(ctx *StampContext) {
+	ctx.stampConductance(r.a, r.b, 1/r.R)
+}
+
+// ---------------------------------------------------------------------
+// Capacitor
+
+// capState integrates a single capacitance; shared by Capacitor and the
+// MOSFET's parasitic capacitances.
+type capState struct {
+	vPrev float64 // branch voltage at the last accepted step
+	iPrev float64 // branch current at the last accepted step
+}
+
+// stamp adds the companion model of a linear capacitance c across (a, b)
+// and returns nothing; the branch current implied by the iterate is
+// geq*v - ieq.
+func (s *capState) stamp(ctx *StampContext, a, b NodeID, c float64) {
+	if ctx.DC {
+		return // open circuit at DC
+	}
+	var geq, ieq float64
+	switch ctx.Method {
+	case BackwardEuler:
+		geq = c / ctx.Dt
+		ieq = geq * s.vPrev
+	default: // Trapezoidal
+		geq = 2 * c / ctx.Dt
+		ieq = geq*s.vPrev + s.iPrev
+	}
+	ctx.stampConductance(a, b, geq)
+	// Companion current source ieq from b to a (it opposes the
+	// conductance so that i = geq*v - ieq).
+	ctx.stampCurrent(b, a, ieq)
+}
+
+// commit records the accepted branch voltage/current.
+func (s *capState) commit(ctx *StampContext, a, b NodeID, c float64) {
+	v := ctx.nodeV(a) - ctx.nodeV(b)
+	if ctx.DC || ctx.Dt == 0 {
+		s.vPrev, s.iPrev = v, 0
+		return
+	}
+	var geq, ieq float64
+	switch ctx.Method {
+	case BackwardEuler:
+		geq = c / ctx.Dt
+		ieq = geq * s.vPrev
+	default:
+		geq = 2 * c / ctx.Dt
+		ieq = geq*s.vPrev + s.iPrev
+	}
+	s.iPrev = geq*v - ieq
+	s.vPrev = v
+}
+
+// init sets the stored voltage and zeroes the current.
+func (s *capState) init(v float64) { s.vPrev, s.iPrev = v, 0 }
+
+// Capacitor is a linear two-terminal capacitor.
+type Capacitor struct {
+	name  string
+	a, b  NodeID
+	C     float64
+	state capState
+}
+
+// Name returns the device name.
+func (c *Capacitor) Name() string { return c.name }
+
+// Nodes returns the connected nodes.
+func (c *Capacitor) Nodes() []NodeID { return []NodeID{c.a, c.b} }
+
+// Stamp implements Device.
+func (c *Capacitor) Stamp(ctx *StampContext) { c.state.stamp(ctx, c.a, c.b, c.C) }
+
+// Init implements Stateful.
+func (c *Capacitor) Init(v []float64) {
+	va, vb := 0.0, 0.0
+	if i := nodeVar(c.a); i >= 0 {
+		va = v[i]
+	}
+	if i := nodeVar(c.b); i >= 0 {
+		vb = v[i]
+	}
+	c.state.init(va - vb)
+}
+
+// Commit implements Stateful.
+func (c *Capacitor) Commit(ctx *StampContext) { c.state.commit(ctx, c.a, c.b, c.C) }
+
+// ---------------------------------------------------------------------
+// Voltage source
+
+// VSource is an ideal voltage source driven by a waveform.Signal. It
+// contributes one branch-current unknown to the MNA system.
+type VSource struct {
+	name        string
+	plus, minus NodeID
+	Signal      waveform.Signal
+	branch      int // ordinal among voltage sources, set by Circuit.Add
+}
+
+// Name returns the device name.
+func (v *VSource) Name() string { return v.name }
+
+// Nodes returns the connected nodes.
+func (v *VSource) Nodes() []NodeID { return []NodeID{v.plus, v.minus} }
+
+// Stamp implements Device.
+func (v *VSource) Stamp(ctx *StampContext) {
+	ib := ctx.circuit.branchVar(v.branch)
+	ip, im := nodeVar(v.plus), nodeVar(v.minus)
+	// KCL rows: branch current leaves plus, enters minus.
+	ctx.addG(ip, ib, 1)
+	ctx.addG(im, ib, -1)
+	// Branch row: V(plus) - V(minus) = signal(t).
+	ctx.addG(ib, ip, 1)
+	ctx.addG(ib, im, -1)
+	ctx.addRHS(ib, v.Signal(ctx.Time))
+}
+
+// Current returns the branch current of the source in a solution vector.
+func (v *VSource) Current(c *Circuit, sol []float64) float64 {
+	return sol[c.branchVar(v.branch)]
+}
+
+// ---------------------------------------------------------------------
+// Current source
+
+// ISource is an ideal constant current source; I flows into the plus
+// terminal through the external circuit.
+type ISource struct {
+	name        string
+	plus, minus NodeID
+	I           float64
+}
+
+// Name returns the device name.
+func (s *ISource) Name() string { return s.name }
+
+// Nodes returns the connected nodes.
+func (s *ISource) Nodes() []NodeID { return []NodeID{s.plus, s.minus} }
+
+// Stamp implements Device.
+func (s *ISource) Stamp(ctx *StampContext) {
+	ctx.stampCurrent(s.minus, s.plus, s.I)
+}

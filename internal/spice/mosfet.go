@@ -1,0 +1,173 @@
+package spice
+
+// MOSParams parameterises the square-law MOSFET model. The model is a
+// level-1 Shichman–Hodges device with channel-length modulation and fixed
+// (linear) gate–source, gate–drain and drain–bulk capacitances. The fixed
+// gate capacitances are essential here: the Miller coupling from the
+// inputs onto the internal node N and the output O is what produces the
+// MIS slow-down for rising NOR outputs (paper §II), so the golden
+// reference must include them.
+type MOSParams struct {
+	PMOS   bool    // channel polarity
+	VT0    float64 // threshold voltage magnitude [V]
+	K      float64 // transconductance K = mu*Cox*W/L [A/V^2]
+	Lambda float64 // channel-length modulation [1/V]
+	Cgs    float64 // gate-source capacitance [F]
+	Cgd    float64 // gate-drain capacitance [F]
+	Cdb    float64 // drain-bulk capacitance to ground [F]
+	Gmin   float64 // leakage conductance drain-source for convergence [S]
+}
+
+// MOSFET is a three-terminal transistor (bulk tied to source implicitly,
+// no body effect).
+type MOSFET struct {
+	name    string
+	d, g, s NodeID
+	P       MOSParams
+
+	cgs, cgd, cdb capState
+}
+
+// Name returns the device name.
+func (m *MOSFET) Name() string { return m.name }
+
+// Nodes returns drain, gate, source.
+func (m *MOSFET) Nodes() []NodeID { return []NodeID{m.d, m.g, m.s} }
+
+// idsLaw evaluates the square-law channel current for an nMOS-oriented
+// device with vds >= 0, plus its partial derivatives with respect to vgs
+// and vds. The model is C1-continuous across the cutoff boundary
+// (vgs = VT0) and the triode/saturation boundary (vds = vgs - VT0), which
+// keeps the Newton iteration stable.
+func idsLaw(p MOSParams, vgs, vds float64) (i, gm, gds float64) {
+	vov := vgs - p.VT0
+	if vov <= 0 {
+		return 0, 0, 0
+	}
+	lam := 1 + p.Lambda*vds
+	if vds < vov {
+		// Triode region.
+		q := vov*vds - 0.5*vds*vds
+		i = p.K * q * lam
+		gm = p.K * vds * lam
+		gds = p.K*(vov-vds)*lam + p.K*q*p.Lambda
+	} else {
+		// Saturation.
+		q := 0.5 * vov * vov
+		i = p.K * q * lam
+		gm = p.K * vov * lam
+		gds = p.K * q * p.Lambda
+	}
+	return i, gm, gds
+}
+
+// Eval returns the static channel current I flowing into the physical
+// drain terminal for node voltages (vd, vg, vs), along with the partial
+// derivatives dI/dvd, dI/dvg, dI/dvs. Polarity (pMOS) and reverse biasing
+// (vds < 0) are handled by symmetry mappings, so the returned quantities
+// are exact for every quadrant.
+func (m *MOSFET) Eval(vd, vg, vs float64) (i, gd, gg, gs float64) {
+	// Map pMOS onto nMOS by negating all terminal voltages. Under the
+	// mapping w = -v the physical current flips sign, while dI/dv =
+	// sign(dI_w/dw)*sign(dw/dv) leaves the conductances unchanged.
+	sign := 1.0
+	wd, wg, ws := vd, vg, vs
+	if m.P.PMOS {
+		wd, wg, ws = -vd, -vg, -vs
+		sign = -1
+	}
+	// The square-law channel is symmetric: for wd < ws the device conducts
+	// with the terminal roles exchanged.
+	swapped := false
+	ed, es := wd, ws
+	if ed < es {
+		ed, es = es, ed
+		swapped = true
+	}
+	cur, gm, gds := idsLaw(m.P, wg-es, ed-es)
+	// Partials of the effective current with respect to the effective
+	// terminal voltages.
+	dDeff := gds
+	dG := gm
+	dSeff := -gm - gds
+	// Current into the *physical* drain terminal in the w-frame, and its
+	// partials with respect to (wd, wg, ws).
+	var iw, dwd, dwg, dws float64
+	if !swapped {
+		iw, dwd, dwg, dws = cur, dDeff, dG, dSeff
+	} else {
+		iw, dwd, dwg, dws = -cur, -dSeff, -dG, -dDeff
+	}
+	return sign * iw, dwd, dwg, dws
+}
+
+// Stamp implements Device. The channel current is linearised around the
+// iterate,
+//
+//	I(v) ~= I0 + Gd*(vd-vd0) + Gg*(vg-vg0) + Gs*(vs-vs0),
+//
+// stamping the partials into the Jacobian and the affine remainder as an
+// equivalent current source.
+func (m *MOSFET) Stamp(ctx *StampContext) {
+	vd := ctx.nodeV(m.d)
+	vg := ctx.nodeV(m.g)
+	vs := ctx.nodeV(m.s)
+
+	i0, gd, gg, gs := m.Eval(vd, vg, vs)
+
+	iD, iG, iS := nodeVar(m.d), nodeVar(m.g), nodeVar(m.s)
+	// KCL at drain: +I leaves the node into the device.
+	ctx.addG(iD, iD, gd)
+	ctx.addG(iD, iG, gg)
+	ctx.addG(iD, iS, gs)
+	// KCL at source: -I.
+	ctx.addG(iS, iD, -gd)
+	ctx.addG(iS, iG, -gg)
+	ctx.addG(iS, iS, -gs)
+	// Affine remainder as a current leaving the drain, entering the source.
+	ieq := i0 - gd*vd - gg*vg - gs*vs
+	ctx.stampCurrent(m.d, m.s, ieq)
+
+	// Leakage conductance for convergence robustness.
+	if m.P.Gmin > 0 {
+		ctx.stampConductance(m.d, m.s, m.P.Gmin)
+	}
+
+	// Parasitic capacitances.
+	m.cgs.stamp(ctx, m.g, m.s, m.P.Cgs)
+	m.cgd.stamp(ctx, m.g, m.d, m.P.Cgd)
+	m.cdb.stamp(ctx, m.d, Ground, m.P.Cdb)
+}
+
+// Init implements Stateful.
+func (m *MOSFET) Init(v []float64) {
+	get := func(n NodeID) float64 {
+		if i := nodeVar(n); i >= 0 {
+			return v[i]
+		}
+		return 0
+	}
+	m.cgs.init(get(m.g) - get(m.s))
+	m.cgd.init(get(m.g) - get(m.d))
+	m.cdb.init(get(m.d))
+}
+
+// Commit implements Stateful.
+func (m *MOSFET) Commit(ctx *StampContext) {
+	m.cgs.commit(ctx, m.g, m.s, m.P.Cgs)
+	m.cgd.commit(ctx, m.g, m.d, m.P.Cgd)
+	m.cdb.commit(ctx, m.d, Ground, m.P.Cdb)
+}
+
+// DrainCurrent returns the static channel current flowing into the drain
+// for the given solved node voltages (used in diagnostics and tests).
+func (m *MOSFET) DrainCurrent(c *Circuit, sol []float64) float64 {
+	get := func(n NodeID) float64 {
+		if i := nodeVar(n); i >= 0 {
+			return sol[i]
+		}
+		return 0
+	}
+	i, _, _, _ := m.Eval(get(m.d), get(m.g), get(m.s))
+	return i
+}

@@ -1,0 +1,126 @@
+package waveform
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Signal is a continuous-time voltage source v(t). Input stimuli for the
+// analog simulator are Signals; the simulator samples them at its own
+// (adaptive) time points.
+type Signal func(t float64) float64
+
+// Constant returns a time-invariant signal.
+func Constant(v float64) Signal {
+	return func(float64) float64 { return v }
+}
+
+// RaisedCosineEdge returns a smooth monotone transition from v0 to v1
+// centred so that the 50% point (the V_th crossing for v0, v1 =
+// GND, VDD) occurs exactly at t50, with total transition time trise.
+// The raised-cosine shape has continuous derivative everywhere, which is
+// kind to the Newton iteration of the analog solver and is a reasonable
+// stand-in for the smooth driver-shaped edges Spectre produces.
+func RaisedCosineEdge(t50, trise, v0, v1 float64) Signal {
+	if trise <= 0 {
+		panic(fmt.Sprintf("waveform: non-positive rise time %g", trise))
+	}
+	start := t50 - trise/2
+	return func(t float64) float64 {
+		x := (t - start) / trise
+		switch {
+		case x <= 0:
+			return v0
+		case x >= 1:
+			return v1
+		default:
+			return v0 + (v1-v0)*0.5*(1-math.Cos(math.Pi*x))
+		}
+	}
+}
+
+// Transition is one digital event on a driven input: the signal crosses
+// V_th at Time, rising if Rising.
+type Transition struct {
+	Time   float64
+	Rising bool
+}
+
+// Edges builds a Signal from a sequence of threshold-crossing times. The
+// signal idles at the level implied by the first transition (low before a
+// rising edge, high before a falling one) and applies a raised-cosine edge
+// of duration trise for every transition. Transitions must be sorted and
+// separated; overlapping edges are truncated at the midpoint between
+// consecutive events so that the signal remains single-valued.
+func Edges(transitions []Transition, trise, vLow, vHigh float64) (Signal, error) {
+	if trise <= 0 {
+		return nil, fmt.Errorf("waveform: non-positive rise time %g", trise)
+	}
+	ts := append([]Transition(nil), transitions...)
+	sort.Slice(ts, func(i, j int) bool { return ts[i].Time < ts[j].Time })
+	for i := 1; i < len(ts); i++ {
+		if ts[i].Rising == ts[i-1].Rising {
+			return nil, fmt.Errorf("waveform: consecutive transitions %d and %d have the same direction", i-1, i)
+		}
+	}
+	if len(ts) == 0 {
+		return Constant(vLow), nil
+	}
+	initLow := ts[0].Rising
+	return func(t float64) float64 {
+		// Find the last transition with Time <= t + trise/2 relevant to t.
+		// Value is determined by the most recent edge whose ramp covers t,
+		// or by the settled level otherwise.
+		idx := sort.Search(len(ts), func(i int) bool { return ts[i].Time > t })
+		// Candidate edges: idx-1 (may still be ramping or settled) and idx
+		// (its ramp may have started already since edges are centred).
+		level := func(before int) float64 {
+			// settled level after transition index `before` (-1 = initial).
+			high := !initLow
+			if before >= 0 {
+				high = ts[before].Rising
+			}
+			if high {
+				return vHigh
+			}
+			return vLow
+		}
+		eval := func(i int) (float64, bool) {
+			if i < 0 || i >= len(ts) {
+				return 0, false
+			}
+			start := ts[i].Time - trise/2
+			end := ts[i].Time + trise/2
+			if t < start || t > end {
+				return 0, false
+			}
+			from := level(i - 1)
+			to := level(i)
+			x := (t - start) / trise
+			return from + (to-from)*0.5*(1-math.Cos(math.Pi*x)), true
+		}
+		if v, ok := eval(idx); ok {
+			return v
+		}
+		if v, ok := eval(idx - 1); ok {
+			return v
+		}
+		return level(idx - 1)
+	}, nil
+}
+
+// Sample evaluates s on a uniform grid over [t0, t1] with n intervals.
+func Sample(s Signal, t0, t1 float64, n int) (*Waveform, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("waveform: sample count must be positive")
+	}
+	times := make([]float64, n+1)
+	values := make([]float64, n+1)
+	for i := 0; i <= n; i++ {
+		t := t0 + (t1-t0)*float64(i)/float64(n)
+		times[i] = t
+		values[i] = s(t)
+	}
+	return NewWaveform(times, values)
+}
