@@ -2,6 +2,8 @@ package main
 
 import (
 	"fmt"
+	"os"
+	"runtime"
 	"time"
 
 	"hybriddelay/internal/eval"
@@ -353,40 +355,58 @@ func runFig7(opt options) error {
 	if err != nil {
 		return err
 	}
-	reps := opt.reps
-	if reps <= 0 {
-		reps = 5
+	seeds, err := opt.seedList()
+	if err != nil {
+		return err
 	}
-	if opt.fast && reps > 2 {
-		reps = 2
+	configs := gen.PaperConfigs()
+	for i := range configs {
+		if opt.trans > 0 {
+			configs[i].Transitions = opt.trans
+		} else if opt.fast {
+			configs[i].Transitions /= 4
+		}
 	}
-	seeds := make([]int64, reps)
-	for i := range seeds {
-		seeds[i] = opt.seed + int64(i)
+	workers := opt.parallel
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if units := len(configs) * len(seeds); workers > units {
+		workers = units // the runner never spawns more workers than units
+	}
+	// No cache: every (config, seed) unit in a single fig7 run is unique,
+	// so memoization could never hit within one CLI invocation.
+	evalOpt := &eval.Options{Workers: workers}
+	if !opt.csv {
+		// Progress goes to stderr so redirected stdout stays clean.
+		evalOpt.Progress = func(p eval.Progress) {
+			fmt.Fprintf(os.Stderr, "\r%-20s seed %-6d %d/%d units", p.Config.Name(), p.Seed, p.Completed, p.Total)
+		}
+	}
+	start := time.Now()
+	results, err := eval.NewRunner(b, models, evalOpt).Run(configs, seeds)
+	if !opt.csv {
+		fmt.Fprintln(os.Stderr)
+	}
+	if err != nil {
+		return err
 	}
 	groups := []string{}
 	vals := map[string][]float64{}
 	for _, name := range eval.ModelNames {
 		vals[name] = nil
 	}
-	for _, cfg := range gen.PaperConfigs() {
-		if opt.trans > 0 {
-			cfg.Transitions = opt.trans
-		} else if opt.fast {
-			cfg.Transitions /= 4
-		}
-		start := time.Now()
-		res, err := eval.Evaluate(b, models, cfg, seeds)
-		if err != nil {
-			return err
-		}
-		groups = append(groups, cfg.Name())
+	for _, res := range results {
+		groups = append(groups, res.Config.Name())
 		for _, name := range eval.ModelNames {
 			vals[name] = append(vals[name], res.Normalized[name])
 		}
 		if !opt.csv {
-			fmt.Printf("%-20s golden events: %d  (%.1fs)\n", cfg.Name(), res.GoldenEv, time.Since(start).Seconds())
+			fmt.Printf("%-20s golden events: %d\n", res.Config.Name(), res.GoldenEv)
 		}
+	}
+	if !opt.csv {
+		fmt.Printf("%d units on %d workers in %.1fs\n", len(configs)*len(seeds), workers, time.Since(start).Seconds())
 	}
 	if opt.csv {
 		fmt.Print("config")

@@ -27,21 +27,57 @@
 //	-reps N     repetitions for fig7 (default 5; paper uses 20)
 //	-trans N    transitions per fig7 run (default from the paper configs)
 //	-seed N     base RNG seed (default 1)
+//	-seeds L    explicit comma-separated seed list (overrides -reps/-seed)
+//	-parallel N evaluation workers for fig7 (default GOMAXPROCS; 1 = serial)
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"strconv"
+	"strings"
 )
 
 // options carries the common CLI flags.
 type options struct {
-	csv   bool
-	fast  bool
-	reps  int
-	trans int
-	seed  int64
+	csv      bool
+	fast     bool
+	reps     int
+	trans    int
+	seed     int64
+	seeds    string
+	parallel int
+}
+
+// seedList resolves the evaluation seeds: an explicit -seeds list when
+// given, otherwise -reps consecutive seeds starting at -seed (capped at
+// two in -fast mode).
+func (o options) seedList() ([]int64, error) {
+	if o.seeds != "" {
+		var out []int64
+		for _, f := range strings.Split(o.seeds, ",") {
+			s, err := strconv.ParseInt(strings.TrimSpace(f), 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("bad -seeds entry %q: %w", f, err)
+			}
+			out = append(out, s)
+		}
+		return out, nil
+	}
+	reps := o.reps
+	if reps <= 0 {
+		reps = 5
+	}
+	if o.fast && reps > 2 {
+		reps = 2
+	}
+	out := make([]int64, reps)
+	for i := range out {
+		out[i] = o.seed + int64(i)
+	}
+	return out, nil
 }
 
 type experiment struct {
@@ -80,6 +116,8 @@ func main() {
 	fs.IntVar(&opt.reps, "reps", 5, "fig7 repetitions")
 	fs.IntVar(&opt.trans, "trans", 0, "fig7 transitions per run (0 = paper value)")
 	fs.Int64Var(&opt.seed, "seed", 1, "base RNG seed")
+	fs.StringVar(&opt.seeds, "seeds", "", "explicit comma-separated seed list (overrides -reps/-seed)")
+	fs.IntVar(&opt.parallel, "parallel", runtime.GOMAXPROCS(0), "evaluation workers (1 = serial)")
 	if err := fs.Parse(os.Args[2:]); err != nil {
 		os.Exit(2)
 	}
@@ -117,5 +155,5 @@ func usage() {
 		fmt.Fprintf(os.Stderr, "  %-10s %s\n", e.name, e.desc)
 	}
 	fmt.Fprintln(os.Stderr, "  all        run everything at reduced size")
-	fmt.Fprintln(os.Stderr, "\nflags: -csv -fast -reps N -trans N -seed N")
+	fmt.Fprintln(os.Stderr, "\nflags: -csv -fast -reps N -trans N -seed N -seeds L -parallel N")
 }

@@ -129,3 +129,23 @@ func TestFindAt(t *testing.T) {
 		t.Errorf("findAt = %g, want 12", v)
 	}
 }
+
+func TestSeedList(t *testing.T) {
+	o := options{seeds: "3, 5,8", reps: 2, seed: 100}
+	got, err := o.seedList()
+	if err != nil || len(got) != 3 || got[0] != 3 || got[1] != 5 || got[2] != 8 {
+		t.Fatalf("explicit list: %v, %v", got, err)
+	}
+	o = options{reps: 3, seed: 10}
+	if got, _ = o.seedList(); len(got) != 3 || got[0] != 10 || got[2] != 12 {
+		t.Fatalf("reps expansion: %v", got)
+	}
+	o = options{reps: 5, seed: 1, fast: true}
+	if got, _ = o.seedList(); len(got) != 2 {
+		t.Fatalf("fast cap: %v", got)
+	}
+	o = options{seeds: "1,x"}
+	if _, err = o.seedList(); err == nil {
+		t.Fatal("bad seed entry accepted")
+	}
+}

@@ -178,3 +178,54 @@ func TestFacadeEvaluateSmall(t *testing.T) {
 		t.Error("normalization broken")
 	}
 }
+
+// TestFacadeEvaluateParallel: the concurrent engine through the facade —
+// a pooled parallel run with a shared golden cache must reproduce the
+// serial result exactly.
+func TestFacadeEvaluateParallel(t *testing.T) {
+	if testing.Short() {
+		t.Skip("pipeline in -short mode")
+	}
+	bp := DefaultBenchParams()
+	bp.MaxStep = 8e-12
+	bench, err := NewBench(bp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	target, err := MeasureCharacteristic(bench)
+	if err != nil {
+		t.Fatal(err)
+	}
+	models, err := BuildModels(target, bp.Supply, Ps(20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := PaperConfigs()[0]
+	cfg.Transitions = 30
+	seeds := []int64{1, 2}
+	serial, err := Evaluate(bench, models, cfg, seeds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var units int
+	opt := &EvalOptions{
+		Workers:  2,
+		Cache:    NewGoldenCache(),
+		Progress: func(p EvalProgress) { units = p.Completed },
+	}
+	par, err := EvaluateParallel(bench, models, cfg, seeds, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if units != len(seeds) {
+		t.Errorf("progress saw %d units, want %d", units, len(seeds))
+	}
+	for name, a := range serial.Area {
+		if par.Area[name] != a {
+			t.Errorf("Area[%s]: parallel %g != serial %g", name, par.Area[name], a)
+		}
+	}
+	if st := opt.Cache.Stats(); st.Misses != int64(len(seeds)) || st.Entries != len(seeds) {
+		t.Errorf("cache stats %+v, want %d misses/entries", st, len(seeds))
+	}
+}

@@ -1,0 +1,3 @@
+module hybriddelay
+
+go 1.24

@@ -162,13 +162,51 @@ func MeasureCharacteristic(bench *Bench) (Characteristic, error) {
 }
 
 // Evaluate runs the Fig. 7 accuracy pipeline for one waveform
-// configuration over the given seeds.
+// configuration over the given seeds, walking the seeds serially on the
+// caller's bench. EvaluateParallel produces bit-identical results on a
+// worker pool.
 func Evaluate(bench *Bench, m Models, cfg TraceConfig, seeds []int64) (eval.RunResult, error) {
 	return eval.Evaluate(bench, m, cfg, seeds)
 }
 
 // RunResult aggregates the deviation areas of one evaluation run.
 type RunResult = eval.RunResult
+
+// SeedResult is the outcome of one (config, seed) evaluation unit.
+type SeedResult = eval.SeedResult
+
+// EvalOptions configures the parallel evaluation engine: worker count,
+// an optional shared golden-trace cache, and a progress callback.
+type EvalOptions = eval.Options
+
+// EvalProgress describes one completed evaluation unit.
+type EvalProgress = eval.Progress
+
+// GoldenCache memoizes digitized golden traces keyed by (bench
+// parameters, configuration, seed); share one across evaluation runs to
+// skip re-simulating identical golden transients.
+type GoldenCache = eval.GoldenCache
+
+// NewGoldenCache returns an empty golden-trace cache.
+func NewGoldenCache() *GoldenCache { return eval.NewGoldenCache() }
+
+// EvalRunner fans evaluation units across a bounded worker pool with
+// per-worker bench clones and deterministic merging.
+type EvalRunner = eval.Runner
+
+// NewEvalRunner builds a runner for the given golden bench and model
+// set; opt may be nil for defaults.
+func NewEvalRunner(bench *Bench, m Models, opt *EvalOptions) *EvalRunner {
+	return eval.NewRunner(bench, m, opt)
+}
+
+// EvaluateParallel runs the Fig. 7 accuracy pipeline for one waveform
+// configuration over the given seeds on a bounded worker pool. For a
+// fixed seed list the result is bit-identical to Evaluate regardless of
+// the worker count.
+func EvaluateParallel(bench *Bench, m Models, cfg TraceConfig, seeds []int64, opt *EvalOptions) (eval.RunResult, error) {
+	return eval.EvaluateParallel(bench, m, cfg, seeds, opt)
+}
 
 // ApplyNOR runs two digital input traces through the hybrid NOR channel
 // and returns the output trace.

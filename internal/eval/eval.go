@@ -4,11 +4,18 @@
 // delay model; the models are scored by the deviation area between their
 // output trace and the digitized golden trace, normalized against the
 // inertial-delay baseline.
+//
+// The pipeline is decomposed into independent (config, seed) units
+// (EvaluateSeed) scheduled either serially (Evaluate) or on a bounded
+// worker pool (Runner, EvaluateParallel) with deterministic merging:
+// results are bit-identical regardless of the worker count. The golden
+// reference is abstracted behind GoldenSource, so the analog bench can
+// be pooled per worker (BenchSource) and memoized by content key
+// (GoldenCache, CachedSource).
 package eval
 
 import (
 	"fmt"
-	"math"
 
 	"hybriddelay/internal/dtsim"
 	"hybriddelay/internal/gen"
@@ -152,55 +159,40 @@ func RunModels(m Models, a, b trace.Trace, until float64) (map[string]trace.Trac
 
 // RunResult aggregates deviation areas over the repetitions of one
 // waveform configuration.
+//
+// Normalized holds area / inertial area (the Fig. 7 bars). When the
+// inertial baseline accumulated zero deviation area — every model output
+// is then either perfect or incomparable — the ratio is undefined and
+// every Normalized entry is NaN (check with math.IsNaN) rather than a
+// misleading ±Inf-scale value.
 type RunResult struct {
 	Config     gen.Config
 	Seeds      []int64
 	Area       map[string]float64 // summed absolute deviation area [s]
-	Normalized map[string]float64 // area / inertial area (Fig. 7 bars)
+	Normalized map[string]float64 // area / inertial area (Fig. 7 bars); NaN if the baseline is zero
 	GoldenEv   int                // golden output transitions observed
 }
 
 // Evaluate runs the full pipeline for one configuration over the given
-// seeds (repetitions) and aggregates the deviation areas.
+// seeds (repetitions) and aggregates the deviation areas. It is the
+// serial composition of the per-seed units; EvaluateParallel fans the
+// same units across a worker pool with bit-identical results.
 func Evaluate(bench *nor.Bench, m Models, cfg gen.Config, seeds []int64) (RunResult, error) {
-	res := RunResult{
-		Config:     cfg,
-		Seeds:      append([]int64(nil), seeds...),
-		Area:       map[string]float64{},
-		Normalized: map[string]float64{},
-	}
 	if len(seeds) == 0 {
-		return res, fmt.Errorf("eval: no seeds supplied")
+		return RunResult{
+			Config:     cfg,
+			Area:       map[string]float64{},
+			Normalized: map[string]float64{},
+		}, fmt.Errorf("eval: no seeds supplied")
 	}
+	golden := NewBenchSource(bench)
+	parts := make([]SeedResult, 0, len(seeds))
 	for _, seed := range seeds {
-		inputs, err := gen.Traces(cfg, seed)
+		part, err := EvaluateSeed(golden, m, cfg, seed)
 		if err != nil {
-			return res, err
+			return MergeSeedResults(cfg, parts), err
 		}
-		if len(inputs) != 2 {
-			return res, fmt.Errorf("eval: NOR evaluation needs 2 inputs, config has %d", len(inputs))
-		}
-		a, b := inputs[0], inputs[1]
-		until := gen.Horizon(inputs, 600*waveform.Pico)
-		golden, err := GoldenNOR(bench, a, b, until)
-		if err != nil {
-			return res, fmt.Errorf("eval: seed %d: %w", seed, err)
-		}
-		res.GoldenEv += golden.NumEvents()
-		models, err := RunModels(m, a, b, until)
-		if err != nil {
-			return res, fmt.Errorf("eval: seed %d: %w", seed, err)
-		}
-		for name, tr := range models {
-			res.Area[name] += trace.DeviationArea(golden, tr, 0, until)
-		}
+		parts = append(parts, part)
 	}
-	base := res.Area[ModelInertial]
-	if base <= 0 {
-		base = math.SmallestNonzeroFloat64
-	}
-	for name, a := range res.Area {
-		res.Normalized[name] = a / base
-	}
-	return res, nil
+	return MergeSeedResults(cfg, parts), nil
 }

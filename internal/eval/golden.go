@@ -1,0 +1,186 @@
+package eval
+
+import (
+	"sync"
+
+	"hybriddelay/internal/gen"
+	"hybriddelay/internal/nor"
+	"hybriddelay/internal/trace"
+)
+
+// GoldenRequest identifies one golden-reference run: the waveform
+// configuration and seed the inputs were generated from, the generated
+// input traces themselves, and the simulation horizon. Config and Seed
+// fully determine A, B and Until (trace generation is deterministic), so
+// they can serve as a content key for memoization.
+type GoldenRequest struct {
+	Config gen.Config
+	Seed   int64
+	A, B   trace.Trace
+	Until  float64
+}
+
+// GoldenSource produces the digitized golden output trace for a request.
+// Implementations must be safe for concurrent use; the evaluation runner
+// calls Golden from multiple workers.
+type GoldenSource interface {
+	Golden(req GoldenRequest) (trace.Trace, error)
+}
+
+// BenchSource is a GoldenSource backed by the transistor-level analog
+// bench. Because a bench owns mutable simulator state (input-source
+// signals, device charge state), one instance cannot run two transients
+// at once; BenchSource keeps a free list of cloned benches so that each
+// concurrent request gets a private instance.
+type BenchSource struct {
+	params nor.Params
+
+	mu   sync.Mutex
+	free []*nor.Bench
+}
+
+// NewBenchSource wraps a bench as a concurrency-safe golden source. The
+// given bench seeds the free list; additional clones are built on demand
+// from its parameters.
+func NewBenchSource(b *nor.Bench) *BenchSource {
+	return &BenchSource{params: b.P, free: []*nor.Bench{b}}
+}
+
+// Params returns the bench parameters all instances share.
+func (s *BenchSource) Params() nor.Params { return s.params }
+
+func (s *BenchSource) acquire() (*nor.Bench, error) {
+	s.mu.Lock()
+	if n := len(s.free); n > 0 {
+		b := s.free[n-1]
+		s.free = s.free[:n-1]
+		s.mu.Unlock()
+		return b, nil
+	}
+	s.mu.Unlock()
+	return nor.New(s.params)
+}
+
+func (s *BenchSource) release(b *nor.Bench) {
+	s.mu.Lock()
+	s.free = append(s.free, b)
+	s.mu.Unlock()
+}
+
+// Golden implements GoldenSource by running the analog transient on a
+// private bench instance.
+func (s *BenchSource) Golden(req GoldenRequest) (trace.Trace, error) {
+	b, err := s.acquire()
+	if err != nil {
+		return trace.Trace{}, err
+	}
+	out, err := GoldenNOR(b, req.A, req.B, req.Until)
+	s.release(b)
+	return out, err
+}
+
+// GoldenKey is the content key of one golden run: the bench parameters
+// and the (config, seed) pair the inputs derive from. All fields are
+// comparable value types, so keys can index a map directly.
+type GoldenKey struct {
+	Bench  nor.Params
+	Config gen.Config
+	Seed   int64
+}
+
+// goldenEntry is one cache slot; ready is closed once out/err are set,
+// so concurrent requests for the same key wait instead of recomputing.
+type goldenEntry struct {
+	ready chan struct{}
+	out   trace.Trace
+	err   error
+}
+
+// GoldenCache memoizes digitized golden traces by GoldenKey. It is safe
+// for concurrent use and deduplicates in-flight computations
+// (singleflight): the first requester of a key computes, later ones wait
+// for its result. Failed computations are not cached. A cache may be
+// shared across runs, benches and worker counts — the bench parameters
+// are part of the key.
+type GoldenCache struct {
+	mu     sync.Mutex
+	table  map[GoldenKey]*goldenEntry
+	hits   int64
+	misses int64
+}
+
+// NewGoldenCache returns an empty golden-trace cache.
+func NewGoldenCache() *GoldenCache {
+	return &GoldenCache{table: map[GoldenKey]*goldenEntry{}}
+}
+
+// CacheStats reports cache effectiveness counters.
+type CacheStats struct {
+	Hits    int64 // lookups served from a cached or in-flight entry
+	Misses  int64 // lookups that had to compute
+	Entries int   // completed entries currently stored
+}
+
+// Stats returns a snapshot of the cache counters.
+func (c *GoldenCache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	for _, e := range c.table {
+		select {
+		case <-e.ready:
+			n++
+		default:
+		}
+	}
+	return CacheStats{Hits: c.hits, Misses: c.misses, Entries: n}
+}
+
+// GetOrCompute returns the cached trace for key, or runs compute exactly
+// once per key (concurrent callers for the same key block on the first
+// caller's result). Errors are returned to all waiters but evicted, so a
+// later call retries; a waiter handed an error counts as neither hit
+// nor miss — it was not served a trace and did not compute one.
+func (c *GoldenCache) GetOrCompute(key GoldenKey, compute func() (trace.Trace, error)) (trace.Trace, error) {
+	c.mu.Lock()
+	if e, ok := c.table[key]; ok {
+		c.mu.Unlock()
+		<-e.ready
+		if e.err == nil {
+			c.mu.Lock()
+			c.hits++
+			c.mu.Unlock()
+		}
+		return e.out, e.err
+	}
+	e := &goldenEntry{ready: make(chan struct{})}
+	c.table[key] = e
+	c.misses++
+	c.mu.Unlock()
+
+	e.out, e.err = compute()
+	if e.err != nil {
+		c.mu.Lock()
+		delete(c.table, key)
+		c.mu.Unlock()
+	}
+	close(e.ready)
+	return e.out, e.err
+}
+
+// CachedSource composes a GoldenCache over an inner GoldenSource. It
+// relies on the GoldenRequest invariant that (Config, Seed) determine
+// the inputs, which holds for requests built by the evaluation pipeline.
+type CachedSource struct {
+	Bench nor.Params // key component identifying the golden reference
+	Cache *GoldenCache
+	Src   GoldenSource
+}
+
+// Golden implements GoldenSource with memoization.
+func (s CachedSource) Golden(req GoldenRequest) (trace.Trace, error) {
+	key := GoldenKey{Bench: s.Bench, Config: req.Config, Seed: req.Seed}
+	return s.Cache.GetOrCompute(key, func() (trace.Trace, error) {
+		return s.Src.Golden(req)
+	})
+}

@@ -1,0 +1,219 @@
+package eval
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"hybriddelay/internal/gen"
+	"hybriddelay/internal/nor"
+	"hybriddelay/internal/trace"
+	"hybriddelay/internal/waveform"
+)
+
+// SeedResult is the outcome of one evaluation unit: one waveform
+// configuration run once with one seed, scored against the golden
+// reference.
+type SeedResult struct {
+	Config   gen.Config
+	Seed     int64
+	Area     map[string]float64 // absolute deviation area per model [s]
+	GoldenEv int                // golden output transitions observed
+}
+
+// EvaluateSeed runs the pipeline for a single (config, seed) unit:
+// generate the random inputs, obtain the digitized golden trace from the
+// source, run every delay model and measure the deviation areas. It is
+// the building block both the serial Evaluate and the parallel Runner
+// are assembled from.
+func EvaluateSeed(golden GoldenSource, m Models, cfg gen.Config, seed int64) (SeedResult, error) {
+	res := SeedResult{Config: cfg, Seed: seed, Area: map[string]float64{}}
+	inputs, err := gen.Traces(cfg, seed)
+	if err != nil {
+		return res, err
+	}
+	if len(inputs) != 2 {
+		return res, fmt.Errorf("eval: NOR evaluation needs 2 inputs, config has %d", len(inputs))
+	}
+	a, b := inputs[0], inputs[1]
+	until := gen.Horizon(inputs, 600*waveform.Pico)
+	g, err := golden.Golden(GoldenRequest{Config: cfg, Seed: seed, A: a, B: b, Until: until})
+	if err != nil {
+		return res, fmt.Errorf("eval: seed %d: %w", seed, err)
+	}
+	res.GoldenEv = g.NumEvents()
+	models, err := RunModels(m, a, b, until)
+	if err != nil {
+		return res, fmt.Errorf("eval: seed %d: %w", seed, err)
+	}
+	for name, tr := range models {
+		res.Area[name] = trace.DeviationArea(g, tr, 0, until)
+	}
+	return res, nil
+}
+
+// MergeSeedResults folds per-seed results into a RunResult. Results are
+// summed in the given order, so for a fixed seed order the merged
+// floating-point sums are identical no matter how many workers produced
+// the parts — this is what makes the parallel runner deterministic.
+func MergeSeedResults(cfg gen.Config, parts []SeedResult) RunResult {
+	res := RunResult{
+		Config:     cfg,
+		Seeds:      make([]int64, 0, len(parts)),
+		Area:       map[string]float64{},
+		Normalized: map[string]float64{},
+	}
+	for _, p := range parts {
+		res.Seeds = append(res.Seeds, p.Seed)
+		res.GoldenEv += p.GoldenEv
+		for name, a := range p.Area {
+			res.Area[name] += a
+		}
+	}
+	base := res.Area[ModelInertial]
+	for name, a := range res.Area {
+		if base <= 0 {
+			// No inertial deviation to normalize against: the ratio is
+			// undefined, not astronomically large (see RunResult.Normalized).
+			res.Normalized[name] = math.NaN()
+		} else {
+			res.Normalized[name] = a / base
+		}
+	}
+	return res
+}
+
+// Progress describes one completed evaluation unit. Completed counts all
+// units finished so far (including this one) out of Total; Err is the
+// unit's error, if any.
+type Progress struct {
+	Config    gen.Config
+	Seed      int64
+	Completed int
+	Total     int
+	Err       error
+}
+
+// Options configures the parallel evaluation runner.
+type Options struct {
+	// Workers bounds the worker pool. Zero or negative selects
+	// runtime.GOMAXPROCS(0); one runs serially on the caller's bench.
+	Workers int
+
+	// Cache, when non-nil, memoizes digitized golden traces across
+	// units, runs and benches (the bench parameters are part of the
+	// key). Share one cache between calls to skip re-simulating
+	// identical (bench, config, seed) golden runs.
+	Cache *GoldenCache
+
+	// Progress, when non-nil, is invoked after each completed unit.
+	// Calls are serialized; units may complete in any order.
+	Progress func(Progress)
+}
+
+// Runner fans evaluation units (config × seed) across a bounded worker
+// pool. Each worker obtains private bench instances through the golden
+// source, so no simulator state is shared; results are merged in seed
+// order, making the output independent of the worker count.
+type Runner struct {
+	golden   GoldenSource
+	models   Models
+	workers  int
+	progress func(Progress)
+}
+
+// NewRunner builds a runner evaluating the given models against the
+// bench's golden reference. The bench itself is reused as one of the
+// pool's instances; extra workers run on clones built from its
+// parameters. opt may be nil for defaults.
+func NewRunner(bench *nor.Bench, m Models, opt *Options) *Runner {
+	var o Options
+	if opt != nil {
+		o = *opt
+	}
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	src := GoldenSource(NewBenchSource(bench))
+	if o.Cache != nil {
+		src = CachedSource{Bench: bench.P, Cache: o.Cache, Src: src}
+	}
+	return &Runner{golden: src, models: m, workers: o.Workers, progress: o.Progress}
+}
+
+// Run evaluates every configuration over the given seeds and returns one
+// merged RunResult per configuration, in input order. On the first unit
+// error the pool stops picking up new units and the error of the
+// earliest failed unit (in config-major, seed-minor order) is returned.
+func (r *Runner) Run(configs []gen.Config, seeds []int64) ([]RunResult, error) {
+	if len(seeds) == 0 {
+		return nil, fmt.Errorf("eval: no seeds supplied")
+	}
+	if len(configs) == 0 {
+		return nil, fmt.Errorf("eval: no configurations supplied")
+	}
+	total := len(configs) * len(seeds)
+	parts := make([]SeedResult, total)
+	errs := make([]error, total)
+
+	workers := r.workers
+	if workers > total {
+		workers = total
+	}
+	var (
+		next      atomic.Int64
+		stop      atomic.Bool
+		progMu    sync.Mutex
+		completed int // guarded by progMu so callbacks see in-order counts
+		wg        sync.WaitGroup
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= total || stop.Load() {
+					return
+				}
+				cfg := configs[i/len(seeds)]
+				seed := seeds[i%len(seeds)]
+				parts[i], errs[i] = EvaluateSeed(r.golden, r.models, cfg, seed)
+				if errs[i] != nil {
+					stop.Store(true)
+				}
+				if r.progress != nil {
+					progMu.Lock()
+					completed++
+					r.progress(Progress{Config: cfg, Seed: seed, Completed: completed, Total: total, Err: errs[i]})
+					progMu.Unlock()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	out := make([]RunResult, len(configs))
+	for ci := range configs {
+		out[ci] = MergeSeedResults(configs[ci], parts[ci*len(seeds):(ci+1)*len(seeds)])
+	}
+	return out, nil
+}
+
+// EvaluateParallel runs the Fig. 7 pipeline for one configuration over
+// the given seeds on a bounded worker pool. For a fixed seed list the
+// result is bit-identical to the serial Evaluate regardless of the
+// worker count; see Options for caching and progress reporting.
+func EvaluateParallel(bench *nor.Bench, m Models, cfg gen.Config, seeds []int64, opt *Options) (RunResult, error) {
+	res, err := NewRunner(bench, m, opt).Run([]gen.Config{cfg}, seeds)
+	if err != nil {
+		return RunResult{Config: cfg, Area: map[string]float64{}, Normalized: map[string]float64{}}, err
+	}
+	return res[0], nil
+}

@@ -1,0 +1,53 @@
+package nor
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestBenchClone: clones share parameters but no simulator state — the
+// same delay query on the original and on concurrently running clones
+// must agree exactly (run under -race in CI).
+func TestBenchClone(t *testing.T) {
+	p := DefaultParams()
+	p.MaxStep = 8e-12
+	b, err := New(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := b.FallingDelay(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const clones = 3
+	got := make([]float64, clones)
+	errs := make([]error, clones)
+	var wg sync.WaitGroup
+	for i := 0; i < clones; i++ {
+		c, err := b.Clone()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c == b || c.circuit == b.circuit {
+			t.Fatal("clone shares the netlist with the original")
+		}
+		if c.P != b.P {
+			t.Fatalf("clone params %+v differ from original %+v", c.P, b.P)
+		}
+		wg.Add(1)
+		go func(i int, c *Bench) {
+			defer wg.Done()
+			got[i], errs[i] = c.FallingDelay(0)
+		}(i, c)
+	}
+	wg.Wait()
+	for i := 0; i < clones; i++ {
+		if errs[i] != nil {
+			t.Fatal(errs[i])
+		}
+		if got[i] != want {
+			t.Errorf("clone %d delay %g != original %g", i, got[i], want)
+		}
+	}
+}

@@ -84,6 +84,11 @@ func DefaultParams() Params {
 }
 
 // Bench is an instantiated NOR testbench.
+//
+// A Bench is not safe for concurrent use: Run swaps the input-source
+// signals in place and the underlying spice devices integrate charge
+// state across timesteps. Use Clone to give each goroutine its own
+// instance.
 type Bench struct {
 	P Params
 
@@ -131,6 +136,14 @@ func New(p Params) (*Bench, error) {
 
 	b.circuit = c
 	return b, nil
+}
+
+// Clone returns an independent bench with identical parameters and a
+// freshly built netlist. Params is a pure value type (scalars and value
+// structs only), so the clone shares no state with the original; clones
+// may run transients concurrently with it.
+func (b *Bench) Clone() (*Bench, error) {
+	return New(b.P)
 }
 
 // Result bundles the waveforms of one transient run.

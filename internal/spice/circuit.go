@@ -27,6 +27,12 @@ type NodeID int
 const Ground NodeID = 0
 
 // Circuit is a netlist under construction.
+//
+// A Circuit and its devices are not safe for concurrent use: stateful
+// devices (Capacitor, MOSFET) carry charge state across timesteps and
+// VSource signals are swapped per experiment, so at most one analysis
+// may run on a circuit at a time. Build a separate circuit per
+// goroutine (cf. nor.Bench.Clone).
 type Circuit struct {
 	nodeNames []string // index = NodeID
 	nodeIndex map[string]NodeID

@@ -1,0 +1,118 @@
+package hybriddelay
+
+// Serial-vs-parallel wall time of the Fig. 7 accuracy pipeline (the
+// repo's hottest path). BenchmarkEvaluateParallel reports speedup_x, the
+// ratio of serial Evaluate wall time to the 4-worker runner's per-
+// iteration time on the same configs and seeds, so the speedup
+// trajectory is tracked across PRs; the Cached variant measures the
+// steady state of a warm golden-trace cache (golden transients skipped
+// entirely). speedup_x scales with the core count — on a single-core
+// machine it sits near 1.
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"hybriddelay/internal/eval"
+	"hybriddelay/internal/gen"
+	"hybriddelay/internal/nor"
+)
+
+const parallelBenchWorkers = 4
+
+// fig7ParallelSetup returns the shared golden bench and the paper
+// configurations at the same reduced size BenchmarkFig7Accuracy uses.
+func fig7ParallelSetup(b *testing.B) (*nor.Bench, eval.Models, []gen.Config, []int64) {
+	bench, _, models := setupGolden(b)
+	configs := gen.PaperConfigs()
+	for i := range configs {
+		configs[i].Transitions /= 4 // keep a single iteration in the ~1 s range
+	}
+	return bench, models, configs, []int64{1, 2, 3, 4}
+}
+
+// serialBaseline measures one serial pass over all configs once per
+// process, for the speedup metrics.
+var serialBaselineState struct {
+	once sync.Once
+	secs float64
+	err  error
+}
+
+func serialBaseline(b *testing.B) float64 {
+	bench, models, configs, seeds := fig7ParallelSetup(b)
+	serialBaselineState.once.Do(func() {
+		start := time.Now()
+		for _, cfg := range configs {
+			if _, err := eval.Evaluate(bench, models, cfg, seeds); err != nil {
+				serialBaselineState.err = err
+				return
+			}
+		}
+		serialBaselineState.secs = time.Since(start).Seconds()
+	})
+	if serialBaselineState.err != nil {
+		b.Fatal(serialBaselineState.err)
+	}
+	return serialBaselineState.secs
+}
+
+// BenchmarkEvaluateSerial is the reference: the serial pipeline over the
+// Fig. 7 configs.
+func BenchmarkEvaluateSerial(b *testing.B) {
+	bench, models, configs, seeds := fig7ParallelSetup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, cfg := range configs {
+			if _, err := eval.Evaluate(bench, models, cfg, seeds); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkEvaluateParallel runs the same work on the 4-worker runner
+// (cold cache each iteration: every golden transient is re-simulated,
+// so speedup comes purely from the worker pool).
+func BenchmarkEvaluateParallel(b *testing.B) {
+	bench, models, configs, seeds := fig7ParallelSetup(b)
+	serial := serialBaseline(b)
+	b.ResetTimer()
+	start := time.Now()
+	for i := 0; i < b.N; i++ {
+		r := eval.NewRunner(bench, models, &eval.Options{Workers: parallelBenchWorkers})
+		if _, err := r.Run(configs, seeds); err != nil {
+			b.Fatal(err)
+		}
+	}
+	perIter := time.Since(start).Seconds() / float64(b.N)
+	b.StopTimer()
+	b.ReportMetric(serial/perIter, "speedup_x")
+	b.ReportMetric(parallelBenchWorkers, "workers")
+}
+
+// BenchmarkEvaluateParallelCached measures the warm-cache steady state:
+// the golden traces are memoized, so each iteration only reruns the
+// digital models and the merge.
+func BenchmarkEvaluateParallelCached(b *testing.B) {
+	bench, models, configs, seeds := fig7ParallelSetup(b)
+	serial := serialBaseline(b)
+	cache := eval.NewGoldenCache()
+	r := eval.NewRunner(bench, models, &eval.Options{Workers: parallelBenchWorkers, Cache: cache})
+	if _, err := r.Run(configs, seeds); err != nil { // warm the cache
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	start := time.Now()
+	for i := 0; i < b.N; i++ {
+		if _, err := r.Run(configs, seeds); err != nil {
+			b.Fatal(err)
+		}
+	}
+	perIter := time.Since(start).Seconds() / float64(b.N)
+	b.StopTimer()
+	b.ReportMetric(serial/perIter, "speedup_x")
+	st := cache.Stats()
+	b.ReportMetric(float64(st.Hits)/float64(st.Hits+st.Misses), "hit_rate")
+}
