@@ -17,6 +17,7 @@ import (
 
 	"hybriddelay/internal/dtsim"
 	"hybriddelay/internal/eval"
+	"hybriddelay/internal/gate"
 	"hybriddelay/internal/gen"
 	"hybriddelay/internal/hybrid"
 	"hybriddelay/internal/la"
@@ -62,6 +63,10 @@ func setupGolden(b *testing.B) (*nor.Bench, hybrid.Characteristic, eval.Models) 
 	}
 	return benchSetup.bench, benchSetup.target, benchSetup.models
 }
+
+// hmParams extracts the fitted 2-input NOR parameters from the default
+// gate's model set.
+func hmParams(m gate.Model) hybrid.Params { return m.(gate.NOR2Model).P }
 
 // BenchmarkFig2Waveforms regenerates the analog transition waveforms of
 // Fig. 2a/2c (one falling and one rising transient per iteration).
@@ -162,7 +167,7 @@ func BenchmarkFig5(b *testing.B) {
 	var worst float64
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		pts, err := models.HM.FallingSweep(deltas)
+		pts, err := hmParams(models.HM).FallingSweep(deltas)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -187,7 +192,7 @@ func BenchmarkFig6(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		for _, vn := range []hybrid.VNInitial{hybrid.VNGround, hybrid.VNHalf, hybrid.VNSupply} {
-			if _, err := models.HM.RisingSweep(deltas, vn); err != nil {
+			if _, err := hmParams(models.HM).RisingSweep(deltas, vn); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -236,11 +241,11 @@ func BenchmarkFig8(b *testing.B) {
 	var zeroErr float64
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		with, err := models.HM.FallingSweep(deltas)
+		with, err := hmParams(models.HM).FallingSweep(deltas)
 		if err != nil {
 			b.Fatal(err)
 		}
-		without, err := models.HMNoDMin.FallingSweep(deltas)
+		without, err := hmParams(models.HMNoDMin).FallingSweep(deltas)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -301,7 +306,7 @@ func BenchmarkChannelOverheadInertial(b *testing.B) {
 	a, tb, _ := benchTrace()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		models.Inertial.Apply(a, tb)
+		models.Inertial.Apply(models.Gate.Logic, a, tb)
 	}
 }
 
@@ -322,7 +327,7 @@ func BenchmarkChannelOverheadHybrid(b *testing.B) {
 	a, tb, until := benchTrace()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := hybrid.ApplyNOR(models.HM, a, tb, until, 0.8); err != nil {
+		if _, err := hybrid.ApplyNOR(hmParams(models.HM), a, tb, until, 0.8); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"hybriddelay/internal/eval"
+	"hybriddelay/internal/gate"
 	"hybriddelay/internal/gen"
 	"hybriddelay/internal/hybrid"
 	"hybriddelay/internal/la"
@@ -14,14 +15,19 @@ import (
 	"hybriddelay/internal/waveform"
 )
 
-// goldenBench builds the calibrated golden-reference bench; -fast uses a
+// benchParams returns the calibrated testbench parameters; -fast uses a
 // coarser integrator step.
-func goldenBench(opt options) (*nor.Bench, error) {
+func benchParams(opt options) nor.Params {
 	p := nor.DefaultParams()
 	if opt.fast {
 		p.MaxStep = 8e-12
 	}
-	return nor.New(p)
+	return p
+}
+
+// goldenBench builds the calibrated golden-reference NOR bench.
+func goldenBench(opt options) (*nor.Bench, error) {
+	return nor.New(benchParams(opt))
 }
 
 // deltaGrid returns the MIS sweep grid in seconds.
@@ -341,17 +347,23 @@ func runFig6(opt options) error {
 	return nil
 }
 
-// runFig7 runs the deviation-area accuracy comparison (Fig. 7).
+// runFig7 runs the deviation-area accuracy comparison (Fig. 7) for the
+// selected -gate through the registry-driven generic pipeline.
 func runFig7(opt options) error {
-	b, err := goldenBench(opt)
+	g, err := opt.gateSpec()
 	if err != nil {
 		return err
 	}
-	target, err := measuredTarget(b)
+	p := benchParams(opt)
+	b, err := g.NewBench(p)
 	if err != nil {
 		return err
 	}
-	models, err := eval.BuildModels(target, b.P.Supply, 20e-12)
+	meas, err := b.Measure()
+	if err != nil {
+		return err
+	}
+	models, err := g.BuildModels(meas, p.Supply, 20e-12)
 	if err != nil {
 		return err
 	}
@@ -361,11 +373,22 @@ func runFig7(opt options) error {
 	}
 	configs := gen.PaperConfigs()
 	for i := range configs {
+		configs[i].Inputs = g.Arity()
 		if opt.trans > 0 {
 			configs[i].Transitions = opt.trans
 		} else if opt.fast {
 			configs[i].Transitions /= 4
 		}
+	}
+	if g.Name() != gate.Default().Name() {
+		// The default gate keeps the historical output byte-for-byte; other
+		// gates announce themselves. In CSV mode the banner goes to stderr
+		// like the progress lines, so redirected stdout stays pure CSV.
+		w := os.Stdout
+		if opt.csv {
+			w = os.Stderr
+		}
+		fmt.Fprintf(w, "gate: %s (%d inputs), hybrid fit: %s\n", g.Name(), g.Arity(), models.HM)
 	}
 	workers := opt.parallel
 	if workers <= 0 {
@@ -384,7 +407,7 @@ func runFig7(opt options) error {
 		}
 	}
 	start := time.Now()
-	results, err := eval.NewRunner(b, models, evalOpt).Run(configs, seeds)
+	results, err := eval.NewGateRunner(b, models, evalOpt).Run(configs, seeds)
 	if !opt.csv {
 		fmt.Fprintln(os.Stderr)
 	}

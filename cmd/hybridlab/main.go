@@ -29,15 +29,21 @@
 //	-seed N     base RNG seed (default 1)
 //	-seeds L    explicit comma-separated seed list (overrides -reps/-seed)
 //	-parallel N evaluation workers for fig7 (default GOMAXPROCS; 1 = serial)
+//	-gate G     registered gate for fig7 (default nor2; see -list-gates)
+//
+// `hybridlab -list-gates` prints the registered gate names.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"strconv"
 	"strings"
+
+	"hybriddelay/internal/gate"
 )
 
 // options carries the common CLI flags.
@@ -49,6 +55,21 @@ type options struct {
 	seed     int64
 	seeds    string
 	parallel int
+	gate     string
+}
+
+// gateSpec resolves the -gate flag against the registry; an unknown name
+// errors with the registered names.
+func (o options) gateSpec() (gate.Gate, error) {
+	name := o.gate
+	if name == "" {
+		name = gate.Default().Name()
+	}
+	g, ok := gate.Lookup(name)
+	if !ok {
+		return nil, fmt.Errorf("unknown gate %q (registered: %s)", name, strings.Join(gate.Names(), ", "))
+	}
+	return g, nil
 }
 
 // seedList resolves the evaluation seeds: an explicit -seeds list when
@@ -109,8 +130,13 @@ func main() {
 		os.Exit(2)
 	}
 	name := os.Args[1]
+	if name == "-list-gates" || name == "--list-gates" || name == "list-gates" {
+		listGates(os.Stdout)
+		return
+	}
 	fs := flag.NewFlagSet(name, flag.ExitOnError)
 	var opt options
+	var listGatesFlag bool
 	fs.BoolVar(&opt.csv, "csv", false, "emit CSV")
 	fs.BoolVar(&opt.fast, "fast", false, "reduced resolution")
 	fs.IntVar(&opt.reps, "reps", 5, "fig7 repetitions")
@@ -118,7 +144,17 @@ func main() {
 	fs.Int64Var(&opt.seed, "seed", 1, "base RNG seed")
 	fs.StringVar(&opt.seeds, "seeds", "", "explicit comma-separated seed list (overrides -reps/-seed)")
 	fs.IntVar(&opt.parallel, "parallel", runtime.GOMAXPROCS(0), "evaluation workers (1 = serial)")
+	fs.StringVar(&opt.gate, "gate", gate.Default().Name(), "registered gate for fig7 (see -list-gates)")
+	fs.BoolVar(&listGatesFlag, "list-gates", false, "list registered gates and exit")
 	if err := fs.Parse(os.Args[2:]); err != nil {
+		os.Exit(2)
+	}
+	if listGatesFlag {
+		listGates(os.Stdout)
+		return
+	}
+	if _, err := opt.gateSpec(); err != nil {
+		fmt.Fprintf(os.Stderr, "hybridlab: %v\n", err)
 		os.Exit(2)
 	}
 
@@ -148,6 +184,19 @@ func main() {
 	os.Exit(2)
 }
 
+// listGates prints the registered gate names with arities.
+func listGates(w io.Writer) {
+	fmt.Fprintln(w, "registered gates (select with -gate):")
+	for _, name := range gate.Names() {
+		g, _ := gate.Lookup(name)
+		def := ""
+		if name == gate.Default().Name() {
+			def = " (default)"
+		}
+		fmt.Fprintf(w, "  %-8s %d inputs%s\n", name, g.Arity(), def)
+	}
+}
+
 func usage() {
 	fmt.Fprintln(os.Stderr, "usage: hybridlab <experiment> [flags]")
 	fmt.Fprintln(os.Stderr, "\nexperiments:")
@@ -155,5 +204,5 @@ func usage() {
 		fmt.Fprintf(os.Stderr, "  %-10s %s\n", e.name, e.desc)
 	}
 	fmt.Fprintln(os.Stderr, "  all        run everything at reduced size")
-	fmt.Fprintln(os.Stderr, "\nflags: -csv -fast -reps N -trans N -seed N -seeds L -parallel N")
+	fmt.Fprintln(os.Stderr, "\nflags: -csv -fast -reps N -trans N -seed N -seeds L -parallel N -gate G -list-gates")
 }

@@ -1,7 +1,11 @@
 package main
 
 import (
+	"bytes"
+	"strings"
 	"testing"
+
+	"hybriddelay/internal/gate"
 )
 
 // Smoke tests: every experiment must run to completion in fast mode.
@@ -147,5 +151,67 @@ func TestSeedList(t *testing.T) {
 	o = options{seeds: "1,x"}
 	if _, err = o.seedList(); err == nil {
 		t.Fatal("bad seed entry accepted")
+	}
+}
+
+func TestGateSpecResolution(t *testing.T) {
+	for _, name := range []string{"", "nor2", "nand2", "nor3"} {
+		o := options{gate: name}
+		g, err := o.gateSpec()
+		if err != nil {
+			t.Fatalf("gateSpec(%q): %v", name, err)
+		}
+		want := name
+		if want == "" {
+			want = "nor2"
+		}
+		if g.Name() != want {
+			t.Errorf("gateSpec(%q) = %q", name, g.Name())
+		}
+	}
+	o := options{gate: "xor7"}
+	_, err := o.gateSpec()
+	if err == nil {
+		t.Fatal("unknown gate accepted")
+	}
+	for _, name := range gate.Names() {
+		if !strings.Contains(err.Error(), name) {
+			t.Errorf("unknown-gate error %q does not list %q", err, name)
+		}
+	}
+}
+
+func TestListGates(t *testing.T) {
+	var buf bytes.Buffer
+	listGates(&buf)
+	out := buf.String()
+	for _, name := range gate.Names() {
+		if !strings.Contains(out, name) {
+			t.Errorf("-list-gates output missing %q:\n%s", name, out)
+		}
+	}
+	if !strings.Contains(out, "(default)") {
+		t.Errorf("-list-gates output does not mark the default:\n%s", out)
+	}
+}
+
+func TestRunFig7Gates(t *testing.T) {
+	if testing.Short() {
+		t.Skip("accuracy pipeline in -short mode")
+	}
+	for _, name := range []string{"nand2", "nor3"} {
+		o := fastOpts()
+		o.gate = name
+		if err := runFig7(o); err != nil {
+			t.Fatalf("fig7 -gate %s: %v", name, err)
+		}
+	}
+}
+
+func TestRunFig7UnknownGate(t *testing.T) {
+	o := fastOpts()
+	o.gate = "bogus"
+	if err := runFig7(o); err == nil {
+		t.Fatal("fig7 with unknown gate did not error")
 	}
 }

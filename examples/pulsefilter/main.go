@@ -41,11 +41,11 @@ func main() {
 		a := hybriddelay.NewTrace(false, t0, t0+w)
 		b := hybriddelay.NewTrace(false)
 
-		hm, err := hybriddelay.ApplyNOR(models.HM, a, b, 5e-9, p.Supply.VDD)
+		hm, err := models.HM.Apply([]hybriddelay.Trace{a, b}, 5e-9)
 		if err != nil {
 			log.Fatal(err)
 		}
-		iner := models.Inertial.Apply(a, b)
+		iner := models.Inertial.Apply(models.Gate.Logic, a, b)
 		exp := hybriddelay.ApplyDelay(hybriddelay.NOR2Trace(a, b), models.Exp,
 			hybriddelay.PolicyInvolution)
 

@@ -30,16 +30,29 @@
 // The implementation lives in internal packages:
 //
 //	internal/hybrid  - the four-mode model, delays, Charlie formulas,
-//	                   parametrization, the 2-input digital channel
+//	                   parametrization, the 2-input digital channel and
+//	                   the generalized switch-level SwitchGate channel
 //	internal/spice   - MNA transient analog simulator (golden reference)
-//	internal/nor     - transistor-level NOR testbench (paper Fig. 1)
+//	internal/nor     - transistor-level NOR/NAND/NOR3 testbenches
+//	                   (paper Fig. 1 and its structural variants)
+//	internal/gate    - the gate registry: bench construction, Charlie
+//	                   measurement and model parametrization behind one
+//	                   Gate interface (nor2 default, nand2, nor3), so
+//	                   the pipeline is gate-generic
 //	internal/dtsim   - event-driven digital timing simulator
 //	internal/idm     - involution (exp / sum-exp) channels
-//	internal/inertial- pure/inertial and per-arc NOR baselines
+//	internal/inertial- pure/inertial and arity-generic per-pin arc
+//	                   baselines
 //	internal/gen     - §VI random waveform configurations
-//	internal/eval    - Fig. 7 deviation-area accuracy pipeline
+//	internal/eval    - Fig. 7 deviation-area accuracy pipeline, keyed by
+//	                   registered gate
 //	internal/fit     - Nelder-Mead / Brent / Levenberg-Marquardt
 //	internal/la, ode, roots, waveform, trace - math & signal substrates
+//
+// The cmd/hybridlab CLI exposes the registry through its -gate flag
+// (and -list-gates): `hybridlab fig7 -gate nand2` runs the accuracy
+// pipeline end-to-end against any registered gate, with nor2 remaining
+// the default.
 //
 // # Quick start
 //
@@ -54,6 +67,7 @@ package hybriddelay
 import (
 	"hybriddelay/internal/dtsim"
 	"hybriddelay/internal/eval"
+	"hybriddelay/internal/gate"
 	"hybriddelay/internal/gen"
 	"hybriddelay/internal/hybrid"
 	"hybriddelay/internal/idm"
@@ -123,6 +137,10 @@ type ExpChannel = idm.Exp
 
 // NORArcs is the per-arc inertial NOR baseline.
 type NORArcs = inertial.NORArcs
+
+// InertialArcs is the arity-generic per-pin inertial baseline used by
+// the gate-generic pipeline (NORArcs is its 2-input named form).
+type InertialArcs = inertial.Arcs
 
 // TableI returns the paper's fitted parameter values (Table I) with
 // delta_min = 18 ps.
@@ -206,6 +224,53 @@ func NewEvalRunner(bench *Bench, m Models, opt *EvalOptions) *EvalRunner {
 // the worker count.
 func EvaluateParallel(bench *Bench, m Models, cfg TraceConfig, seeds []int64, opt *EvalOptions) (eval.RunResult, error) {
 	return eval.EvaluateParallel(bench, m, cfg, seeds, opt)
+}
+
+// Gate-registry API: the evaluation pipeline is generic over registered
+// multi-input gates — NOR2 (the paper's gate and the default), its
+// structural dual NAND2 and the 3-input NOR3 extension.
+
+// GateSpec describes one registered gate: arity, boolean function,
+// golden-bench construction, characteristic measurement and model
+// parametrization hooks.
+type GateSpec = gate.Gate
+
+// GateBench is an instantiated transistor-level golden bench of a
+// registered gate.
+type GateBench = gate.Bench
+
+// GateMeasurement bundles a bench's characteristic Charlie delays and
+// per-pin SIS arcs — the input of GateSpec.BuildModels.
+type GateMeasurement = gate.Measurement
+
+// GateModel is one parametrized delay model applied to input traces.
+type GateModel = gate.Model
+
+// Gates lists the registered gate names in sorted order.
+func Gates() []string { return gate.Names() }
+
+// LookupGate returns the registered gate of the given name.
+func LookupGate(name string) (GateSpec, bool) { return gate.Lookup(name) }
+
+// DefaultGate returns the paper's gate, the 2-input NOR.
+func DefaultGate() GateSpec { return gate.Default() }
+
+// EvaluateGate runs the Fig. 7 pipeline serially on any gate bench.
+func EvaluateGate(bench GateBench, m Models, cfg TraceConfig, seeds []int64) (eval.RunResult, error) {
+	return eval.EvaluateBench(bench, m, cfg, seeds)
+}
+
+// NewGateEvalRunner builds a parallel evaluation runner for any gate
+// bench; opt may be nil for defaults.
+func NewGateEvalRunner(bench GateBench, m Models, opt *EvalOptions) *EvalRunner {
+	return eval.NewGateRunner(bench, m, opt)
+}
+
+// ApplyGate runs input traces offline through the generalized
+// switch-level hybrid channel of a SwitchGate — the n-input counterpart
+// of ApplyNOR.
+func ApplyGate(g SwitchGate, inputs []Trace, until, isolatedFill float64) (Trace, error) {
+	return hybrid.ApplyGate(g, inputs, until, isolatedFill)
 }
 
 // ApplyNOR runs two digital input traces through the hybrid NOR channel

@@ -1,27 +1,30 @@
 // Package eval implements the accuracy-evaluation pipeline of paper §VI
 // (Fig. 7): random input traces are run through the analog golden
-// reference (the transistor-level NOR bench) and through each digital
-// delay model; the models are scored by the deviation area between their
+// reference (a transistor-level bench) and through each digital delay
+// model; the models are scored by the deviation area between their
 // output trace and the digitized golden trace, normalized against the
 // inertial-delay baseline.
 //
-// The pipeline is decomposed into independent (config, seed) units
-// (EvaluateSeed) scheduled either serially (Evaluate) or on a bounded
+// The pipeline is gate-generic: every stage is keyed by a gate.Gate from
+// the registry (bench construction, characteristic measurement, model
+// parametrization, golden runs), so NOR2 — the paper's gate and the
+// default — NAND2 and NOR3 all flow through the same machinery. It is
+// decomposed into independent (config, seed) units (EvaluateSeed)
+// scheduled either serially (Evaluate, EvaluateBench) or on a bounded
 // worker pool (Runner, EvaluateParallel) with deterministic merging:
 // results are bit-identical regardless of the worker count. The golden
 // reference is abstracted behind GoldenSource, so the analog bench can
 // be pooled per worker (BenchSource) and memoized by content key
-// (GoldenCache, CachedSource).
+// (GoldenCache, CachedSource — the gate name is part of the key).
 package eval
 
 import (
 	"fmt"
 
 	"hybriddelay/internal/dtsim"
+	"hybriddelay/internal/gate"
 	"hybriddelay/internal/gen"
 	"hybriddelay/internal/hybrid"
-	"hybriddelay/internal/idm"
-	"hybriddelay/internal/inertial"
 	"hybriddelay/internal/nor"
 	"hybriddelay/internal/trace"
 	"hybriddelay/internal/waveform"
@@ -38,17 +41,12 @@ const (
 // ModelNames lists the evaluated models in presentation order.
 var ModelNames = []string{ModelInertial, ModelExp, ModelHM, ModelHMNoDMin}
 
-// Models bundles the parametrized delay models under comparison.
-type Models struct {
-	Inertial inertial.NORArcs
-	Exp      idm.Exp
-	HM       hybrid.Params
-	HMNoDMin hybrid.Params
-	Supply   waveform.Supply
-}
+// Models bundles the parametrized delay models under comparison for one
+// gate; see gate.Models.
+type Models = gate.Models
 
-// BuildModels parametrizes all delay models from the measured
-// characteristic Charlie delays of the golden gate, mirroring §VI:
+// BuildModels parametrizes all delay models of the default NOR2 gate
+// from its measured characteristic Charlie delays, mirroring §VI:
 //
 //   - inertial delay: per-arc SIS delays (pin-aware, NLDM-style);
 //   - exp-channel: a single channel at the gate output — it cannot see
@@ -58,98 +56,45 @@ type Models struct {
 //   - hybrid model: least-squares fit with automatic pure delay;
 //   - hybrid model without pure delay: least-squares fit forced to
 //     DMin = 0 (the ablation of Figs. 7 and 8).
+//
+// Other gates build the same model set through their registry entry:
+// gate.Lookup(name) and Gate.BuildModels on a Bench measurement.
 func BuildModels(target hybrid.Characteristic, supply waveform.Supply, expDMin float64) (Models, error) {
-	m := Models{Supply: supply}
-	var err error
-
-	riseSIS := 0.5 * (target.RiseMinusInf + target.RisePlusInf)
-	fallSIS := 0.5 * (target.FallMinusInf + target.FallPlusInf)
-	if m.Inertial, err = inertial.NORArcsFromSIS(
-		target.FallMinusInf, target.FallPlusInf,
-		target.RiseMinusInf, target.RisePlusInf); err != nil {
-		return m, fmt.Errorf("eval: inertial baseline: %w", err)
-	}
-	if m.Exp, err = idm.ExpFromSIS(riseSIS, fallSIS, expDMin); err != nil {
-		return m, fmt.Errorf("eval: exp channel: %w", err)
-	}
-	// The paper's parametrization visibly favours the SIS tails over the
-	// Delta = 0 points where the model cannot match everything (its
-	// delta_rise is V_N-invariant in mode (1,1), so rise(-inf) and
-	// rise(0) coincide at V_N = GND; see Fig. 6): weight the four tails
-	// higher so the fit resolves the conflict the same way.
-	tailWeighted := []float64{3, 1, 3, 3, 1, 3}
-	if m.HM, _, err = hybrid.FitCharacteristic(target, supply, &hybrid.FitOptions{
-		DMin: -1, Weights: tailWeighted,
-	}); err != nil {
-		return m, fmt.Errorf("eval: hybrid fit: %w", err)
-	}
-	if m.HMNoDMin, _, err = hybrid.FitCharacteristic(target, supply, &hybrid.FitOptions{
-		DMin: 0, Weights: tailWeighted,
-	}); err != nil {
-		return m, fmt.Errorf("eval: hybrid fit without dmin: %w", err)
-	}
-	return m, nil
+	return gate.NOR2.BuildModels(gate.Measurement{
+		Pair: target,
+		Arcs: gate.NOR2Arcs(target),
+	}, supply, expDMin)
 }
 
-// MeasureCharacteristic runs the golden bench's characteristic-delay
+// MeasureCharacteristic runs the golden NOR bench's characteristic-delay
 // measurements and converts them into the hybrid package's target type.
 func MeasureCharacteristic(bench *nor.Bench) (hybrid.Characteristic, error) {
-	m, err := bench.Characteristic()
+	meas, err := (&gate.NOR2Bench{B: bench}).Measure()
 	if err != nil {
 		return hybrid.Characteristic{}, err
 	}
-	return hybrid.Characteristic{
-		FallMinusInf: m.FallMinusInf,
-		FallZero:     m.FallZero,
-		FallPlusInf:  m.FallPlusInf,
-		RiseMinusInf: m.RiseMinusInf,
-		RiseZero:     m.RiseZero,
-		RisePlusInf:  m.RisePlusInf,
-	}, nil
+	return meas.Pair, nil
 }
 
-// GoldenNOR runs the analog bench over the given input traces and
+// GoldenNOR runs the analog NOR bench over the given input traces and
 // returns the digitized output trace. Both inputs must start low (the
 // bench starts settled in state (0,0)).
 func GoldenNOR(bench *nor.Bench, a, b trace.Trace, until float64) (trace.Trace, error) {
-	if a.Initial || b.Initial {
-		return trace.Trace{}, fmt.Errorf("eval: golden run requires inputs starting low")
-	}
-	supply := bench.P.Supply
-	sigA, err := waveform.Edges(a.Transitions(), bench.P.InputRise, 0, supply.VDD)
-	if err != nil {
-		return trace.Trace{}, fmt.Errorf("eval: input A: %w", err)
-	}
-	sigB, err := waveform.Edges(b.Transitions(), bench.P.InputRise, 0, supply.VDD)
-	if err != nil {
-		return trace.Trace{}, fmt.Errorf("eval: input B: %w", err)
-	}
-	var bps []float64
-	for _, e := range a.Events {
-		bps = append(bps, e.Time-bench.P.InputRise/2)
-	}
-	for _, e := range b.Events {
-		bps = append(bps, e.Time-bench.P.InputRise/2)
-	}
-	res, err := bench.Run(sigA, sigB, until, supply.VDD, supply.VDD, bps)
-	if err != nil {
-		return trace.Trace{}, fmt.Errorf("eval: golden transient: %w", err)
-	}
-	return trace.Digitize(res.O, supply.Vth), nil
+	return (&gate.NOR2Bench{B: bench}).Golden([]trace.Trace{a, b}, until)
 }
 
 // RunModels produces each model's output trace for the given inputs.
-func RunModels(m Models, a, b trace.Trace, until float64) (map[string]trace.Trace, error) {
+func RunModels(m Models, inputs []trace.Trace, until float64) (map[string]trace.Trace, error) {
 	out := make(map[string]trace.Trace, 4)
-	ideal := trace.NOR2(a, b)
-	out[ModelInertial] = m.Inertial.Apply(a, b)
+	ideal := trace.Combine(m.Gate.Logic, inputs...)
+	out[ModelInertial] = m.Inertial.Apply(m.Gate.Logic, inputs...)
 	out[ModelExp] = dtsim.ApplyDelay(ideal, m.Exp)
-	hm, err := hybrid.ApplyNOR(m.HM, a, b, until, m.Supply.VDD)
+	hm, err := m.HM.Apply(inputs, until)
 	if err != nil {
 		return nil, fmt.Errorf("eval: hybrid channel: %w", err)
 	}
 	out[ModelHM] = hm
-	hm0, err := hybrid.ApplyNOR(m.HMNoDMin, a, b, until, m.Supply.VDD)
+	hm0, err := m.HMNoDMin.Apply(inputs, until)
 	if err != nil {
 		return nil, fmt.Errorf("eval: hybrid channel (no dmin): %w", err)
 	}
@@ -173,11 +118,12 @@ type RunResult struct {
 	GoldenEv   int                // golden output transitions observed
 }
 
-// Evaluate runs the full pipeline for one configuration over the given
-// seeds (repetitions) and aggregates the deviation areas. It is the
-// serial composition of the per-seed units; EvaluateParallel fans the
-// same units across a worker pool with bit-identical results.
-func Evaluate(bench *nor.Bench, m Models, cfg gen.Config, seeds []int64) (RunResult, error) {
+// EvaluateBench runs the full pipeline for one configuration over the
+// given seeds (repetitions) on any gate bench and aggregates the
+// deviation areas. It is the serial composition of the per-seed units;
+// the Runner fans the same units across a worker pool with bit-identical
+// results.
+func EvaluateBench(bench gate.Bench, m Models, cfg gen.Config, seeds []int64) (RunResult, error) {
 	if len(seeds) == 0 {
 		return RunResult{
 			Config:     cfg,
@@ -185,7 +131,7 @@ func Evaluate(bench *nor.Bench, m Models, cfg gen.Config, seeds []int64) (RunRes
 			Normalized: map[string]float64{},
 		}, fmt.Errorf("eval: no seeds supplied")
 	}
-	golden := NewBenchSource(bench)
+	golden := NewGateBenchSource(bench)
 	parts := make([]SeedResult, 0, len(seeds))
 	for _, seed := range seeds {
 		part, err := EvaluateSeed(golden, m, cfg, seed)
@@ -195,4 +141,10 @@ func Evaluate(bench *nor.Bench, m Models, cfg gen.Config, seeds []int64) (RunRes
 		parts = append(parts, part)
 	}
 	return MergeSeedResults(cfg, parts), nil
+}
+
+// Evaluate runs the pipeline for one configuration on the default NOR2
+// golden bench; see EvaluateBench for the gate-generic form.
+func Evaluate(bench *nor.Bench, m Models, cfg gen.Config, seeds []int64) (RunResult, error) {
+	return EvaluateBench(&gate.NOR2Bench{B: bench}, m, cfg, seeds)
 }

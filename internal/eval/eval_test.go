@@ -4,6 +4,7 @@ import (
 	"math"
 	"testing"
 
+	"hybriddelay/internal/gate"
 	"hybriddelay/internal/gen"
 	"hybriddelay/internal/hybrid"
 	"hybriddelay/internal/nor"
@@ -40,8 +41,8 @@ func TestBuildModels(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	// Inertial arcs carry the SIS delays.
-	if m.Inertial.BFall != target.FallMinusInf || m.Inertial.AFall != target.FallPlusInf {
+	// Inertial arcs carry the SIS delays (pin 0 = A, pin 1 = B).
+	if m.Inertial[1].Fall != target.FallMinusInf || m.Inertial[0].Fall != target.FallPlusInf {
 		t.Error("inertial arc mapping wrong")
 	}
 	// Exp channel hits the SIS means at infinity.
@@ -49,17 +50,22 @@ func TestBuildModels(t *testing.T) {
 	if math.Abs(m.Exp.DelayUpInf()-riseSIS) > 1e-18 {
 		t.Errorf("exp delta_up(inf) = %g, want %g", m.Exp.DelayUpInf(), riseSIS)
 	}
+	if m.Gate.Name() != "nor2" {
+		t.Errorf("default models built for gate %q, want nor2", m.Gate.Name())
+	}
 	// The hybrid fit carries a positive pure delay, the ablation none.
-	if m.HM.DMin <= 0 {
-		t.Errorf("HM pure delay = %g, want > 0", m.HM.DMin)
+	hm := m.HM.(gate.NOR2Model).P
+	hm0 := m.HMNoDMin.(gate.NOR2Model).P
+	if hm.DMin <= 0 {
+		t.Errorf("HM pure delay = %g, want > 0", hm.DMin)
 	}
-	if m.HMNoDMin.DMin != 0 {
-		t.Errorf("HM ablation pure delay = %g, want 0", m.HMNoDMin.DMin)
+	if hm0.DMin != 0 {
+		t.Errorf("HM ablation pure delay = %g, want 0", hm0.DMin)
 	}
-	if err := m.HM.Validate(); err != nil {
+	if err := hm.Validate(); err != nil {
 		t.Error(err)
 	}
-	if err := m.HMNoDMin.Validate(); err != nil {
+	if err := hm0.Validate(); err != nil {
 		t.Error(err)
 	}
 }
@@ -176,7 +182,7 @@ func TestRunModelsProducesAllModels(t *testing.T) {
 		t.Fatal(err)
 	}
 	until := gen.Horizon(inputs, 600*waveform.Pico)
-	outs, err := RunModels(m, inputs[0], inputs[1], until)
+	outs, err := RunModels(m, inputs, until)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -3,6 +3,7 @@ package eval
 import (
 	"sync"
 
+	"hybriddelay/internal/gate"
 	"hybriddelay/internal/gen"
 	"hybriddelay/internal/nor"
 	"hybriddelay/internal/trace"
@@ -11,12 +12,12 @@ import (
 // GoldenRequest identifies one golden-reference run: the waveform
 // configuration and seed the inputs were generated from, the generated
 // input traces themselves, and the simulation horizon. Config and Seed
-// fully determine A, B and Until (trace generation is deterministic), so
-// they can serve as a content key for memoization.
+// fully determine Inputs and Until (trace generation is deterministic),
+// so they can serve as a content key for memoization.
 type GoldenRequest struct {
 	Config gen.Config
 	Seed   int64
-	A, B   trace.Trace
+	Inputs []trace.Trace
 	Until  float64
 }
 
@@ -27,29 +28,40 @@ type GoldenSource interface {
 	Golden(req GoldenRequest) (trace.Trace, error)
 }
 
-// BenchSource is a GoldenSource backed by the transistor-level analog
-// bench. Because a bench owns mutable simulator state (input-source
-// signals, device charge state), one instance cannot run two transients
-// at once; BenchSource keeps a free list of cloned benches so that each
-// concurrent request gets a private instance.
+// BenchSource is a GoldenSource backed by a gate's transistor-level
+// analog bench. Because a bench owns mutable simulator state
+// (input-source signals, device charge state), one instance cannot run
+// two transients at once; BenchSource keeps a free list of benches so
+// that each concurrent request gets a private instance (extra instances
+// are built on demand through the gate's constructor).
 type BenchSource struct {
+	gate   gate.Gate
 	params nor.Params
 
 	mu   sync.Mutex
-	free []*nor.Bench
+	free []gate.Bench
 }
 
-// NewBenchSource wraps a bench as a concurrency-safe golden source. The
-// given bench seeds the free list; additional clones are built on demand
-// from its parameters.
+// NewBenchSource wraps a NOR2 bench as a concurrency-safe golden source;
+// see NewGateBenchSource for the gate-generic form.
 func NewBenchSource(b *nor.Bench) *BenchSource {
-	return &BenchSource{params: b.P, free: []*nor.Bench{b}}
+	return NewGateBenchSource(&gate.NOR2Bench{B: b})
 }
+
+// NewGateBenchSource wraps any gate bench as a concurrency-safe golden
+// source. The given bench seeds the free list; additional instances are
+// built on demand from its gate and parameters.
+func NewGateBenchSource(b gate.Bench) *BenchSource {
+	return &BenchSource{gate: b.Gate(), params: b.Params(), free: []gate.Bench{b}}
+}
+
+// Gate returns the gate all bench instances implement.
+func (s *BenchSource) Gate() gate.Gate { return s.gate }
 
 // Params returns the bench parameters all instances share.
 func (s *BenchSource) Params() nor.Params { return s.params }
 
-func (s *BenchSource) acquire() (*nor.Bench, error) {
+func (s *BenchSource) acquire() (gate.Bench, error) {
 	s.mu.Lock()
 	if n := len(s.free); n > 0 {
 		b := s.free[n-1]
@@ -58,10 +70,10 @@ func (s *BenchSource) acquire() (*nor.Bench, error) {
 		return b, nil
 	}
 	s.mu.Unlock()
-	return nor.New(s.params)
+	return s.gate.NewBench(s.params)
 }
 
-func (s *BenchSource) release(b *nor.Bench) {
+func (s *BenchSource) release(b gate.Bench) {
 	s.mu.Lock()
 	s.free = append(s.free, b)
 	s.mu.Unlock()
@@ -74,15 +86,19 @@ func (s *BenchSource) Golden(req GoldenRequest) (trace.Trace, error) {
 	if err != nil {
 		return trace.Trace{}, err
 	}
-	out, err := GoldenNOR(b, req.A, req.B, req.Until)
+	out, err := b.Golden(req.Inputs, req.Until)
 	s.release(b)
 	return out, err
 }
 
-// GoldenKey is the content key of one golden run: the bench parameters
-// and the (config, seed) pair the inputs derive from. All fields are
-// comparable value types, so keys can index a map directly.
+// GoldenKey is the content key of one golden run: the gate name, the
+// bench parameters and the (config, seed) pair the inputs derive from.
+// All fields are comparable value types, so keys can index a map
+// directly. The gate name is part of the key so traces of different
+// gates sharing one parameter set (the benches are all built from
+// nor.Params) never collide.
 type GoldenKey struct {
+	Gate   string
 	Bench  nor.Params
 	Config gen.Config
 	Seed   int64
@@ -100,8 +116,8 @@ type goldenEntry struct {
 // for concurrent use and deduplicates in-flight computations
 // (singleflight): the first requester of a key computes, later ones wait
 // for its result. Failed computations are not cached. A cache may be
-// shared across runs, benches and worker counts — the bench parameters
-// are part of the key.
+// shared across runs, gates, benches and worker counts — the gate name
+// and bench parameters are part of the key.
 type GoldenCache struct {
 	mu     sync.Mutex
 	table  map[GoldenKey]*goldenEntry
@@ -172,6 +188,7 @@ func (c *GoldenCache) GetOrCompute(key GoldenKey, compute func() (trace.Trace, e
 // relies on the GoldenRequest invariant that (Config, Seed) determine
 // the inputs, which holds for requests built by the evaluation pipeline.
 type CachedSource struct {
+	Gate  string     // key component naming the gate topology
 	Bench nor.Params // key component identifying the golden reference
 	Cache *GoldenCache
 	Src   GoldenSource
@@ -179,7 +196,7 @@ type CachedSource struct {
 
 // Golden implements GoldenSource with memoization.
 func (s CachedSource) Golden(req GoldenRequest) (trace.Trace, error) {
-	key := GoldenKey{Bench: s.Bench, Config: req.Config, Seed: req.Seed}
+	key := GoldenKey{Gate: s.Gate, Bench: s.Bench, Config: req.Config, Seed: req.Seed}
 	return s.Cache.GetOrCompute(key, func() (trace.Trace, error) {
 		return s.Src.Golden(req)
 	})

@@ -1,0 +1,109 @@
+package eval
+
+import (
+	"testing"
+
+	"hybriddelay/internal/gen"
+	"hybriddelay/internal/nor"
+	"hybriddelay/internal/trace"
+)
+
+// stampSource is a synthetic GoldenSource returning a trace whose single
+// event time encodes the source's identity, so cache aliasing between
+// sources is detectable in the returned data.
+type stampSource struct {
+	stamp float64
+	calls int
+}
+
+func (s *stampSource) Golden(GoldenRequest) (trace.Trace, error) {
+	s.calls++
+	return trace.New(true, []trace.Event{{Time: s.stamp, Value: false}}), nil
+}
+
+// TestGoldenCacheKeyIncludesGate: a NOR2 and a NAND2 golden run of the
+// same (bench parameters, config, seed) must never collide in a shared
+// cache — the regression that motivated adding the gate name to
+// GoldenKey (all benches are built from the same nor.Params type, so
+// parameters alone cannot distinguish the topologies).
+func TestGoldenCacheKeyIncludesGate(t *testing.T) {
+	cache := NewGoldenCache()
+	params := nor.DefaultParams()
+	cfg := testConfig(8)
+	inputs, err := gen.Traces(cfg, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := GoldenRequest{Config: cfg, Seed: 1, Inputs: inputs, Until: 1e-9}
+
+	norSrc := &stampSource{stamp: 1e-9}
+	nandSrc := &stampSource{stamp: 2e-9}
+	norCached := CachedSource{Gate: "nor2", Bench: params, Cache: cache, Src: norSrc}
+	nandCached := CachedSource{Gate: "nand2", Bench: params, Cache: cache, Src: nandSrc}
+
+	norOut, err := norCached.Golden(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nandOut, err := nandCached.Golden(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if norSrc.calls != 1 || nandSrc.calls != 1 {
+		t.Fatalf("computed %d/%d times, want 1/1 (gate missing from the key aliases the second gate onto the first)",
+			norSrc.calls, nandSrc.calls)
+	}
+	if norOut.Events[0].Time == nandOut.Events[0].Time {
+		t.Fatalf("NOR2 and NAND2 traces collided for the same (config, seed): both %g", norOut.Events[0].Time)
+	}
+	// Warm lookups keep serving the right gate.
+	norOut2, err := norCached.Golden(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nandOut2, err := nandCached.Golden(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if norOut2.Events[0].Time != 1e-9 || nandOut2.Events[0].Time != 2e-9 {
+		t.Errorf("warm lookups crossed gates: nor=%g nand=%g", norOut2.Events[0].Time, nandOut2.Events[0].Time)
+	}
+	if st := cache.Stats(); st.Entries != 2 || st.Misses != 2 || st.Hits != 2 {
+		t.Errorf("stats %+v, want 2 entries / 2 misses / 2 hits", cache.Stats())
+	}
+}
+
+// TestGateRunnerDeterministicAcrossWorkers: the runner's merged areas
+// are independent of the worker count on a synthetic golden source
+// (scheduling only; the analog path is covered by the cross-gate tests).
+func TestGateRunnerDeterministicAcrossWorkers(t *testing.T) {
+	m := cheapModels(t)
+	cfg := testConfig(12)
+	seeds := []int64{1, 2, 3, 4}
+	src := &countingSource{}
+	base, err := (&Runner{golden: src, models: m, workers: 1}).Run([]gen.Config{cfg}, seeds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 5} {
+		res, err := (&Runner{golden: src, models: m, workers: workers}).Run([]gen.Config{cfg}, seeds)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for name, v := range base[0].Area {
+			if res[0].Area[name] != v {
+				t.Errorf("workers=%d: Area[%s] = %g, want %g", workers, name, res[0].Area[name], v)
+			}
+		}
+	}
+}
+
+// TestEvaluateSeedRejectsNilGate: a Models literal missing the Gate
+// field errors descriptively instead of panicking.
+func TestEvaluateSeedRejectsNilGate(t *testing.T) {
+	m := cheapModels(t)
+	m.Gate = nil
+	if _, err := EvaluateSeed(&countingSource{}, m, testConfig(4), 1); err == nil {
+		t.Fatal("nil Models.Gate accepted")
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"hybriddelay/internal/gate"
 	"hybriddelay/internal/gen"
 	"hybriddelay/internal/nor"
 	"hybriddelay/internal/trace"
@@ -27,24 +28,28 @@ type SeedResult struct {
 // generate the random inputs, obtain the digitized golden trace from the
 // source, run every delay model and measure the deviation areas. It is
 // the building block both the serial Evaluate and the parallel Runner
-// are assembled from.
+// are assembled from. The configuration's input count must match the
+// model gate's arity.
 func EvaluateSeed(golden GoldenSource, m Models, cfg gen.Config, seed int64) (SeedResult, error) {
 	res := SeedResult{Config: cfg, Seed: seed, Area: map[string]float64{}}
+	if m.Gate == nil {
+		return res, fmt.Errorf("eval: Models.Gate is unset (build models through a registered gate)")
+	}
 	inputs, err := gen.Traces(cfg, seed)
 	if err != nil {
 		return res, err
 	}
-	if len(inputs) != 2 {
-		return res, fmt.Errorf("eval: NOR evaluation needs 2 inputs, config has %d", len(inputs))
+	if len(inputs) != m.Gate.Arity() {
+		return res, fmt.Errorf("eval: gate %s needs %d inputs, config has %d",
+			m.Gate.Name(), m.Gate.Arity(), len(inputs))
 	}
-	a, b := inputs[0], inputs[1]
 	until := gen.Horizon(inputs, 600*waveform.Pico)
-	g, err := golden.Golden(GoldenRequest{Config: cfg, Seed: seed, A: a, B: b, Until: until})
+	g, err := golden.Golden(GoldenRequest{Config: cfg, Seed: seed, Inputs: inputs, Until: until})
 	if err != nil {
 		return res, fmt.Errorf("eval: seed %d: %w", seed, err)
 	}
 	res.GoldenEv = g.NumEvents()
-	models, err := RunModels(m, a, b, until)
+	models, err := RunModels(m, inputs, until)
 	if err != nil {
 		return res, fmt.Errorf("eval: seed %d: %w", seed, err)
 	}
@@ -103,9 +108,9 @@ type Options struct {
 	Workers int
 
 	// Cache, when non-nil, memoizes digitized golden traces across
-	// units, runs and benches (the bench parameters are part of the
-	// key). Share one cache between calls to skip re-simulating
-	// identical (bench, config, seed) golden runs.
+	// units, runs and benches (the gate name and bench parameters are
+	// part of the key). Share one cache between calls to skip
+	// re-simulating identical (gate, bench, config, seed) golden runs.
 	Cache *GoldenCache
 
 	// Progress, when non-nil, is invoked after each completed unit.
@@ -124,11 +129,11 @@ type Runner struct {
 	progress func(Progress)
 }
 
-// NewRunner builds a runner evaluating the given models against the
-// bench's golden reference. The bench itself is reused as one of the
-// pool's instances; extra workers run on clones built from its
-// parameters. opt may be nil for defaults.
-func NewRunner(bench *nor.Bench, m Models, opt *Options) *Runner {
+// NewGateRunner builds a runner evaluating the given models against any
+// gate bench's golden reference. The bench itself is reused as one of
+// the pool's instances; extra workers run on instances built from its
+// gate and parameters. opt may be nil for defaults.
+func NewGateRunner(bench gate.Bench, m Models, opt *Options) *Runner {
 	var o Options
 	if opt != nil {
 		o = *opt
@@ -136,11 +141,17 @@ func NewRunner(bench *nor.Bench, m Models, opt *Options) *Runner {
 	if o.Workers <= 0 {
 		o.Workers = runtime.GOMAXPROCS(0)
 	}
-	src := GoldenSource(NewBenchSource(bench))
+	src := GoldenSource(NewGateBenchSource(bench))
 	if o.Cache != nil {
-		src = CachedSource{Bench: bench.P, Cache: o.Cache, Src: src}
+		src = CachedSource{Gate: bench.Gate().Name(), Bench: bench.Params(), Cache: o.Cache, Src: src}
 	}
 	return &Runner{golden: src, models: m, workers: o.Workers, progress: o.Progress}
+}
+
+// NewRunner builds a runner for the default NOR2 golden bench; see
+// NewGateRunner for the gate-generic form.
+func NewRunner(bench *nor.Bench, m Models, opt *Options) *Runner {
+	return NewGateRunner(&gate.NOR2Bench{B: bench}, m, opt)
 }
 
 // Run evaluates every configuration over the given seeds and returns one
@@ -207,9 +218,10 @@ func (r *Runner) Run(configs []gen.Config, seeds []int64) ([]RunResult, error) {
 }
 
 // EvaluateParallel runs the Fig. 7 pipeline for one configuration over
-// the given seeds on a bounded worker pool. For a fixed seed list the
-// result is bit-identical to the serial Evaluate regardless of the
-// worker count; see Options for caching and progress reporting.
+// the given seeds on a bounded worker pool against the default NOR2
+// bench. For a fixed seed list the result is bit-identical to the serial
+// Evaluate regardless of the worker count; see Options for caching and
+// progress reporting, and NewGateRunner for other gates.
 func EvaluateParallel(bench *nor.Bench, m Models, cfg gen.Config, seeds []int64, opt *Options) (RunResult, error) {
 	res, err := NewRunner(bench, m, opt).Run([]gen.Config{cfg}, seeds)
 	if err != nil {

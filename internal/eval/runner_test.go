@@ -6,6 +6,7 @@ import (
 	"sync"
 	"testing"
 
+	"hybriddelay/internal/gate"
 	"hybriddelay/internal/gen"
 	"hybriddelay/internal/hybrid"
 	"hybriddelay/internal/idm"
@@ -30,7 +31,14 @@ func cheapModels(t *testing.T) Models {
 	if err != nil {
 		t.Fatal(err)
 	}
-	return Models{Inertial: arcs, Exp: exp, HM: hm, HMNoDMin: hm0, Supply: hm.Supply}
+	return Models{
+		Gate:     gate.NOR2,
+		Inertial: arcs.Arcs(),
+		Exp:      exp,
+		HM:       gate.NOR2Model{P: hm},
+		HMNoDMin: gate.NOR2Model{P: hm0},
+		Supply:   hm.Supply,
+	}
 }
 
 // countingSource is a synthetic GoldenSource recording how often it
@@ -69,13 +77,13 @@ func testConfig(transitions int) gen.Config {
 func TestGoldenCacheHitMiss(t *testing.T) {
 	inner := &countingSource{}
 	cache := NewGoldenCache()
-	src := CachedSource{Bench: nor.DefaultParams(), Cache: cache, Src: inner}
+	src := CachedSource{Gate: "nor2", Bench: nor.DefaultParams(), Cache: cache, Src: inner}
 	cfg := testConfig(4)
 	inputs, err := gen.Traces(cfg, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
-	req := GoldenRequest{Config: cfg, Seed: 1, A: inputs[0], B: inputs[1], Until: 1e-9}
+	req := GoldenRequest{Config: cfg, Seed: 1, Inputs: inputs, Until: 1e-9}
 
 	if _, err := src.Golden(req); err != nil {
 		t.Fatal(err)
@@ -97,7 +105,7 @@ func TestGoldenCacheHitMiss(t *testing.T) {
 	// A different bench parametrization must not alias the same seed.
 	otherBench := nor.DefaultParams()
 	otherBench.CO *= 2
-	src2 := CachedSource{Bench: otherBench, Cache: cache, Src: inner}
+	src2 := CachedSource{Gate: "nor2", Bench: otherBench, Cache: cache, Src: inner}
 	if _, err := src2.Golden(req); err != nil {
 		t.Fatal(err)
 	}
@@ -113,7 +121,7 @@ func TestGoldenCacheHitMiss(t *testing.T) {
 func TestGoldenCacheDoesNotCacheErrors(t *testing.T) {
 	inner := &countingSource{failSeed: 7}
 	cache := NewGoldenCache()
-	src := CachedSource{Bench: nor.DefaultParams(), Cache: cache, Src: inner}
+	src := CachedSource{Gate: "nor2", Bench: nor.DefaultParams(), Cache: cache, Src: inner}
 	req := GoldenRequest{Config: testConfig(4), Seed: 7}
 	if _, err := src.Golden(req); err == nil {
 		t.Fatal("first call should fail")

@@ -1,0 +1,167 @@
+package gate
+
+import (
+	"math"
+	"testing"
+
+	"hybriddelay/internal/hybrid"
+	"hybriddelay/internal/nor"
+	"hybriddelay/internal/trace"
+)
+
+func charFromSlice(v []float64) hybrid.Characteristic {
+	return hybrid.Characteristic{
+		FallMinusInf: v[0], FallZero: v[1], FallPlusInf: v[2],
+		RiseMinusInf: v[3], RiseZero: v[4], RisePlusInf: v[5],
+	}
+}
+
+// testBenchParams uses the coarser integrator step of the other analog
+// tests (delay error well below the effects asserted here).
+func testBenchParams() nor.Params {
+	p := nor.DefaultParams()
+	p.MaxStep = 8e-12
+	return p
+}
+
+// TestCrossGateInvariants measures every registered gate through the
+// generic pipeline and asserts the structural predictions of the paper's
+// analysis: all characteristic and per-pin SIS delays are positive and
+// finite, and the serial-stack output direction is slower than the
+// parallel one (the NOR's pMOS stack slows the rise, the NAND's mirrored
+// nMOS stack slows the fall, and the three-deep NOR3 stack is slower
+// than the two-deep NOR2 stack).
+func TestCrossGateInvariants(t *testing.T) {
+	if testing.Short() {
+		t.Skip("analog characteristic measurements in -short mode")
+	}
+	p := testBenchParams()
+	meas := map[string]Measurement{}
+	for _, name := range Names() {
+		g, _ := Lookup(name)
+		b, err := g.NewBench(p)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		m, err := b.Measure()
+		if err != nil {
+			t.Fatalf("%s: Measure: %v", name, err)
+		}
+		meas[name] = m
+
+		for i, d := range m.Pair.AsSlice() {
+			if !(d > 0) || math.IsInf(d, 0) {
+				t.Errorf("%s: pair characteristic[%d] = %g, want positive finite", name, i, d)
+			}
+		}
+		if len(m.Arcs) != g.Arity() {
+			t.Fatalf("%s: %d arcs for arity %d", name, len(m.Arcs), g.Arity())
+		}
+		for pin, a := range m.Arcs {
+			if !(a.Fall > 0) || math.IsInf(a.Fall, 0) || !(a.Rise > 0) || math.IsInf(a.Rise, 0) {
+				t.Errorf("%s: pin %d arcs %+v, want positive finite", name, pin, a)
+			}
+		}
+	}
+
+	// Mean SIS delay of the serial-stack direction vs the parallel one.
+	stackVsParallel := func(m Measurement, stackIsRise bool) (stack, par float64) {
+		rise := 0.5 * (m.Pair.RiseMinusInf + m.Pair.RisePlusInf)
+		fall := 0.5 * (m.Pair.FallMinusInf + m.Pair.FallPlusInf)
+		if stackIsRise {
+			return rise, fall
+		}
+		return fall, rise
+	}
+	if s, par := stackVsParallel(meas["nor2"], true); s <= par {
+		t.Errorf("nor2: stack rise %g <= parallel fall %g", s, par)
+	}
+	if s, par := stackVsParallel(meas["nor3"], true); s <= par {
+		t.Errorf("nor3: stack rise %g <= parallel fall %g", s, par)
+	}
+	// The NAND mirrors: its serial nMOS stack drives the falling output.
+	if s, par := stackVsParallel(meas["nand2"], false); s <= par {
+		t.Errorf("nand2: stack fall %g <= parallel rise %g", s, par)
+	}
+	// Deeper stack, slower serial direction: NOR3's pair projection goes
+	// through three stacked pMOS, NOR2's through two.
+	nor3Rise := 0.5 * (meas["nor3"].Pair.RiseMinusInf + meas["nor3"].Pair.RisePlusInf)
+	nor2Rise := 0.5 * (meas["nor2"].Pair.RiseMinusInf + meas["nor2"].Pair.RisePlusInf)
+	if nor3Rise <= nor2Rise {
+		t.Errorf("nor3 stack rise %g <= nor2 stack rise %g", nor3Rise, nor2Rise)
+	}
+	// The pin-C arcs of the NOR3 sit in the same ballpark as the pair
+	// pins: within a factor of three of pin B's arcs.
+	cb := meas["nor3"].Arcs[2]
+	bb := meas["nor3"].Arcs[1]
+	if cb.Fall > 3*bb.Fall || cb.Rise > 3*bb.Rise || 3*cb.Fall < bb.Fall || 3*cb.Rise < bb.Rise {
+		t.Errorf("nor3 pin C arcs %+v out of range of pin B arcs %+v", cb, bb)
+	}
+}
+
+// TestCrossGateModels builds the full model set for every registered
+// gate from its own measurement, drives golden bench and hybrid models
+// with a deterministic multi-edge stimulus, and checks that every
+// produced trace is well-formed and settles to the gate's boolean value
+// of the final input state.
+func TestCrossGateModels(t *testing.T) {
+	if testing.Short() {
+		t.Skip("analog golden runs in -short mode")
+	}
+	p := testBenchParams()
+	for _, name := range Names() {
+		g, _ := Lookup(name)
+		b, err := g.NewBench(p)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		meas, err := b.Measure()
+		if err != nil {
+			t.Fatalf("%s: Measure: %v", name, err)
+		}
+		models, err := g.BuildModels(meas, p.Supply, 20e-12)
+		if err != nil {
+			t.Fatalf("%s: BuildModels: %v", name, err)
+		}
+		if models.Gate.Name() != name {
+			t.Errorf("%s: models tagged with gate %q", name, models.Gate.Name())
+		}
+
+		// Stimulus: every input pulses high once, staggered by 150 ps,
+		// ending with all inputs low again.
+		inputs := make([]trace.Trace, g.Arity())
+		finals := make([]bool, g.Arity())
+		for i := range inputs {
+			t0 := 400e-12 + float64(i)*150e-12
+			inputs[i] = trace.New(false, []trace.Event{
+				{Time: t0, Value: true},
+				{Time: t0 + 500e-12, Value: false},
+			})
+		}
+		until := 2.5e-9
+		want := g.Logic(finals)
+
+		golden, err := b.Golden(inputs, until)
+		if err != nil {
+			t.Fatalf("%s: golden run: %v", name, err)
+		}
+		outs := map[string]trace.Trace{
+			"golden":   golden,
+			"inertial": models.Inertial.Apply(g.Logic, inputs...),
+		}
+		if outs["hm"], err = models.HM.Apply(inputs, until); err != nil {
+			t.Fatalf("%s: hm apply: %v", name, err)
+		}
+		if outs["hm0"], err = models.HMNoDMin.Apply(inputs, until); err != nil {
+			t.Fatalf("%s: hm0 apply: %v", name, err)
+		}
+		for label, tr := range outs {
+			if err := tr.Validate(); err != nil {
+				t.Errorf("%s/%s: invalid trace: %v", name, label, err)
+			}
+			if tr.Final() != want {
+				t.Errorf("%s/%s: settles to %v, want %v", name, label, tr.Final(), want)
+			}
+		}
+	}
+}

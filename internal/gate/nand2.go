@@ -1,0 +1,115 @@
+package gate
+
+import (
+	"fmt"
+
+	"hybriddelay/internal/hybrid"
+	"hybriddelay/internal/inertial"
+	"hybriddelay/internal/nor"
+	"hybriddelay/internal/trace"
+	"hybriddelay/internal/waveform"
+)
+
+// NAND2 is the 2-input CMOS NAND — the exact structural dual of the
+// paper's NOR (parallel pMOS pull-ups, serial nMOS stack). Its hybrid
+// model is the mirrored NOR model; its golden bench is the mirrored
+// netlist built from the same device parameters.
+var NAND2 Gate = nand2{}
+
+func init() { Register(NAND2) }
+
+type nand2 struct{}
+
+func (nand2) Name() string         { return "nand2" }
+func (nand2) Arity() int           { return 2 }
+func (nand2) Logic(in []bool) bool { return !(in[0] && in[1]) }
+
+func (nand2) NewBench(p nor.Params) (Bench, error) {
+	b, err := nor.NewNAND(p)
+	if err != nil {
+		return nil, err
+	}
+	return &NAND2Bench{B: b}, nil
+}
+
+func (g nand2) BuildModels(meas Measurement, supply waveform.Supply, expDMin float64) (Models, error) {
+	// Fit the dual NOR model on the mirrored characteristic (the
+	// duality frame change of hybrid.Characteristic.Mirror), then flip
+	// it back into the NAND parametrization for the channel.
+	return buildModels(g, meas, meas.Pair.Mirror(), supply, expDMin, func(p hybrid.Params) Model {
+		return NAND2Model{N: hybrid.NANDFromDual(p)}
+	})
+}
+
+// NAND2Arcs maps the NAND pair characteristic onto per-pin arcs. NAND
+// falling delays are measured from the later rising input (the serial
+// stack only discharges once both inputs are high), so delta_fall(-inf)
+// is the A-caused arc and delta_fall(+inf) the B-caused one; rising
+// delays are measured from the earlier falling input, so
+// delta_rise(+inf) is A-caused and delta_rise(-inf) B-caused.
+func NAND2Arcs(c hybrid.Characteristic) inertial.Arcs {
+	return inertial.Arcs{
+		{Fall: c.FallMinusInf, Rise: c.RisePlusInf},
+		{Fall: c.FallPlusInf, Rise: c.RiseMinusInf},
+	}
+}
+
+// NAND2Bench adapts the transistor-level NAND testbench.
+type NAND2Bench struct {
+	B *nor.NANDBench
+}
+
+// Gate implements Bench.
+func (b *NAND2Bench) Gate() Gate { return NAND2 }
+
+// Params implements Bench.
+func (b *NAND2Bench) Params() nor.Params { return b.B.P }
+
+// Measure implements Bench: the six characteristic NAND delays
+// (worst-case V_M = VDD for the falling experiments) plus the SIS arc
+// mapping.
+func (b *NAND2Bench) Measure() (Measurement, error) {
+	c, err := b.B.Characteristic()
+	if err != nil {
+		return Measurement{}, err
+	}
+	pair := toCharacteristic(c)
+	return Measurement{Pair: pair, Arcs: NAND2Arcs(pair)}, nil
+}
+
+// Golden implements Bench. The bench starts settled in state (0,0) with
+// the output high; the isolated internal stack node M starts fully
+// discharged (V_M = 0), matching the hybrid NAND channel's initial
+// state in NAND2Model.Apply.
+func (b *NAND2Bench) Golden(inputs []trace.Trace, until float64) (trace.Trace, error) {
+	if len(inputs) != 2 {
+		return trace.Trace{}, fmt.Errorf("gate nand2: want 2 inputs, got %d", len(inputs))
+	}
+	sigs, bps, err := inputSignals(b.B.P, inputs)
+	if err != nil {
+		return trace.Trace{}, err
+	}
+	supply := b.B.P.Supply
+	res, err := b.B.Run(sigs[0], sigs[1], until, 0, supply.VDD, bps)
+	if err != nil {
+		return trace.Trace{}, fmt.Errorf("gate nand2: golden transient: %w", err)
+	}
+	return trace.Digitize(res.O, supply.Vth), nil
+}
+
+// NAND2Model applies the duality-derived 2-input hybrid NAND channel.
+type NAND2Model struct {
+	N hybrid.NANDParams
+}
+
+// Apply implements Model. The initial stack-node voltage V_M = 0
+// matches the golden bench's initial condition.
+func (m NAND2Model) Apply(in []trace.Trace, until float64) (trace.Trace, error) {
+	if len(in) != 2 {
+		return trace.Trace{}, fmt.Errorf("gate nand2: model wants 2 inputs, got %d", len(in))
+	}
+	return hybrid.ApplyNAND(m.N, in[0], in[1], until, 0)
+}
+
+// String implements Model.
+func (m NAND2Model) String() string { return m.N.String() }

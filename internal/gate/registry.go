@@ -1,0 +1,52 @@
+package gate
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// registry maps gate names to their implementations. Gates register in
+// init functions; lookups happen from many goroutines.
+var registry = struct {
+	mu    sync.RWMutex
+	gates map[string]Gate
+}{gates: map[string]Gate{}}
+
+// Register adds a gate under its Name. It panics on an empty name or a
+// duplicate registration — both are programming errors.
+func Register(g Gate) {
+	name := g.Name()
+	if name == "" {
+		panic("gate: Register with empty name")
+	}
+	registry.mu.Lock()
+	defer registry.mu.Unlock()
+	if _, dup := registry.gates[name]; dup {
+		panic(fmt.Sprintf("gate: duplicate registration of %q", name))
+	}
+	registry.gates[name] = g
+}
+
+// Lookup returns the gate registered under name.
+func Lookup(name string) (Gate, bool) {
+	registry.mu.RLock()
+	defer registry.mu.RUnlock()
+	g, ok := registry.gates[name]
+	return g, ok
+}
+
+// Names lists the registered gate names in sorted order.
+func Names() []string {
+	registry.mu.RLock()
+	defer registry.mu.RUnlock()
+	out := make([]string, 0, len(registry.gates))
+	for name := range registry.gates {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Default returns the paper's gate, the 2-input NOR.
+func Default() Gate { return NOR2 }

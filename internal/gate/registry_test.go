@@ -1,0 +1,166 @@
+package gate
+
+import (
+	"reflect"
+	"testing"
+
+	"hybriddelay/internal/hybrid"
+	"hybriddelay/internal/nor"
+	"hybriddelay/internal/trace"
+	"hybriddelay/internal/waveform"
+)
+
+func TestRegistryNames(t *testing.T) {
+	want := []string{"nand2", "nor2", "nor3"}
+	if got := Names(); !reflect.DeepEqual(got, want) {
+		t.Errorf("Names() = %v, want %v", got, want)
+	}
+	for _, name := range want {
+		g, ok := Lookup(name)
+		if !ok {
+			t.Fatalf("Lookup(%q) failed", name)
+		}
+		if g.Name() != name {
+			t.Errorf("Lookup(%q).Name() = %q", name, g.Name())
+		}
+	}
+	if _, ok := Lookup("xor7"); ok {
+		t.Error("Lookup of unregistered gate succeeded")
+	}
+	if Default().Name() != "nor2" {
+		t.Errorf("Default() = %q, want nor2", Default().Name())
+	}
+}
+
+func TestRegisterRejectsDuplicates(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate Register did not panic")
+		}
+	}()
+	Register(nor2{})
+}
+
+func TestGateArityAndLogic(t *testing.T) {
+	cases := []struct {
+		gate Gate
+		ar   int
+		// allLow is the output for all-low inputs, oneHigh with only
+		// input 0 high, allHigh with every input high.
+		allLow, oneHigh, allHigh bool
+	}{
+		{NOR2, 2, true, false, false},
+		{NAND2, 2, true, true, false},
+		{NOR3, 3, true, false, false},
+	}
+	for _, c := range cases {
+		if c.gate.Arity() != c.ar {
+			t.Errorf("%s arity = %d, want %d", c.gate.Name(), c.gate.Arity(), c.ar)
+		}
+		low := make([]bool, c.ar)
+		one := make([]bool, c.ar)
+		one[0] = true
+		high := make([]bool, c.ar)
+		for i := range high {
+			high[i] = true
+		}
+		if got := c.gate.Logic(low); got != c.allLow {
+			t.Errorf("%s(all low) = %v, want %v", c.gate.Name(), got, c.allLow)
+		}
+		if got := c.gate.Logic(one); got != c.oneHigh {
+			t.Errorf("%s(one high) = %v, want %v", c.gate.Name(), got, c.oneHigh)
+		}
+		if got := c.gate.Logic(high); got != c.allHigh {
+			t.Errorf("%s(all high) = %v, want %v", c.gate.Name(), got, c.allHigh)
+		}
+	}
+}
+
+func TestBenchConstructionAndIdentity(t *testing.T) {
+	p := nor.DefaultParams()
+	for _, name := range Names() {
+		g, _ := Lookup(name)
+		b, err := g.NewBench(p)
+		if err != nil {
+			t.Fatalf("%s: NewBench: %v", name, err)
+		}
+		if b.Gate().Name() != name {
+			t.Errorf("%s: bench reports gate %q", name, b.Gate().Name())
+		}
+		if b.Params() != p {
+			t.Errorf("%s: bench params differ from input", name)
+		}
+		// High initial inputs are rejected before any transient runs.
+		high := make([]trace.Trace, g.Arity())
+		high[0] = trace.Trace{Initial: true}
+		if _, err := b.Golden(high, 1e-9); err == nil {
+			t.Errorf("%s: golden run accepted a high initial input", name)
+		}
+		// Wrong input counts are rejected.
+		if _, err := b.Golden(make([]trace.Trace, g.Arity()+1), 1e-9); err == nil {
+			t.Errorf("%s: golden run accepted %d inputs", name, g.Arity()+1)
+		}
+	}
+}
+
+func TestNOR2ArcsMapping(t *testing.T) {
+	c := charFromSlice([]float64{1, 2, 3, 4, 5, 6})
+	arcs := NOR2Arcs(c)
+	// NOR: fall measured from the first rising input, rise from the last
+	// falling one.
+	if arcs[0].Fall != 3 || arcs[0].Rise != 4 || arcs[1].Fall != 1 || arcs[1].Rise != 6 {
+		t.Errorf("NOR2 arc mapping wrong: %+v", arcs)
+	}
+	nand := NAND2Arcs(c)
+	// NAND: fall measured from the last rising input, rise from the
+	// first falling one.
+	if nand[0].Fall != 1 || nand[0].Rise != 6 || nand[1].Fall != 3 || nand[1].Rise != 4 {
+		t.Errorf("NAND2 arc mapping wrong: %+v", nand)
+	}
+}
+
+func TestMirrorFrameChange(t *testing.T) {
+	c := charFromSlice([]float64{1, 2, 3, 4, 5, 6})
+	m := c.Mirror()
+	if m.FallMinusInf != 4 || m.FallZero != 5 || m.FallPlusInf != 6 ||
+		m.RiseMinusInf != 1 || m.RiseZero != 2 || m.RisePlusInf != 3 {
+		t.Errorf("mirror wrong: %+v", m)
+	}
+	if mm := m.Mirror(); mm != c {
+		t.Errorf("mirror is not an involution: %+v", mm)
+	}
+}
+
+func TestBuildModelsRejectsBadMeasurement(t *testing.T) {
+	supply := waveform.DefaultSupply()
+	// Arity mismatch.
+	meas := Measurement{
+		Pair: charFromSlice([]float64{30e-12, 25e-12, 30e-12, 55e-12, 55e-12, 55e-12}),
+		Arcs: NOR2Arcs(charFromSlice([]float64{30e-12, 25e-12, 30e-12, 55e-12, 55e-12, 55e-12})),
+	}
+	if _, err := NOR3.BuildModels(meas, supply, 20e-12); err == nil {
+		t.Error("3-input gate accepted a 2-arc measurement")
+	}
+	// Negative arc.
+	meas.Arcs[0].Fall = -1
+	if _, err := NOR2.BuildModels(meas, supply, 20e-12); err == nil {
+		t.Error("negative arc accepted")
+	}
+}
+
+// TestModelArityErrors: the 2-input model appliers reject wrong input
+// counts with an error, matching the 3-input behaviour.
+func TestModelArityErrors(t *testing.T) {
+	nor2m := NOR2Model{P: hybrid.TableI()}
+	if _, err := nor2m.Apply([]trace.Trace{{}}, 1e-9); err == nil {
+		t.Error("nor2 model accepted 1 input")
+	}
+	nandm := NAND2Model{N: hybrid.NANDFromDual(hybrid.TableI())}
+	if _, err := nandm.Apply(nil, 1e-9); err == nil {
+		t.Error("nand2 model accepted 0 inputs")
+	}
+	nor3m := NOR3Model{P: hybrid.NOR3FromNOR2(hybrid.TableI())}
+	if _, err := nor3m.Apply([]trace.Trace{{}, {}}, 1e-9); err == nil {
+		t.Error("nor3 model accepted 2 inputs")
+	}
+}

@@ -1,0 +1,73 @@
+package hybrid
+
+import (
+	"fmt"
+	"sort"
+
+	"hybriddelay/internal/trace"
+)
+
+// ApplyGate runs n digital input traces offline through the generalized
+// switch-level hybrid channel of a SwitchGate and returns the output
+// trace — the n-input counterpart of ApplyNOR used by the gate-generic
+// accuracy pipeline.
+//
+// Semantics mirror the 2-input Channel: every input event switches the
+// RC mode a pure delay DMin later, the continuous node state is carried
+// across mode switches, and the output toggles at each V_th crossing of
+// the resulting piecewise trajectory. Because the whole input schedule
+// is known up front, the trajectory is solved once and the alternating
+// crossings are read off it directly. isolatedFill fills internal nodes
+// left floating by the initial input state (the worst-case history value
+// of the paper's V_N discussion).
+func ApplyGate(g SwitchGate, inputs []trace.Trace, until float64, isolatedFill float64) (trace.Trace, error) {
+	if len(inputs) != g.NumInputs {
+		return trace.Trace{}, fmt.Errorf("hybrid: gate %s wants %d inputs, got %d", g.Name, g.NumInputs, len(inputs))
+	}
+	type ev struct {
+		t   float64
+		pin int
+		val bool
+	}
+	var evs []ev
+	state := make([]bool, g.NumInputs)
+	for i, in := range inputs {
+		state[i] = in.Initial
+		for _, e := range in.Events {
+			if e.Time < 0 {
+				return trace.Trace{}, fmt.Errorf("hybrid: gate %s: input %d event before t=0", g.Name, i)
+			}
+			evs = append(evs, ev{e.Time, i, e.Value})
+		}
+	}
+	sort.SliceStable(evs, func(i, j int) bool { return evs[i].t < evs[j].t })
+
+	clone := func(s []bool) []bool { return append([]bool(nil), s...) }
+	phases := []PhaseN{{Start: 0, Inputs: clone(state)}}
+	for _, e := range evs {
+		state[e.pin] = e.val
+		phases = append(phases, PhaseN{Start: e.t + g.DMin, Inputs: clone(state)})
+	}
+
+	v0, err := g.SteadyState(phases[0].Inputs, isolatedFill)
+	if err != nil {
+		return trace.Trace{}, err
+	}
+	tr, err := g.NewTrajectory(v0, phases)
+	if err != nil {
+		return trace.Trace{}, err
+	}
+	out := trace.Trace{Initial: v0[g.OutNode] > g.Supply.Vth}
+	cur := out.Initial
+	after := 0.0
+	for {
+		t, ok := tr.FirstOutputCrossing(g.Supply.Vth, !cur, after)
+		if !ok || t > until {
+			break
+		}
+		cur = !cur
+		out.Events = append(out.Events, trace.Event{Time: t, Value: cur})
+		after = t
+	}
+	return out, nil
+}

@@ -100,22 +100,30 @@ func (n NANDParams) RisingDelay(delta float64) (float64, error) {
 	return n.Dual().FallingDelay(delta)
 }
 
+// Mirror exchanges the falling and rising delay triples index-wise —
+// the NAND/NOR duality frame change under V -> VDD - V. It is its own
+// inverse, so it converts in both directions (NOR-frame to NAND-frame
+// and back).
+func (c Characteristic) Mirror() Characteristic {
+	return Characteristic{
+		FallMinusInf: c.RiseMinusInf,
+		FallZero:     c.RiseZero,
+		FallPlusInf:  c.RisePlusInf,
+		RiseMinusInf: c.FallMinusInf,
+		RiseZero:     c.FallZero,
+		RisePlusInf:  c.FallPlusInf,
+	}
+}
+
 // Characteristic computes the six characteristic Charlie delays of the
-// NAND (worst-case V_M = VDD for the falling cases).
+// NAND (worst-case V_M = VDD for the falling cases): the mirrored dual
+// NOR characteristic.
 func (n NANDParams) Characteristic() (Characteristic, error) {
 	dual, err := n.Dual().Characteristic()
 	if err != nil {
 		return Characteristic{}, err
 	}
-	// Mirrored: NAND falling <- NOR rising, NAND rising <- NOR falling.
-	return Characteristic{
-		FallMinusInf: dual.RiseMinusInf,
-		FallZero:     dual.RiseZero,
-		FallPlusInf:  dual.RisePlusInf,
-		RiseMinusInf: dual.FallMinusInf,
-		RiseZero:     dual.FallZero,
-		RisePlusInf:  dual.FallPlusInf,
-	}, nil
+	return dual.Mirror(), nil
 }
 
 // FallingSweep samples the falling NAND delays over the separations.

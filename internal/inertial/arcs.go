@@ -2,69 +2,74 @@ package inertial
 
 import (
 	"fmt"
+	"math"
 	"sort"
 
 	"hybriddelay/internal/trace"
 )
 
-// NORArcs is a pin-aware inertial delay model of a 2-input NOR gate: the
-// delay of an output transition depends on which input caused it, as in
-// standard per-arc (NLDM-style) timing. This is the "inertial delay"
-// baseline of the paper's Fig. 7: for widely separated input events it
-// reproduces the exact SIS delays per arc, while (unlike the hybrid
-// channel) it knows nothing about MIS interactions.
-type NORArcs struct {
-	// AFall is the delay of a falling output caused by input A rising.
-	AFall float64
-	// ARise is the delay of a rising output caused by input A falling.
-	ARise float64
-	// BFall is the delay of a falling output caused by input B rising.
-	BFall float64
-	// BRise is the delay of a rising output caused by input B falling.
-	BRise float64
+// PinArcs holds the two per-pin inertial delays of one gate input: the
+// delay of an output transition caused by that pin, per output direction.
+type PinArcs struct {
+	// Fall is the delay of a falling output caused by this pin switching.
+	Fall float64
+	// Rise is the delay of a rising output caused by this pin switching.
+	Rise float64
 }
 
-// NORArcsFromSIS builds per-arc delays from the characteristic SIS
-// delays: a falling output caused by A corresponds to delta_fall(+inf)
-// (A switched first), caused by B to delta_fall(-inf); a rising output
-// caused by A corresponds to delta_rise(-inf) (A switched last), caused
-// by B to delta_rise(+inf).
-func NORArcsFromSIS(fallMinusInf, fallPlusInf, riseMinusInf, risePlusInf float64) (NORArcs, error) {
-	a := NORArcs{
-		AFall: fallPlusInf,
-		ARise: riseMinusInf,
-		BFall: fallMinusInf,
-		BRise: risePlusInf,
+// Arcs is an arity-generic pin-aware inertial delay model: Arcs[i] holds
+// the delays of output transitions caused by input i, as in standard
+// per-arc (NLDM-style) timing. This is the "inertial delay" baseline of
+// the paper's Fig. 7 generalized to any multi-input gate: for widely
+// separated input events it reproduces the exact SIS delays per arc,
+// while (unlike the hybrid channel) it knows nothing about MIS
+// interactions.
+type Arcs []PinArcs
+
+// Validate checks that every arc delay is non-negative and finite.
+func (a Arcs) Validate() error {
+	if len(a) == 0 {
+		return fmt.Errorf("inertial: no arcs")
 	}
-	for _, d := range []float64{a.AFall, a.ARise, a.BFall, a.BRise} {
-		if d < 0 {
-			return NORArcs{}, fmt.Errorf("inertial: negative arc delay in %+v", a)
+	for i, p := range a {
+		for _, d := range []float64{p.Fall, p.Rise} {
+			if d < 0 || math.IsNaN(d) || math.IsInf(d, 0) {
+				return fmt.Errorf("inertial: invalid arc delay %g on pin %d", d, i)
+			}
 		}
 	}
-	return a, nil
+	return nil
 }
 
-// Apply transforms two input traces into the NOR output trace with
-// per-arc inertial delays and pulse cancellation: an output transition
+// Apply transforms the input traces into the gate's output trace with
+// per-arc inertial delays and pulse cancellation: the causing pin of
+// each zero-time output change selects the arc, and an output transition
 // scheduled not after the pending opposite transition annihilates with
-// it.
-func (n NORArcs) Apply(a, b trace.Trace) trace.Trace {
+// it (VHDL inertial semantics). logic is the gate's boolean function
+// over len(a) inputs; passing a different number of traces is a
+// programming error and panics.
+func (a Arcs) Apply(logic func([]bool) bool, inputs ...trace.Trace) trace.Trace {
+	if len(inputs) != len(a) {
+		panic(fmt.Sprintf("inertial: %d input traces for %d arcs", len(inputs), len(a)))
+	}
 	type tagged struct {
 		time float64
-		isA  bool
+		pin  int
 		val  bool
 	}
 	var events []tagged
-	for _, e := range a.Events {
-		events = append(events, tagged{e.Time, true, e.Value})
-	}
-	for _, e := range b.Events {
-		events = append(events, tagged{e.Time, false, e.Value})
+	for i, in := range inputs {
+		for _, e := range in.Events {
+			events = append(events, tagged{e.Time, i, e.Value})
+		}
 	}
 	sort.SliceStable(events, func(i, j int) bool { return events[i].time < events[j].time })
 
-	va, vb := a.Initial, b.Initial
-	outVal := !(va || vb)
+	state := make([]bool, len(inputs))
+	for i, in := range inputs {
+		state[i] = in.Initial
+	}
+	outVal := logic(state)
 	out := trace.Trace{Initial: outVal}
 
 	type pend struct {
@@ -79,30 +84,19 @@ func (n NORArcs) Apply(a, b trace.Trace) trace.Trace {
 			pending = pending[1:]
 		}
 	}
-	// cur tracks the zero-time NOR value to detect causal transitions.
+	// cur tracks the zero-time gate value to detect causal transitions.
 	cur := outVal
 	for _, e := range events {
 		flush(e.time)
-		if e.isA {
-			va = e.val
-		} else {
-			vb = e.val
-		}
-		v := !(va || vb)
+		state[e.pin] = e.val
+		v := logic(state)
 		if v == cur {
 			continue
 		}
 		cur = v
-		var d float64
-		switch {
-		case e.isA && !v:
-			d = n.AFall
-		case e.isA && v:
-			d = n.ARise
-		case !e.isA && !v:
-			d = n.BFall
-		default:
-			d = n.BRise
+		d := a[e.pin].Rise
+		if !v {
+			d = a[e.pin].Fall
 		}
 		// VHDL inertial semantics: the new transaction replaces any
 		// pending one; a transaction restoring the committed value means
@@ -113,6 +107,6 @@ func (n NORArcs) Apply(a, b trace.Trace) trace.Trace {
 		}
 		pending = append(pending, pend{e.time + d, v})
 	}
-	flush(1e300)
+	flush(math.Inf(1))
 	return out
 }

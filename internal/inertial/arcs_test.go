@@ -1,0 +1,60 @@
+package inertial
+
+import (
+	"testing"
+
+	"hybriddelay/internal/trace"
+)
+
+func nor2Logic(in []bool) bool { return !(in[0] || in[1]) }
+
+// TestArcsValidate rejects malformed arc sets.
+func TestArcsValidate(t *testing.T) {
+	if err := (Arcs{}).Validate(); err == nil {
+		t.Error("empty arcs accepted")
+	}
+	if err := (Arcs{{Fall: 1, Rise: -1}}).Validate(); err == nil {
+		t.Error("negative arc accepted")
+	}
+	if err := (Arcs{{Fall: 1, Rise: 2}, {Fall: 3, Rise: 4}}).Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestArcsApplyArityPanics: an arity mismatch is a programming error
+// surfaced as a descriptive panic, not an index-out-of-range crash.
+func TestArcsApplyArityPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("arity mismatch did not panic")
+		}
+	}()
+	two := Arcs{{Fall: 1, Rise: 1}, {Fall: 1, Rise: 1}}
+	two.Apply(func(in []bool) bool { return !(in[0] || in[1] || in[2]) },
+		trace.Trace{}, trace.Trace{}, trace.Trace{})
+}
+
+// TestArcsPinsLegacyBehaviour pins the generic applier to the exact
+// output the pre-refactor 2-input NORArcs algorithm produced for a
+// mixed causal sequence (A-caused fall while B's rise and A's fall are
+// masked, then a B-caused rise), so a regression in the shared
+// algorithm cannot hide behind NORArcs delegating to it.
+func TestArcsPinsLegacyBehaviour(t *testing.T) {
+	n := NORArcs{AFall: 3, ARise: 6, BFall: 2, BRise: 5}
+	a := trace.New(false, []trace.Event{{Time: 100, Value: true}, {Time: 200, Value: false}})
+	b := trace.New(false, []trace.Event{{Time: 150, Value: true}, {Time: 300, Value: false}})
+	want := []trace.Event{{Time: 103, Value: false}, {Time: 305, Value: true}}
+	for label, out := range map[string]trace.Trace{
+		"generic": n.Arcs().Apply(nor2Logic, a, b),
+		"legacy":  n.Apply(a, b),
+	} {
+		if !out.Initial || out.NumEvents() != len(want) {
+			t.Fatalf("%s: got %+v, want events %+v", label, out, want)
+		}
+		for i := range want {
+			if out.Events[i] != want[i] {
+				t.Errorf("%s: event %d = %+v, want %+v", label, i, out.Events[i], want[i])
+			}
+		}
+	}
+}

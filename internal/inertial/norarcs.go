@@ -1,0 +1,54 @@
+package inertial
+
+import (
+	"fmt"
+
+	"hybriddelay/internal/trace"
+)
+
+// NORArcs is the pin-aware inertial delay model of the 2-input NOR gate,
+// kept as a named convenience over the arity-generic Arcs: the delay of
+// an output transition depends on which input caused it.
+type NORArcs struct {
+	// AFall is the delay of a falling output caused by input A rising.
+	AFall float64
+	// ARise is the delay of a rising output caused by input A falling.
+	ARise float64
+	// BFall is the delay of a falling output caused by input B rising.
+	BFall float64
+	// BRise is the delay of a rising output caused by input B falling.
+	BRise float64
+}
+
+// NORArcsFromSIS builds per-arc delays from the characteristic SIS
+// delays: a falling output caused by A corresponds to delta_fall(+inf)
+// (A switched first), caused by B to delta_fall(-inf); a rising output
+// caused by A corresponds to delta_rise(-inf) (A switched last), caused
+// by B to delta_rise(+inf).
+func NORArcsFromSIS(fallMinusInf, fallPlusInf, riseMinusInf, risePlusInf float64) (NORArcs, error) {
+	a := NORArcs{
+		AFall: fallPlusInf,
+		ARise: riseMinusInf,
+		BFall: fallMinusInf,
+		BRise: risePlusInf,
+	}
+	if err := a.Arcs().Validate(); err != nil {
+		return NORArcs{}, fmt.Errorf("inertial: invalid arc delay in %+v", a)
+	}
+	return a, nil
+}
+
+// Arcs converts to the arity-generic per-pin representation (pin 0 = A,
+// pin 1 = B).
+func (n NORArcs) Arcs() Arcs {
+	return Arcs{
+		{Fall: n.AFall, Rise: n.ARise},
+		{Fall: n.BFall, Rise: n.BRise},
+	}
+}
+
+// Apply transforms two input traces into the NOR output trace with
+// per-arc inertial delays and pulse cancellation.
+func (n NORArcs) Apply(a, b trace.Trace) trace.Trace {
+	return n.Arcs().Apply(func(in []bool) bool { return !(in[0] || in[1]) }, a, b)
+}

@@ -65,9 +65,11 @@ func NewNOR3(p Params) (*NOR3Bench, error) {
 	return b, nil
 }
 
-// run drives the bench over [0, tStop] from the given initial internal
-// voltages.
-func (b *NOR3Bench) run(sigA, sigB, sigC waveform.Signal, tStop, vN1, vN2, vO float64, bps []float64) (*waveform.Waveform, error) {
+// Run drives the bench with the given input signals over [0, tStop]
+// from the given initial internal voltages and returns the recorded
+// output waveform. It is exported for the gate-generic evaluation
+// pipeline, which feeds long random traces through the same bench.
+func (b *NOR3Bench) Run(sigA, sigB, sigC waveform.Signal, tStop, vN1, vN2, vO float64, bps []float64) (*waveform.Waveform, error) {
 	b.srcA.Signal = sigA
 	b.srcB.Signal = sigB
 	b.srcC.Signal = sigC
@@ -104,7 +106,7 @@ func (b *NOR3Bench) FallingDelay3(dB, dC float64) (float64, error) {
 	sa := waveform.RaisedCosineEdge(tA, b.P.InputRise, 0, vdd)
 	sb := waveform.RaisedCosineEdge(tB, b.P.InputRise, 0, vdd)
 	sc := waveform.RaisedCosineEdge(tC, b.P.InputRise, 0, vdd)
-	o, err := b.run(sa, sb, sc, last+400e-12, vdd, vdd, vdd,
+	o, err := b.Run(sa, sb, sc, last+400e-12, vdd, vdd, vdd,
 		[]float64{tA - b.P.InputRise/2, tB - b.P.InputRise/2, tC - b.P.InputRise/2})
 	if err != nil {
 		return 0, err
@@ -129,7 +131,7 @@ func (b *NOR3Bench) RisingDelay3(dB, dC, vInit float64) (float64, error) {
 	sa := waveform.RaisedCosineEdge(tA, b.P.InputRise, vdd, 0)
 	sb := waveform.RaisedCosineEdge(tB, b.P.InputRise, vdd, 0)
 	sc := waveform.RaisedCosineEdge(tC, b.P.InputRise, vdd, 0)
-	o, err := b.run(sa, sb, sc, last+600e-12, vInit, vInit, 0,
+	o, err := b.Run(sa, sb, sc, last+600e-12, vInit, vInit, 0,
 		[]float64{tA - b.P.InputRise/2, tB - b.P.InputRise/2, tC - b.P.InputRise/2})
 	if err != nil {
 		return 0, err

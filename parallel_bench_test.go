@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"hybriddelay/internal/eval"
+	"hybriddelay/internal/gate"
 	"hybriddelay/internal/gen"
 	"hybriddelay/internal/nor"
 )
@@ -90,6 +91,60 @@ func BenchmarkEvaluateParallel(b *testing.B) {
 	b.StopTimer()
 	b.ReportMetric(serial/perIter, "speedup_x")
 	b.ReportMetric(parallelBenchWorkers, "workers")
+}
+
+// gateBenchSetup builds the generic-pipeline inputs for one registered
+// gate: bench, measured models and the reduced paper configs at the
+// gate's arity.
+func gateBenchSetup(b *testing.B, name string) (gate.Bench, eval.Models, []gen.Config, []int64) {
+	b.Helper()
+	g, ok := gate.Lookup(name)
+	if !ok {
+		b.Fatalf("gate %q not registered", name)
+	}
+	p := nor.DefaultParams()
+	p.MaxStep = 8e-12
+	bench, err := g.NewBench(p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	meas, err := bench.Measure()
+	if err != nil {
+		b.Fatal(err)
+	}
+	models, err := g.BuildModels(meas, p.Supply, 20e-12)
+	if err != nil {
+		b.Fatal(err)
+	}
+	configs := gen.PaperConfigs()
+	for i := range configs {
+		configs[i].Inputs = g.Arity()
+		configs[i].Transitions /= 4
+	}
+	return bench, models, configs, []int64{1, 2, 3, 4}
+}
+
+// BenchmarkEvalParallel tracks the generic registry-driven pipeline with
+// a per-gate dimension, so the perf trajectory of the hot path is
+// recorded for every gate the evaluation supports, not just the default.
+func BenchmarkEvalParallel(b *testing.B) {
+	for _, name := range []string{"nor2", "nand2"} {
+		b.Run(name, func(b *testing.B) {
+			bench, models, configs, seeds := gateBenchSetup(b, name)
+			b.ResetTimer()
+			start := time.Now()
+			for i := 0; i < b.N; i++ {
+				r := eval.NewGateRunner(bench, models, &eval.Options{Workers: parallelBenchWorkers})
+				if _, err := r.Run(configs, seeds); err != nil {
+					b.Fatal(err)
+				}
+			}
+			perIter := time.Since(start).Seconds() / float64(b.N)
+			b.StopTimer()
+			b.ReportMetric(float64(len(configs)*len(seeds))/perIter, "units_per_s")
+			b.ReportMetric(parallelBenchWorkers, "workers")
+		})
+	}
 }
 
 // BenchmarkEvaluateParallelCached measures the warm-cache steady state:
