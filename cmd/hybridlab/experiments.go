@@ -380,11 +380,12 @@ func runFig7(opt options) error {
 			configs[i].Transitions /= 4
 		}
 	}
+	out := opt.w()
 	if g.Name() != gate.Default().Name() {
 		// The default gate keeps the historical output byte-for-byte; other
 		// gates announce themselves. In CSV mode the banner goes to stderr
 		// like the progress lines, so redirected stdout stays pure CSV.
-		w := os.Stdout
+		w := out
 		if opt.csv {
 			w = os.Stderr
 		}
@@ -425,29 +426,29 @@ func runFig7(opt options) error {
 			vals[name] = append(vals[name], res.Normalized[name])
 		}
 		if !opt.csv {
-			fmt.Printf("%-20s golden events: %d\n", res.Config.Name(), res.GoldenEv)
+			fmt.Fprintf(out, "%-20s golden events: %d\n", res.Config.Name(), res.GoldenEv)
 		}
 	}
 	if !opt.csv {
-		fmt.Printf("%d units on %d workers in %.1fs\n", len(configs)*len(seeds), workers, time.Since(start).Seconds())
+		fmt.Fprintf(out, "%d units on %d workers in %.1fs\n", len(configs)*len(seeds), workers, time.Since(start).Seconds())
 	}
 	if opt.csv {
-		fmt.Print("config")
+		fmt.Fprint(out, "config")
 		for _, n := range eval.ModelNames {
-			fmt.Printf(",%s", n)
+			fmt.Fprintf(out, ",%s", n)
 		}
-		fmt.Println()
+		fmt.Fprintln(out)
 		for gi, g := range groups {
-			fmt.Printf("%q", g)
+			fmt.Fprintf(out, "%q", g)
 			for _, n := range eval.ModelNames {
-				fmt.Printf(",%g", vals[n][gi])
+				fmt.Fprintf(out, ",%g", vals[n][gi])
 			}
-			fmt.Println()
+			fmt.Fprintln(out)
 		}
 		return nil
 	}
-	fmt.Println()
-	fmt.Print(barChart("Fig. 7 — normalized deviation area (lower is better, inertial = 1)",
+	fmt.Fprintln(out)
+	fmt.Fprint(out, barChart("Fig. 7 — normalized deviation area (lower is better, inertial = 1)",
 		groups, eval.ModelNames, vals, 40))
 	return nil
 }

@@ -56,20 +56,22 @@ type options struct {
 	seeds    string
 	parallel int
 	gate     string
+
+	out io.Writer // experiment output; nil = os.Stdout (tests capture it)
+}
+
+// w returns the experiment's output writer.
+func (o options) w() io.Writer {
+	if o.out != nil {
+		return o.out
+	}
+	return os.Stdout
 }
 
 // gateSpec resolves the -gate flag against the registry; an unknown name
 // errors with the registered names.
 func (o options) gateSpec() (gate.Gate, error) {
-	name := o.gate
-	if name == "" {
-		name = gate.Default().Name()
-	}
-	g, ok := gate.Lookup(name)
-	if !ok {
-		return nil, fmt.Errorf("unknown gate %q (registered: %s)", name, strings.Join(gate.Names(), ", "))
-	}
-	return g, nil
+	return gate.Find(o.gate)
 }
 
 // seedList resolves the evaluation seeds: an explicit -seeds list when
@@ -132,6 +134,13 @@ func main() {
 	name := os.Args[1]
 	if name == "-list-gates" || name == "--list-gates" || name == "list-gates" {
 		listGates(os.Stdout)
+		return
+	}
+	if name == "sweep" {
+		if err := runSweepCmd(os.Args[2:]); err != nil {
+			fmt.Fprintf(os.Stderr, "hybridlab sweep: %v\n", err)
+			os.Exit(1)
+		}
 		return
 	}
 	fs := flag.NewFlagSet(name, flag.ExitOnError)
@@ -204,5 +213,8 @@ func usage() {
 		fmt.Fprintf(os.Stderr, "  %-10s %s\n", e.name, e.desc)
 	}
 	fmt.Fprintln(os.Stderr, "  all        run everything at reduced size")
+	fmt.Fprintln(os.Stderr, "  sweep      scenario sweep over the gate registry (own flags; see below)")
 	fmt.Fprintln(os.Stderr, "\nflags: -csv -fast -reps N -trans N -seed N -seeds L -parallel N -gate G -list-gates")
+	fmt.Fprintln(os.Stderr, "sweep flags: -gates L -vdd L -load L -modes L -mu L -sigma L -trans N")
+	fmt.Fprintln(os.Stderr, "             -reps N -seed N -seeds L -grid FILE -out FILE -csv -fast -parallel N")
 }

@@ -2,6 +2,7 @@ package hybriddelay
 
 import (
 	"math"
+	"strings"
 	"testing"
 )
 
@@ -227,5 +228,67 @@ func TestFacadeEvaluateParallel(t *testing.T) {
 	}
 	if st := opt.Cache.Stats(); st.Misses != int64(len(seeds)) || st.Entries != len(seeds) {
 		t.Errorf("cache stats %+v, want %d misses/entries", st, len(seeds))
+	}
+}
+
+// TestFacadeSweep: the scenario-sweep engine through the facade — a
+// small grid expands in order, runs on the shared pool and encodes.
+func TestFacadeSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("analog sweep in -short mode")
+	}
+	bp := DefaultBenchParams()
+	bp.MaxStep = 8e-12
+	spec := SweepSpec{
+		Gates:    []string{"nor2", "nand2"},
+		VDDScale: []float64{1, 0.95},
+		Stimuli: []SweepStimulus{
+			{Mode: StimulusLocal, Mu: Ps(200), Sigma: Ps(100), Transitions: 10},
+			{Mode: StimulusGlobal, Mu: Ps(200), Sigma: Ps(100), Transitions: 10},
+		},
+		Seeds: []int64{1},
+		Bench: &bp,
+	}
+	scenarios, err := ExpandSweep(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scenarios) != 8 {
+		t.Fatalf("expanded %d scenarios, want 8", len(scenarios))
+	}
+	var steps int
+	rep, err := RunSweep(spec, &SweepOptions{
+		Workers:  2,
+		Cache:    NewGoldenCache(),
+		Progress: func(p SweepProgress) { steps++ },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Scenarios) != 8 || rep.TotalUnits != 8 {
+		t.Fatalf("report: %d scenarios, %d units", len(rep.Scenarios), rep.TotalUnits)
+	}
+	if steps == 0 {
+		t.Error("no progress callbacks delivered")
+	}
+	for i, sc := range rep.Scenarios {
+		if sc.Index != i {
+			t.Errorf("scenario %d reported index %d", i, sc.Index)
+		}
+		if v, ok := sc.Normalized["inertial"]; !ok || float64(v) != 1 {
+			t.Errorf("scenario %d: inertial normalization %v", i, v)
+		}
+	}
+}
+
+// TestFacadeParseSweepSpec: the grid-file decoder through the facade.
+func TestFacadeParseSweepSpec(t *testing.T) {
+	spec, err := ParseSweepSpec(strings.NewReader(
+		`{"gates": ["nor3"], "stimuli": [{"mode": "LOCAL", "mu": 1e-10, "sigma": 5e-11, "transitions": 6}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(spec.Gates) != 1 || spec.Gates[0] != "nor3" {
+		t.Errorf("parsed %+v", spec)
 	}
 }

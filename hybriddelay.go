@@ -46,6 +46,10 @@
 //	internal/gen     - §VI random waveform configurations
 //	internal/eval    - Fig. 7 deviation-area accuracy pipeline, keyed by
 //	                   registered gate
+//	internal/sweep   - scenario sweep engine: declarative grids of
+//	                   operating points (gate × VDD scale × load scale ×
+//	                   stimulus × seeds) evaluated on one shared worker
+//	                   pool and golden-trace cache, reported as JSON/CSV
 //	internal/fit     - Nelder-Mead / Brent / Levenberg-Marquardt
 //	internal/la, ode, roots, waveform, trace - math & signal substrates
 //
@@ -65,6 +69,8 @@
 package hybriddelay
 
 import (
+	"io"
+
 	"hybriddelay/internal/dtsim"
 	"hybriddelay/internal/eval"
 	"hybriddelay/internal/gate"
@@ -73,6 +79,7 @@ import (
 	"hybriddelay/internal/idm"
 	"hybriddelay/internal/inertial"
 	"hybriddelay/internal/nor"
+	"hybriddelay/internal/sweep"
 	"hybriddelay/internal/trace"
 	"hybriddelay/internal/waveform"
 )
@@ -265,6 +272,62 @@ func EvaluateGate(bench GateBench, m Models, cfg TraceConfig, seeds []int64) (ev
 func NewGateEvalRunner(bench GateBench, m Models, opt *EvalOptions) *EvalRunner {
 	return eval.NewGateRunner(bench, m, opt)
 }
+
+// Scenario-sweep API: fan whole grids of operating points (gate ×
+// supply scaling × output load × stimulus configuration × seeds)
+// through the parallel evaluation engine and aggregate per-scenario
+// accuracy, cache and timing statistics into a deterministic report.
+
+// SweepSpec is the declarative scenario grid: the cross product of the
+// gate, VDD-scale, load-scale and stimulus axes over a seed list.
+type SweepSpec = sweep.Spec
+
+// SweepStimulus is one point on a sweep's stimulus axis.
+type SweepStimulus = sweep.Stimulus
+
+// StimulusMode selects how generated transitions distribute over the
+// gate inputs (§VI).
+type StimulusMode = gen.Mode
+
+// The two §VI stimulus flavours: LOCAL gives every input its own gap
+// sequence (stressing the MIS regime), GLOBAL assigns one global gap
+// sequence to random inputs (stressing the SIS regime).
+const (
+	StimulusLocal  = gen.Local
+	StimulusGlobal = gen.Global
+)
+
+// SweepScenario is one expanded grid point.
+type SweepScenario = sweep.Scenario
+
+// SweepOptions configures a sweep run: the shared worker budget, an
+// optional shared golden-trace cache and a progress callback.
+type SweepOptions = sweep.Options
+
+// SweepProgress describes one completed sweep step.
+type SweepProgress = sweep.Progress
+
+// SweepReport is a sweep's outcome: per-scenario rows in grid order
+// with JSON (WriteJSON) and CSV (WriteCSV) encoders.
+type SweepReport = sweep.Report
+
+// SweepScenarioResult is one sweep report row.
+type SweepScenarioResult = sweep.ScenarioResult
+
+// ExpandSweep validates a sweep spec and expands it into scenarios in
+// deterministic grid order.
+func ExpandSweep(spec SweepSpec) ([]SweepScenario, error) { return sweep.Expand(spec) }
+
+// RunSweep expands and evaluates a scenario grid on one bounded worker
+// pool with a shared golden-trace cache; the report is bit-identical
+// regardless of the worker count.
+func RunSweep(spec SweepSpec, opt *SweepOptions) (*SweepReport, error) {
+	return sweep.RunSweep(spec, opt)
+}
+
+// ParseSweepSpec decodes the JSON grid-file format of `hybridlab sweep
+// -grid`.
+func ParseSweepSpec(r io.Reader) (SweepSpec, error) { return sweep.ParseSpec(r) }
 
 // ApplyGate runs input traces offline through the generalized
 // switch-level hybrid channel of a SwitchGate — the n-input counterpart

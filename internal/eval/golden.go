@@ -158,6 +158,16 @@ func (c *GoldenCache) Stats() CacheStats {
 // later call retries; a waiter handed an error counts as neither hit
 // nor miss — it was not served a trace and did not compute one.
 func (c *GoldenCache) GetOrCompute(key GoldenKey, compute func() (trace.Trace, error)) (trace.Trace, error) {
+	out, _, err := c.GetOrComputeTracked(key, compute)
+	return out, err
+}
+
+// GetOrComputeTracked is GetOrCompute with per-call attribution: hit
+// reports whether this lookup was served from a cached or in-flight
+// entry (false when it computed, and false for error outcomes). The
+// sweep engine uses it to account hit rates per scenario on a cache
+// shared across the whole grid.
+func (c *GoldenCache) GetOrComputeTracked(key GoldenKey, compute func() (trace.Trace, error)) (trace.Trace, bool, error) {
 	c.mu.Lock()
 	if e, ok := c.table[key]; ok {
 		c.mu.Unlock()
@@ -166,8 +176,9 @@ func (c *GoldenCache) GetOrCompute(key GoldenKey, compute func() (trace.Trace, e
 			c.mu.Lock()
 			c.hits++
 			c.mu.Unlock()
+			return e.out, true, nil
 		}
-		return e.out, e.err
+		return e.out, false, e.err
 	}
 	e := &goldenEntry{ready: make(chan struct{})}
 	c.table[key] = e
@@ -181,7 +192,7 @@ func (c *GoldenCache) GetOrCompute(key GoldenKey, compute func() (trace.Trace, e
 		c.mu.Unlock()
 	}
 	close(e.ready)
-	return e.out, e.err
+	return e.out, false, e.err
 }
 
 // CachedSource composes a GoldenCache over an inner GoldenSource. It

@@ -1,6 +1,10 @@
 package eval
 
 import (
+	"fmt"
+	"hash/fnv"
+	"sync"
+	"sync/atomic"
 	"testing"
 
 	"hybriddelay/internal/gen"
@@ -105,5 +109,109 @@ func TestEvaluateSeedRejectsNilGate(t *testing.T) {
 	m.Gate = nil
 	if _, err := EvaluateSeed(&countingSource{}, m, testConfig(4), 1); err == nil {
 		t.Fatal("nil Models.Gate accepted")
+	}
+}
+
+// keyStampSource returns, for every request, a trace whose single event
+// encodes the full identity of the key the request should be filed
+// under. Any cache that ever returns a trace for the wrong (gate,
+// bench-params, config, seed) key is caught by re-deriving the stamp.
+type keyStampSource struct {
+	gate  string
+	bench nor.Params
+}
+
+// stampFor derives a value unique to the (gate, bench, config, seed)
+// combination used by the mixed-scenario property test.
+func stampFor(gateName string, bench nor.Params, cfg gen.Config, seed int64) float64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%s|%g|%g|%s|%d|%d", gateName, bench.Supply.VDD, bench.CO, cfg.Name(), cfg.Transitions, seed)
+	return float64(h.Sum64()%1_000_003) * 1e-15
+}
+
+func (s keyStampSource) Golden(req GoldenRequest) (trace.Trace, error) {
+	return trace.New(true, []trace.Event{{Time: stampFor(s.gate, s.bench, req.Config, req.Seed), Value: false}}), nil
+}
+
+// TestGoldenCacheConcurrentMixedScenarios is the sweep-engine property
+// test: one cache shared by many concurrent "scenarios" (every
+// combination of gate, bench parametrization, config and seed, as a
+// grid sweep produces) must never serve a trace computed for a
+// different key, and its hit/miss accounting must add up. Run under
+// -race in CI.
+func TestGoldenCacheConcurrentMixedScenarios(t *testing.T) {
+	gates := []string{"nor2", "nand2", "nor3"}
+	benches := []nor.Params{nor.DefaultParams(), nor.DefaultParams()}
+	benches[1].CO *= 2 // second operating point: same type, scaled load
+	configs := []gen.Config{testConfig(4), testConfig(8)}
+	seeds := []int64{1, 2, 3}
+
+	cache := NewGoldenCache()
+	const rounds = 8
+	var wg sync.WaitGroup
+	errCh := make(chan error, rounds*len(gates)*len(benches))
+	var hits, misses atomic.Int64
+	for r := 0; r < rounds; r++ {
+		for _, gateName := range gates {
+			for bi := range benches {
+				wg.Add(1)
+				go func(gateName string, bench nor.Params) {
+					defer wg.Done()
+					src := CachedSource{Gate: gateName, Bench: bench, Cache: cache,
+						Src: keyStampSource{gate: gateName, bench: bench}}
+					for _, cfg := range configs {
+						for _, seed := range seeds {
+							key := GoldenKey{Gate: gateName, Bench: bench, Config: cfg, Seed: seed}
+							out, hit, err := cache.GetOrComputeTracked(key, func() (trace.Trace, error) {
+								return keyStampSource{gate: gateName, bench: bench}.Golden(GoldenRequest{Config: cfg, Seed: seed})
+							})
+							if err != nil {
+								errCh <- err
+								return
+							}
+							if hit {
+								hits.Add(1)
+							} else {
+								misses.Add(1)
+							}
+							if want := stampFor(gateName, bench, cfg, seed); out.Events[0].Time != want {
+								errCh <- fmt.Errorf("key %+v served stamp %g, want %g — wrong scenario's trace",
+									key, out.Events[0].Time, want)
+								return
+							}
+							// The CachedSource path derives the same key.
+							out2, err := src.Golden(GoldenRequest{Config: cfg, Seed: seed})
+							if err != nil {
+								errCh <- err
+								return
+							}
+							if out2.Events[0].Time != out.Events[0].Time {
+								errCh <- fmt.Errorf("CachedSource and direct lookup disagree for %+v", key)
+								return
+							}
+						}
+					}
+				}(gateName, benches[bi])
+			}
+		}
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+	distinct := len(gates) * len(benches) * len(configs) * len(seeds)
+	st := cache.Stats()
+	if st.Entries != distinct {
+		t.Errorf("cache holds %d entries, want %d (one per distinct key)", st.Entries, distinct)
+	}
+	if st.Misses != int64(distinct) {
+		t.Errorf("cache computed %d times, want exactly once per key (%d)", st.Misses, distinct)
+	}
+	if hits.Load()+misses.Load() != int64(rounds*len(gates)*len(benches)*len(configs)*len(seeds)) {
+		t.Errorf("tracked hits (%d) + misses (%d) do not cover every lookup", hits.Load(), misses.Load())
+	}
+	if misses.Load() != int64(distinct) {
+		t.Errorf("tracked misses = %d, want %d", misses.Load(), distinct)
 	}
 }

@@ -4,12 +4,11 @@ import (
 	"fmt"
 	"math"
 	"runtime"
-	"sync"
-	"sync/atomic"
 
 	"hybriddelay/internal/gate"
 	"hybriddelay/internal/gen"
 	"hybriddelay/internal/nor"
+	"hybriddelay/internal/pool"
 	"hybriddelay/internal/trace"
 	"hybriddelay/internal/waveform"
 )
@@ -169,42 +168,19 @@ func (r *Runner) Run(configs []gen.Config, seeds []int64) ([]RunResult, error) {
 	parts := make([]SeedResult, total)
 	errs := make([]error, total)
 
-	workers := r.workers
-	if workers > total {
-		workers = total
+	var onDone func(i, completed int, err error)
+	if r.progress != nil {
+		onDone = func(i, completed int, err error) {
+			r.progress(Progress{
+				Config: configs[i/len(seeds)], Seed: seeds[i%len(seeds)],
+				Completed: completed, Total: total, Err: err,
+			})
+		}
 	}
-	var (
-		next      atomic.Int64
-		stop      atomic.Bool
-		progMu    sync.Mutex
-		completed int // guarded by progMu so callbacks see in-order counts
-		wg        sync.WaitGroup
-	)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				i := int(next.Add(1)) - 1
-				if i >= total || stop.Load() {
-					return
-				}
-				cfg := configs[i/len(seeds)]
-				seed := seeds[i%len(seeds)]
-				parts[i], errs[i] = EvaluateSeed(r.golden, r.models, cfg, seed)
-				if errs[i] != nil {
-					stop.Store(true)
-				}
-				if r.progress != nil {
-					progMu.Lock()
-					completed++
-					r.progress(Progress{Config: cfg, Seed: seed, Completed: completed, Total: total, Err: errs[i]})
-					progMu.Unlock()
-				}
-			}
-		}()
-	}
-	wg.Wait()
+	pool.Run(total, r.workers, func(i int) error {
+		parts[i], errs[i] = EvaluateSeed(r.golden, r.models, configs[i/len(seeds)], seeds[i%len(seeds)])
+		return errs[i]
+	}, onDone)
 	for _, err := range errs {
 		if err != nil {
 			return nil, err

@@ -15,11 +15,21 @@ type MinimizeScalarResult struct {
 	Evals int
 }
 
+// validBracket rejects empty or non-finite minimisation intervals —
+// NaN endpoints would otherwise slip past an ordering test (every
+// comparison with NaN is false) and poison the whole iteration.
+func validBracket(a, b float64) error {
+	if math.IsNaN(a) || math.IsNaN(b) || math.IsInf(a, 0) || math.IsInf(b, 0) || b <= a {
+		return fmt.Errorf("fit: invalid interval [%g, %g]", a, b)
+	}
+	return nil
+}
+
 // GoldenSection minimises f on [a, b] by golden-section search to the
 // given absolute x tolerance.
 func GoldenSection(f func(float64) float64, a, b, tol float64) (MinimizeScalarResult, error) {
-	if b <= a {
-		return MinimizeScalarResult{}, fmt.Errorf("fit: invalid interval [%g, %g]", a, b)
+	if err := validBracket(a, b); err != nil {
+		return MinimizeScalarResult{}, err
 	}
 	if tol <= 0 {
 		tol = 1e-12 * math.Max(math.Abs(a), math.Abs(b))
@@ -53,8 +63,8 @@ func GoldenSection(f func(float64) float64, a, b, tol float64) (MinimizeScalarRe
 // method (the algorithm behind MATLAB's fminbnd, which the paper used to
 // validate its closed-form Charlie delay expressions).
 func BrentMin(f func(float64) float64, a, b, tol float64) (MinimizeScalarResult, error) {
-	if b <= a {
-		return MinimizeScalarResult{}, fmt.Errorf("fit: invalid interval [%g, %g]", a, b)
+	if err := validBracket(a, b); err != nil {
+		return MinimizeScalarResult{}, err
 	}
 	if tol <= 0 {
 		tol = 1e-12

@@ -3,6 +3,7 @@ package gate
 import (
 	"fmt"
 	"sort"
+	"strings"
 	"sync"
 )
 
@@ -34,6 +35,20 @@ func Lookup(name string) (Gate, bool) {
 	defer registry.mu.RUnlock()
 	g, ok := registry.gates[name]
 	return g, ok
+}
+
+// Find resolves name against the registry, treating the empty string as
+// the default gate. Unknown names error with the registered names, so
+// callers surface a uniform, actionable message.
+func Find(name string) (Gate, error) {
+	if name == "" {
+		return Default(), nil
+	}
+	g, ok := Lookup(name)
+	if !ok {
+		return nil, fmt.Errorf("unknown gate %q (registered: %s)", name, strings.Join(Names(), ", "))
+	}
+	return g, nil
 }
 
 // Names lists the registered gate names in sorted order.

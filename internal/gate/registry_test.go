@@ -2,6 +2,7 @@ package gate
 
 import (
 	"reflect"
+	"strings"
 	"testing"
 
 	"hybriddelay/internal/hybrid"
@@ -162,5 +163,27 @@ func TestModelArityErrors(t *testing.T) {
 	nor3m := NOR3Model{P: hybrid.NOR3FromNOR2(hybrid.TableI())}
 	if _, err := nor3m.Apply([]trace.Trace{{}, {}}, 1e-9); err == nil {
 		t.Error("nor3 model accepted 2 inputs")
+	}
+}
+
+func TestFind(t *testing.T) {
+	g, err := Find("")
+	if err != nil || g.Name() != Default().Name() {
+		t.Errorf("Find(\"\") = %v, %v; want the default gate", g, err)
+	}
+	for _, name := range Names() {
+		g, err := Find(name)
+		if err != nil || g.Name() != name {
+			t.Errorf("Find(%q) = %v, %v", name, g, err)
+		}
+	}
+	_, err = Find("xor7")
+	if err == nil {
+		t.Fatal("unknown gate accepted")
+	}
+	for _, name := range Names() {
+		if !strings.Contains(err.Error(), name) {
+			t.Errorf("unknown-gate error %q does not list %q", err, name)
+		}
 	}
 }

@@ -15,6 +15,7 @@ package gen
 import (
 	"fmt"
 	"math/rand"
+	"strings"
 
 	"hybriddelay/internal/trace"
 	"hybriddelay/internal/waveform"
@@ -37,6 +38,37 @@ func (m Mode) String() string {
 		return "LOCAL"
 	}
 	return "GLOBAL"
+}
+
+// ParseMode resolves a mode name ("local"/"LOCAL", "global"/"GLOBAL").
+func ParseMode(s string) (Mode, error) {
+	switch strings.ToUpper(strings.TrimSpace(s)) {
+	case "LOCAL":
+		return Local, nil
+	case "GLOBAL":
+		return Global, nil
+	}
+	return 0, fmt.Errorf("gen: unknown stimulus mode %q (want LOCAL or GLOBAL)", s)
+}
+
+// MarshalText implements encoding.TextMarshaler so sweep-grid JSON files
+// can spell modes by name.
+func (m Mode) MarshalText() ([]byte, error) {
+	switch m {
+	case Local, Global:
+		return []byte(m.String()), nil
+	}
+	return nil, fmt.Errorf("gen: unknown mode %d", int(m))
+}
+
+// UnmarshalText implements encoding.TextUnmarshaler (case-insensitive).
+func (m *Mode) UnmarshalText(b []byte) error {
+	parsed, err := ParseMode(string(b))
+	if err != nil {
+		return err
+	}
+	*m = parsed
+	return nil
 }
 
 // Config describes one waveform configuration ("100/50 - LOCAL" etc.).

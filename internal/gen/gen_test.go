@@ -218,3 +218,39 @@ func TestModeString(t *testing.T) {
 		t.Errorf("name = %q", c.Name())
 	}
 }
+
+func TestModeTextRoundTrip(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want Mode
+	}{
+		{"LOCAL", Local}, {"local", Local}, {" Local ", Local},
+		{"GLOBAL", Global}, {"global", Global},
+	} {
+		got, err := ParseMode(tc.in)
+		if err != nil || got != tc.want {
+			t.Errorf("ParseMode(%q) = %v, %v", tc.in, got, err)
+		}
+	}
+	if _, err := ParseMode("sideways"); err == nil {
+		t.Error("unknown mode name accepted")
+	}
+
+	for _, m := range []Mode{Local, Global} {
+		b, err := m.MarshalText()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var back Mode
+		if err := back.UnmarshalText(b); err != nil || back != m {
+			t.Errorf("round trip %v -> %s -> %v (%v)", m, b, back, err)
+		}
+	}
+	if _, err := Mode(9).MarshalText(); err == nil {
+		t.Error("invalid mode marshalled")
+	}
+	var m Mode
+	if err := m.UnmarshalText([]byte("nope")); err == nil {
+		t.Error("invalid mode text unmarshalled")
+	}
+}

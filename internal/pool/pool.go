@@ -1,0 +1,59 @@
+// Package pool provides the bounded work-claiming loop shared by the
+// evaluation runner and the sweep engine: a fixed set of indexed units
+// fanned across a capped number of goroutines, with early stop on the
+// first error and serialized completion callbacks.
+package pool
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Run executes fn(i) for every i in [0, total) on min(workers, total)
+// goroutines (at least one). Units are claimed in index order but may
+// complete in any order; after the first unit returns an error no new
+// units are claimed (units already claimed still finish). onDone, when
+// non-nil, is invoked after each completed unit with the unit's index,
+// the in-order completion count and the unit's error; calls are
+// serialized. Run returns when every claimed unit has finished.
+func Run(total, workers int, fn func(i int) error, onDone func(i, completed int, err error)) {
+	if total <= 0 {
+		return
+	}
+	if workers > total {
+		workers = total
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	var (
+		next      atomic.Int64
+		stop      atomic.Bool
+		mu        sync.Mutex
+		completed int
+		wg        sync.WaitGroup
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= total || stop.Load() {
+					return
+				}
+				err := fn(i)
+				if err != nil {
+					stop.Store(true)
+				}
+				if onDone != nil {
+					mu.Lock()
+					completed++
+					onDone(i, completed, err)
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -1,0 +1,68 @@
+package pool
+
+import (
+	"fmt"
+	"sync/atomic"
+	"testing"
+)
+
+func TestRunCoversEveryUnit(t *testing.T) {
+	for _, workers := range []int{0, 1, 3, 16} {
+		done := make([]atomic.Int64, 20)
+		var callbacks atomic.Int64
+		lastCompleted := 0
+		Run(len(done), workers, func(i int) error {
+			done[i].Add(1)
+			return nil
+		}, func(i, completed int, err error) {
+			callbacks.Add(1)
+			if completed != lastCompleted+1 {
+				t.Errorf("workers=%d: completion count jumped %d -> %d", workers, lastCompleted, completed)
+			}
+			lastCompleted = completed
+			if err != nil {
+				t.Errorf("workers=%d: unexpected unit error %v", workers, err)
+			}
+		})
+		for i := range done {
+			if n := done[i].Load(); n != 1 {
+				t.Errorf("workers=%d: unit %d ran %d times", workers, i, n)
+			}
+		}
+		if callbacks.Load() != int64(len(done)) {
+			t.Errorf("workers=%d: %d callbacks for %d units", workers, callbacks.Load(), len(done))
+		}
+	}
+}
+
+func TestRunStopsAfterError(t *testing.T) {
+	var ran atomic.Int64
+	sawErr := false
+	Run(1000, 1, func(i int) error {
+		ran.Add(1)
+		if i == 3 {
+			return fmt.Errorf("unit 3 failed")
+		}
+		return nil
+	}, func(i, completed int, err error) {
+		if err != nil {
+			sawErr = true
+		}
+	})
+	if !sawErr {
+		t.Error("error never surfaced through onDone")
+	}
+	// Serial: exactly units 0..3 run, nothing after the failure.
+	if ran.Load() != 4 {
+		t.Errorf("%d units ran after a serial failure at index 3, want 4", ran.Load())
+	}
+}
+
+func TestRunEmptyAndNilCallback(t *testing.T) {
+	Run(0, 4, func(i int) error { t.Fatal("fn called for empty total"); return nil }, nil)
+	var ran atomic.Int64
+	Run(5, 2, func(i int) error { ran.Add(1); return nil }, nil) // nil onDone is fine
+	if ran.Load() != 5 {
+		t.Errorf("%d units ran, want 5", ran.Load())
+	}
+}

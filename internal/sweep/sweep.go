@@ -1,0 +1,535 @@
+// Package sweep turns the single-operating-point accuracy study of
+// paper §VI (Fig. 7) into a scenario-exploration engine: a declarative
+// grid of scenario axes — gate topology, supply-voltage scaling, output
+// load scaling, stimulus configuration and seed count — expands into
+// individual scenarios, which are evaluated through the gate-generic
+// pipeline of internal/eval on one shared bounded worker pool.
+//
+// The engine reuses the existing evaluation machinery end to end: each
+// scenario's operating point is prepared with Gate.NewBench / Measure /
+// BuildModels, each (scenario, seed) unit runs eval.EvaluateSeed, and
+// golden traces are memoized in a single eval.GoldenCache shared across
+// the whole grid. Cache keys incorporate the scenario's bench
+// parameters (the scaled supply and load are part of nor.Params), so
+// distinct operating points never collide even though they share one
+// cache. Results are merged deterministically in grid order: for a
+// fixed spec the Report — including its JSON and CSV encodings — is
+// bit-identical regardless of the worker count.
+package sweep
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+
+	"sync/atomic"
+	"time"
+
+	"hybriddelay/internal/eval"
+	"hybriddelay/internal/gate"
+	"hybriddelay/internal/gen"
+	"hybriddelay/internal/nor"
+	"hybriddelay/internal/pool"
+	"hybriddelay/internal/trace"
+	"hybriddelay/internal/waveform"
+)
+
+// Stimulus is one point on the stimulus axis: a waveform-generation
+// configuration without the input count (which each gate supplies from
+// its arity). Times are seconds, as everywhere in the repository.
+type Stimulus struct {
+	Mode        gen.Mode `json:"mode"`              // LOCAL or GLOBAL
+	Mu          float64  `json:"mu"`                // mean transition gap [s]
+	Sigma       float64  `json:"sigma"`             // gap standard deviation [s]
+	Transitions int      `json:"transitions"`       // transitions per run
+	Start       float64  `json:"start,omitempty"`   // first-transition time [s]; default 200 ps
+	MinGap      float64  `json:"min_gap,omitempty"` // lower gap clamp [s]; default 1 ps
+}
+
+// Name renders the paper-style label, e.g. "100/50 - LOCAL".
+func (s Stimulus) Name() string {
+	return fmt.Sprintf("%.0f/%.0f - %s", s.Mu/waveform.Pico, s.Sigma/waveform.Pico, s.Mode)
+}
+
+// Spec is the declarative scenario grid. The expanded grid is the cross
+// product Gates × VDDScale × LoadScale × Stimuli, each evaluated over
+// the same seed list; empty scale axes default to {1} and an empty seed
+// list defaults to SeedCount consecutive seeds from BaseSeed.
+//
+// A Spec round-trips through JSON (the `hybridlab sweep -grid` file
+// format); the bench base parameters are programmatic only and default
+// to the calibrated testbench.
+type Spec struct {
+	// Gates lists registry names ("nor2", "nand2", "nor3"). Empty
+	// defaults to the default gate.
+	Gates []string `json:"gates,omitempty"`
+
+	// VDDScale lists supply-voltage scale factors applied to both VDD
+	// and the logic threshold of the base bench supply (the threshold
+	// stays at its relative position). Empty defaults to {1}.
+	VDDScale []float64 `json:"vdd_scale,omitempty"`
+
+	// LoadScale lists output-load scale factors applied to the bench's
+	// output capacitance CO. Empty defaults to {1}.
+	LoadScale []float64 `json:"load_scale,omitempty"`
+
+	// Stimuli lists the waveform configurations to cross with the
+	// operating points. Required.
+	Stimuli []Stimulus `json:"stimuli"`
+
+	// Seeds is the explicit seed list evaluated per scenario. When
+	// empty, SeedCount consecutive seeds starting at BaseSeed are used
+	// (defaults: 1 seed from base 1).
+	Seeds     []int64 `json:"seeds,omitempty"`
+	SeedCount int     `json:"seed_count,omitempty"`
+	BaseSeed  int64   `json:"base_seed,omitempty"`
+
+	// ExpDMin is the exp channel's empirical pure delay; default 20 ps.
+	ExpDMin float64 `json:"exp_dmin,omitempty"`
+
+	// Bench overrides the base testbench parameters the scale axes are
+	// applied to; nil selects nor.DefaultParams().
+	Bench *nor.Params `json:"-"`
+}
+
+// Scenario is one expanded grid point: a gate at one operating point
+// under one stimulus configuration.
+type Scenario struct {
+	Index     int        // position in grid order
+	Gate      string     // registry name
+	VDDScale  float64    // applied supply scale
+	LoadScale float64    // applied output-load scale
+	Stimulus  Stimulus   // stimulus-axis point
+	Params    nor.Params // fully scaled bench parameters
+	Config    gen.Config // derived generator configuration (Inputs = arity)
+}
+
+// Name renders a compact scenario label for progress and reports.
+func (s Scenario) Name() string {
+	return fmt.Sprintf("%s vdd=%.2f load=%.2f %s", s.Gate, s.VDDScale, s.LoadScale, s.Stimulus.Name())
+}
+
+// SeedList resolves the spec's effective seeds: the explicit Seeds
+// list, or SeedCount consecutive seeds from BaseSeed (defaults: one
+// seed from base 1).
+func (s Spec) SeedList() []int64 {
+	if len(s.Seeds) > 0 {
+		return append([]int64(nil), s.Seeds...)
+	}
+	count := s.SeedCount
+	if count <= 0 {
+		count = 1
+	}
+	base := s.BaseSeed
+	if base == 0 {
+		base = 1
+	}
+	out := make([]int64, count)
+	for i := range out {
+		out[i] = base + int64(i)
+	}
+	return out
+}
+
+// expDMin resolves the exp channel's pure delay.
+func (s Spec) expDMin() float64 {
+	if s.ExpDMin > 0 {
+		return s.ExpDMin
+	}
+	return 20 * waveform.Pico
+}
+
+// baseParams resolves the base bench parameters.
+func (s Spec) baseParams() nor.Params {
+	if s.Bench != nil {
+		return *s.Bench
+	}
+	return nor.DefaultParams()
+}
+
+// scaleParams applies one operating point's scale factors to the base
+// bench parameters: the supply (VDD and threshold together, keeping the
+// discretization point at the same relative level) and the output load.
+func scaleParams(base nor.Params, vddScale, loadScale float64) nor.Params {
+	p := base
+	p.Supply.VDD *= vddScale
+	p.Supply.Vth *= vddScale
+	p.CO *= loadScale
+	return p
+}
+
+// Expand validates the spec and expands it into scenarios in grid order
+// (gate-major, then VDD scale, load scale and stimulus).
+func Expand(spec Spec) ([]Scenario, error) {
+	gates := spec.Gates
+	if len(gates) == 0 {
+		gates = []string{gate.Default().Name()}
+	}
+	arities := make(map[string]int, len(gates))
+	seen := map[string]bool{}
+	for _, name := range gates {
+		if seen[name] {
+			return nil, fmt.Errorf("sweep: gate %q listed twice", name)
+		}
+		seen[name] = true
+		g, err := gate.Find(name)
+		if err != nil {
+			return nil, fmt.Errorf("sweep: %w", err)
+		}
+		arities[name] = g.Arity()
+	}
+	vdds := spec.VDDScale
+	if len(vdds) == 0 {
+		vdds = []float64{1}
+	}
+	loads := spec.LoadScale
+	if len(loads) == 0 {
+		loads = []float64{1}
+	}
+	// Duplicate axis values would expand into scenarios with identical
+	// golden-cache keys; their singleflighted lookups would then be
+	// attributed to whichever scenario ran first, making the per-scenario
+	// hit/miss columns depend on scheduling — so duplicates are rejected
+	// on every axis, not just gates.
+	seenVDD := map[float64]bool{}
+	for _, v := range vdds {
+		if !(v > 0) || math.IsInf(v, 0) {
+			return nil, fmt.Errorf("sweep: invalid VDD scale %g", v)
+		}
+		if seenVDD[v] {
+			return nil, fmt.Errorf("sweep: VDD scale %g listed twice", v)
+		}
+		seenVDD[v] = true
+	}
+	seenLoad := map[float64]bool{}
+	for _, l := range loads {
+		if !(l > 0) || math.IsInf(l, 0) {
+			return nil, fmt.Errorf("sweep: invalid load scale %g", l)
+		}
+		if seenLoad[l] {
+			return nil, fmt.Errorf("sweep: load scale %g listed twice", l)
+		}
+		seenLoad[l] = true
+	}
+	if len(spec.Stimuli) == 0 {
+		return nil, fmt.Errorf("sweep: no stimuli supplied")
+	}
+	seenStim := map[Stimulus]bool{}
+	for i, st := range spec.Stimuli {
+		if st.Mu <= 0 || st.Sigma < 0 {
+			return nil, fmt.Errorf("sweep: stimulus %d: invalid gap distribution mu=%g sigma=%g", i, st.Mu, st.Sigma)
+		}
+		if st.Transitions < 1 {
+			return nil, fmt.Errorf("sweep: stimulus %d: need at least one transition", i)
+		}
+		if st.Mode != gen.Local && st.Mode != gen.Global {
+			return nil, fmt.Errorf("sweep: stimulus %d: unknown mode %d", i, int(st.Mode))
+		}
+		if seenStim[st] {
+			return nil, fmt.Errorf("sweep: stimulus %d (%s, %d transitions) listed twice", i, st.Name(), st.Transitions)
+		}
+		seenStim[st] = true
+	}
+	seenSeed := map[int64]bool{}
+	for _, s := range spec.SeedList() {
+		if seenSeed[s] {
+			return nil, fmt.Errorf("sweep: seed %d listed twice", s)
+		}
+		seenSeed[s] = true
+	}
+	base := spec.baseParams()
+	out := make([]Scenario, 0, len(gates)*len(vdds)*len(loads)*len(spec.Stimuli))
+	for _, name := range gates {
+		for _, vdd := range vdds {
+			for _, load := range loads {
+				for _, st := range spec.Stimuli {
+					stim := st
+					if stim.Start <= 0 {
+						stim.Start = 200 * waveform.Pico
+					}
+					out = append(out, Scenario{
+						Index:     len(out),
+						Gate:      name,
+						VDDScale:  vdd,
+						LoadScale: load,
+						Stimulus:  stim,
+						Params:    scaleParams(base, vdd, load),
+						Config: gen.Config{
+							Mu:          stim.Mu,
+							Sigma:       stim.Sigma,
+							Mode:        stim.Mode,
+							Inputs:      arities[name],
+							Transitions: stim.Transitions,
+							Start:       stim.Start,
+							MinGap:      stim.MinGap,
+						},
+					})
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+// Phase names reported through Progress.
+const (
+	PhasePrepare = "prepare" // operating-point preparation (bench, measurement, fits)
+	PhaseEval    = "eval"    // (scenario, seed) evaluation units
+)
+
+// Progress describes one completed step of a running sweep.
+type Progress struct {
+	Phase     string // PhasePrepare or PhaseEval
+	Scenario  int    // scenario index (eval phase; -1 during prepare)
+	Seed      int64  // seed of the completed unit (eval phase)
+	Completed int    // steps of this phase finished so far
+	Total     int    // total steps of this phase
+	Err       error  // the step's error, if any
+}
+
+// Options configures a sweep run.
+type Options struct {
+	// Workers bounds the single worker pool shared by every scenario
+	// (both the prepare and the evaluation phase). Zero or negative
+	// selects runtime.GOMAXPROCS(0).
+	Workers int
+
+	// Cache, when non-nil, memoizes golden traces across the whole grid
+	// (and across RunSweep calls). When nil, RunSweep creates a private
+	// cache so hit rates are still reported.
+	Cache *eval.GoldenCache
+
+	// Progress, when non-nil, is invoked after each completed step.
+	// Calls are serialized; steps may complete in any order.
+	Progress func(Progress)
+}
+
+// opKey identifies one operating point: everything that determines the
+// bench and model preparation, but not the stimulus.
+type opKey struct {
+	gate      string
+	vddScale  float64
+	loadScale float64
+}
+
+// opPoint carries one prepared operating point.
+type opPoint struct {
+	key    opKey
+	params nor.Params
+	models eval.Models
+	golden *eval.BenchSource
+}
+
+// trackedSource adapts one scenario's golden lookups onto the shared
+// cache, attributing hits and misses to the scenario.
+type trackedSource struct {
+	gate   string
+	bench  nor.Params
+	cache  *eval.GoldenCache
+	src    eval.GoldenSource
+	hits   *atomic.Int64
+	misses *atomic.Int64
+}
+
+// Golden implements eval.GoldenSource.
+func (s trackedSource) Golden(req eval.GoldenRequest) (trace.Trace, error) {
+	key := eval.GoldenKey{Gate: s.gate, Bench: s.bench, Config: req.Config, Seed: req.Seed}
+	out, hit, err := s.cache.GetOrComputeTracked(key, func() (trace.Trace, error) {
+		return s.src.Golden(req)
+	})
+	if err == nil {
+		if hit {
+			s.hits.Add(1)
+		} else {
+			s.misses.Add(1)
+		}
+	}
+	return out, err
+}
+
+// RunSweep expands the spec and evaluates every scenario. All scenarios
+// share one bounded worker pool and one golden-trace cache; per-scenario
+// results are merged in seed order and reported in grid order, so the
+// report is independent of the worker count. On the first failing step
+// the pool stops picking up new work and the error of the earliest
+// failed step (grid-major, seed-minor) is returned.
+func RunSweep(spec Spec, opt *Options) (*Report, error) {
+	var o Options
+	if opt != nil {
+		o = *opt
+	}
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	if o.Cache == nil {
+		o.Cache = eval.NewGoldenCache()
+	}
+	scenarios, err := Expand(spec)
+	if err != nil {
+		return nil, err
+	}
+	seeds := spec.SeedList()
+	start := time.Now()
+
+	points, err := preparePoints(scenarios, spec.expDMin(), o)
+	if err != nil {
+		return nil, err
+	}
+
+	// One flat unit list over the whole grid: scenario-major (grid
+	// order), seed-minor — exactly the eval runner's schedule, lifted
+	// over scenarios so every scenario shares the same worker budget.
+	total := len(scenarios) * len(seeds)
+	parts := make([]eval.SeedResult, total)
+	errs := make([]error, total)
+	scenarioHits := make([]atomic.Int64, len(scenarios))
+	scenarioMisses := make([]atomic.Int64, len(scenarios))
+	scenarioNanos := make([]atomic.Int64, len(scenarios))
+	sources := make([]eval.GoldenSource, len(scenarios))
+	for i, sc := range scenarios {
+		pt := points[opKey{sc.Gate, sc.VDDScale, sc.LoadScale}]
+		sources[i] = trackedSource{
+			gate:   sc.Gate,
+			bench:  pt.params,
+			cache:  o.Cache,
+			src:    pt.golden,
+			hits:   &scenarioHits[i],
+			misses: &scenarioMisses[i],
+		}
+	}
+
+	var onDone func(i, completed int, err error)
+	if o.Progress != nil {
+		onDone = func(i, completed int, err error) {
+			o.Progress(Progress{
+				Phase: PhaseEval, Scenario: i / len(seeds), Seed: seeds[i%len(seeds)],
+				Completed: completed, Total: total, Err: err,
+			})
+		}
+	}
+	pool.Run(total, o.Workers, func(i int) error {
+		si := i / len(seeds)
+		sc := scenarios[si]
+		unitStart := time.Now()
+		parts[i], errs[i] = eval.EvaluateSeed(sources[si], points[opKey{sc.Gate, sc.VDDScale, sc.LoadScale}].models, sc.Config, seeds[i%len(seeds)])
+		scenarioNanos[si].Add(time.Since(unitStart).Nanoseconds())
+		return errs[i]
+	}, onDone)
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("sweep: scenario %d (%s): %w", i/len(seeds), scenarios[i/len(seeds)].Name(), err)
+		}
+	}
+
+	rep := &Report{
+		Seeds:      seeds,
+		ModelNames: append([]string(nil), eval.ModelNames...),
+		Scenarios:  make([]ScenarioResult, len(scenarios)),
+		TotalUnits: total,
+	}
+	for si, sc := range scenarios {
+		merged := eval.MergeSeedResults(sc.Config, parts[si*len(seeds):(si+1)*len(seeds)])
+		rep.Scenarios[si] = buildScenarioResult(sc, merged, parts[si*len(seeds):(si+1)*len(seeds)],
+			scenarioHits[si].Load(), scenarioMisses[si].Load(), scenarioNanos[si].Load())
+	}
+	rep.Cache = o.Cache.Stats()
+	rep.WallSeconds = time.Since(start).Seconds()
+	return rep, nil
+}
+
+// preparePoints builds and measures each unique operating point (gate,
+// VDD scale, load scale) once — bench construction, characteristic
+// measurement and model fitting — on the shared worker budget.
+func preparePoints(scenarios []Scenario, expDMin float64, o Options) (map[opKey]*opPoint, error) {
+	points := map[opKey]*opPoint{}
+	var order []opKey
+	for _, sc := range scenarios {
+		key := opKey{sc.Gate, sc.VDDScale, sc.LoadScale}
+		if _, ok := points[key]; !ok {
+			points[key] = &opPoint{key: key, params: sc.Params}
+			order = append(order, key)
+		}
+	}
+	errs := make([]error, len(order))
+	var onDone func(i, completed int, err error)
+	if o.Progress != nil {
+		onDone = func(i, completed int, err error) {
+			o.Progress(Progress{
+				Phase: PhasePrepare, Scenario: -1,
+				Completed: completed, Total: len(order), Err: err,
+			})
+		}
+	}
+	pool.Run(len(order), o.Workers, func(i int) error {
+		errs[i] = preparePoint(points[order[i]], expDMin)
+		return errs[i]
+	}, onDone)
+	for i, err := range errs {
+		if err != nil {
+			k := order[i]
+			return nil, fmt.Errorf("sweep: operating point %s vdd=%.2f load=%.2f: %w", k.gate, k.vddScale, k.loadScale, err)
+		}
+	}
+	return points, nil
+}
+
+// preparePoint measures one operating point and parametrizes its models.
+func preparePoint(pt *opPoint, expDMin float64) error {
+	g, err := gate.Find(pt.key.gate)
+	if err != nil {
+		return err
+	}
+	bench, err := g.NewBench(pt.params)
+	if err != nil {
+		return fmt.Errorf("bench: %w", err)
+	}
+	meas, err := bench.Measure()
+	if err != nil {
+		return fmt.Errorf("measure: %w", err)
+	}
+	models, err := g.BuildModels(meas, pt.params.Supply, expDMin)
+	if err != nil {
+		return fmt.Errorf("models: %w", err)
+	}
+	pt.models = models
+	pt.golden = eval.NewGateBenchSource(bench)
+	return nil
+}
+
+// buildScenarioResult folds one scenario's merged and per-seed results
+// into the report row.
+func buildScenarioResult(sc Scenario, merged eval.RunResult, parts []eval.SeedResult, hits, misses, nanos int64) ScenarioResult {
+	res := ScenarioResult{
+		Index:        sc.Index,
+		Gate:         sc.Gate,
+		VDDScale:     sc.VDDScale,
+		LoadScale:    sc.LoadScale,
+		Mode:         sc.Stimulus.Mode.String(),
+		MuPs:         sc.Stimulus.Mu / waveform.Pico,
+		SigmaPs:      sc.Stimulus.Sigma / waveform.Pico,
+		Transitions:  sc.Stimulus.Transitions,
+		Seeds:        len(parts),
+		Normalized:   map[string]Ratio{},
+		GoldenEvents: merged.GoldenEv,
+		CacheHits:    hits,
+		CacheMisses:  misses,
+		WallSeconds:  float64(nanos) / 1e9,
+	}
+	for name, v := range merged.Normalized {
+		res.Normalized[name] = Ratio(v)
+	}
+	if lookups := hits + misses; lookups > 0 {
+		res.HitRate = float64(hits) / float64(lookups)
+	}
+	// Worst-case seed: the repetition with the largest hybrid-model
+	// deviation area (absolute, so a zero inertial baseline cannot make
+	// the ranking undefined). Ties keep the earliest seed.
+	for i, p := range parts {
+		area := p.Area[eval.ModelHM]
+		if i == 0 || area > res.WorstSeedArea {
+			res.WorstSeed = p.Seed
+			res.WorstSeedArea = area
+		}
+	}
+	return res
+}

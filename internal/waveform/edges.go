@@ -54,8 +54,16 @@ type Transition struct {
 // separated; overlapping edges are truncated at the midpoint between
 // consecutive events so that the signal remains single-valued.
 func Edges(transitions []Transition, trise, vLow, vHigh float64) (Signal, error) {
-	if trise <= 0 {
-		return nil, fmt.Errorf("waveform: non-positive rise time %g", trise)
+	if trise <= 0 || math.IsNaN(trise) || math.IsInf(trise, 0) {
+		return nil, fmt.Errorf("waveform: invalid rise time %g", trise)
+	}
+	if math.IsNaN(vLow) || math.IsInf(vLow, 0) || math.IsNaN(vHigh) || math.IsInf(vHigh, 0) {
+		return nil, fmt.Errorf("waveform: non-finite levels %g/%g", vLow, vHigh)
+	}
+	for i, t := range transitions {
+		if math.IsNaN(t.Time) || math.IsInf(t.Time, 0) {
+			return nil, fmt.Errorf("waveform: non-finite transition time %g at index %d", t.Time, i)
+		}
 	}
 	ts := append([]Transition(nil), transitions...)
 	sort.Slice(ts, func(i, j int) bool { return ts[i].Time < ts[j].Time })

@@ -1,0 +1,114 @@
+package waveform
+
+// Fuzz targets for the signal substrates every analog run flows
+// through. The contracts under test: malformed inputs (non-monotonic
+// timestamps, NaN/Inf samples, degenerate edge parameters) must be
+// rejected with an error — never a panic — and accepted inputs must
+// yield well-formed, bounded outputs.
+//
+// Short deterministic fuzz passes run in CI (-fuzztime=10s); the seed
+// corpora under testdata/fuzz pin previously interesting shapes.
+
+import (
+	"encoding/binary"
+	"math"
+	"testing"
+)
+
+// f64s decodes the fuzzer's raw bytes into float64s (8 bytes each,
+// little-endian), so the corpus explores the full bit space including
+// NaN/Inf payloads and denormals.
+func f64s(raw []byte, max int) []float64 {
+	var out []float64
+	for i := 0; i+8 <= len(raw) && len(out) < max; i += 8 {
+		out = append(out, math.Float64frombits(binary.LittleEndian.Uint64(raw[i:])))
+	}
+	return out
+}
+
+func FuzzNewWaveform(f *testing.F) {
+	add := func(vals ...float64) {
+		raw := make([]byte, 0, 8*len(vals))
+		for _, v := range vals {
+			raw = binary.LittleEndian.AppendUint64(raw, math.Float64bits(v))
+		}
+		f.Add(raw)
+	}
+	add(0, 1e-12, 2e-12, 0.8, 0.4, 0.0) // well-formed ramp
+	add(0, 0, 1e-12, 0.8, 0.8, 0.8)     // duplicate timestamp
+	add(1e-12, 0, 0.8, 0.4)             // non-monotonic
+	add(0, 1e-12, math.NaN(), 0.4)      // NaN value
+	add(0, math.Inf(1), 0.8, 0.4)       // Inf time
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		vals := f64s(raw, 64)
+		n := len(vals) / 2
+		times, values := vals[:n], vals[n:2*n]
+		w, err := NewWaveform(times, values)
+		if err != nil {
+			return // rejected is fine; panicking is not
+		}
+		// Accepted waveforms are strictly monotonic and finite...
+		for i, tm := range w.Times {
+			if math.IsNaN(tm) || math.IsInf(tm, 0) {
+				t.Fatalf("accepted non-finite time %g at %d", tm, i)
+			}
+			if i > 0 && tm <= w.Times[i-1] {
+				t.Fatalf("accepted non-increasing time at %d", i)
+			}
+			if v := w.Values[i]; math.IsNaN(v) || math.IsInf(v, 0) {
+				t.Fatalf("accepted non-finite value %g at %d", v, i)
+			}
+		}
+		// ...and interpolation stays finite everywhere, including
+		// outside the record (clamped).
+		for _, tm := range []float64{w.Start() - 1, w.Start(), 0.5 * (w.Start() + w.End()), w.End(), w.End() + 1} {
+			if v := w.At(tm); math.IsNaN(v) || math.IsInf(v, 0) {
+				t.Fatalf("At(%g) = %g on a validated waveform", tm, v)
+			}
+		}
+		for _, c := range w.Crossings(0.4) {
+			if math.IsNaN(c.Time) || c.Time < w.Start() || c.Time > w.End() {
+				t.Fatalf("crossing at %g outside record [%g, %g]", c.Time, w.Start(), w.End())
+			}
+		}
+	})
+}
+
+func FuzzEdges(f *testing.F) {
+	mk := func(times ...float64) []byte {
+		raw := make([]byte, 0, 8*len(times))
+		for _, v := range times {
+			raw = binary.LittleEndian.AppendUint64(raw, math.Float64bits(v))
+		}
+		return raw
+	}
+	f.Add(mk(100e-12, 200e-12, 300e-12), uint8(0b101), 20e-12, 0.0, 0.8)
+	f.Add(mk(100e-12, 100e-12), uint8(0b01), 20e-12, 0.0, 0.8) // simultaneous opposite edges
+	f.Add(mk(300e-12, 100e-12), uint8(0b01), 20e-12, 0.0, 0.8) // unsorted input
+	f.Add(mk(100e-12), uint8(1), math.NaN(), 0.0, 0.8)         // NaN rise time
+	f.Add(mk(math.Inf(1)), uint8(1), 20e-12, 0.0, 0.8)         // Inf transition time
+	f.Add(mk(), uint8(0), 20e-12, 0.8, 0.0)                    // empty: constant signal
+	f.Fuzz(func(t *testing.T, raw []byte, dirs uint8, trise, vLow, vHigh float64) {
+		times := f64s(raw, 8)
+		ts := make([]Transition, len(times))
+		for i, tm := range times {
+			ts[i] = Transition{Time: tm, Rising: dirs&(1<<i) != 0}
+		}
+		sig, err := Edges(ts, trise, vLow, vHigh)
+		if err != nil {
+			return // rejected is fine; panicking is not
+		}
+		lo, hi := math.Min(vLow, vHigh), math.Max(vLow, vHigh)
+		probe := []float64{-1, 0, trise, 2 * trise}
+		for _, tr := range ts {
+			probe = append(probe, tr.Time-trise, tr.Time-trise/2, tr.Time, tr.Time+trise/2, tr.Time+trise)
+		}
+		const slack = 1e-9 // raised-cosine rounding at the ramp ends
+		for _, tm := range probe {
+			v := sig(tm)
+			if math.IsNaN(v) || v < lo-slack || v > hi+slack {
+				t.Fatalf("signal value %g at t=%g outside [%g, %g]", v, tm, lo, hi)
+			}
+		}
+	})
+}

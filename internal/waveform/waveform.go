@@ -47,13 +47,24 @@ type Waveform struct {
 	Values []float64
 }
 
-// NewWaveform validates and wraps the sample vectors.
+// NewWaveform validates and wraps the sample vectors. Samples must be
+// finite: a NaN or ±Inf time or voltage (e.g. from a diverged transient)
+// is rejected here so that interpolation, crossing detection and
+// digitization never operate on — or silently produce — non-finite data.
 func NewWaveform(times, values []float64) (*Waveform, error) {
 	if len(times) != len(values) {
 		return nil, fmt.Errorf("waveform: %d times vs %d values", len(times), len(values))
 	}
 	if len(times) == 0 {
 		return nil, fmt.Errorf("waveform: empty waveform")
+	}
+	for i := range times {
+		if math.IsNaN(times[i]) || math.IsInf(times[i], 0) {
+			return nil, fmt.Errorf("waveform: non-finite time %g at index %d", times[i], i)
+		}
+		if math.IsNaN(values[i]) || math.IsInf(values[i], 0) {
+			return nil, fmt.Errorf("waveform: non-finite value %g at index %d", values[i], i)
+		}
 	}
 	for i := 1; i < len(times); i++ {
 		if times[i] <= times[i-1] {
