@@ -1,0 +1,232 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"strings"
+	"time"
+
+	"hybriddelay/internal/eval"
+	"hybriddelay/internal/gen"
+	"hybriddelay/internal/netlist"
+	"hybriddelay/internal/waveform"
+)
+
+// circuitOptions carries the `hybridlab circuit` flags.
+type circuitOptions struct {
+	name        string
+	netlistPath string
+	mode        string
+	mu          float64
+	sigma       float64
+	trans       int
+	reps        int
+	seed        int64
+	seeds       string
+	parallel    int
+	fast        bool
+	out         string
+	csv         bool
+
+	stdout io.Writer // overridable for tests; nil = os.Stdout
+	stderr io.Writer // overridable for tests; nil = os.Stderr
+}
+
+// runCircuitCmd is the `hybridlab circuit` entry point: it resolves the
+// netlist (a shipped example by -name, or a JSON file via -netlist),
+// measures every gate the circuit uses, runs the circuit-level accuracy
+// pipeline with progress on stderr, and writes the per-net report to
+// -out or stdout (aligned table by default, CSV with -csv).
+func runCircuitCmd(args []string) error {
+	var o circuitOptions
+	fs := flag.NewFlagSet("circuit", flag.ExitOnError)
+	fs.StringVar(&o.name, "name", "nor-invchain",
+		fmt.Sprintf("shipped example circuit (%s)", strings.Join(netlist.BuiltinNames(), ", ")))
+	fs.StringVar(&o.netlistPath, "netlist", "", "JSON netlist file (overrides -name)")
+	fs.StringVar(&o.mode, "mode", "local", "stimulus mode (local, global)")
+	fs.Float64Var(&o.mu, "mu", 200, "mean transition gap [ps]")
+	fs.Float64Var(&o.sigma, "sigma", 100, "gap standard deviation [ps]")
+	fs.IntVar(&o.trans, "trans", 60, "transitions per run")
+	fs.IntVar(&o.reps, "reps", 3, "repetitions (seeds)")
+	fs.Int64Var(&o.seed, "seed", 1, "base RNG seed")
+	fs.StringVar(&o.seeds, "seeds", "", "explicit comma-separated seed list (overrides -reps/-seed)")
+	fs.IntVar(&o.parallel, "parallel", runtime.GOMAXPROCS(0), "evaluation workers (1 = serial)")
+	fs.BoolVar(&o.fast, "fast", false, "coarser integrator step for quick exploration")
+	fs.StringVar(&o.out, "out", "", "report output path (default stdout)")
+	fs.BoolVar(&o.csv, "csv", false, "emit the report as CSV instead of a table")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	return o.run()
+}
+
+// resolveNetlist loads the circuit from -netlist or the builtins.
+func (o circuitOptions) resolveNetlist() (*netlist.Netlist, error) {
+	if o.netlistPath != "" {
+		f, err := os.Open(o.netlistPath)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return netlist.Parse(f)
+	}
+	return netlist.Builtin(o.name)
+}
+
+func (o circuitOptions) run() error {
+	stdout, stderr := o.stdout, o.stderr
+	if stdout == nil {
+		stdout = os.Stdout
+	}
+	if stderr == nil {
+		stderr = os.Stderr
+	}
+	nl, err := o.resolveNetlist()
+	if err != nil {
+		return err
+	}
+	mode, err := gen.ParseMode(o.mode)
+	if err != nil {
+		return err
+	}
+	seeds, err := (options{seeds: o.seeds, reps: o.reps, seed: o.seed, fast: o.fast}).seedList()
+	if err != nil {
+		return err
+	}
+	cfg := gen.Config{
+		Mu:          waveform.Ps(o.mu),
+		Sigma:       waveform.Ps(o.sigma),
+		Mode:        mode,
+		Inputs:      len(nl.Inputs),
+		Transitions: o.trans,
+		Start:       200 * waveform.Pico,
+	}
+	p := benchParams(options{fast: o.fast})
+
+	fmt.Fprintf(stderr, "circuit %s: %d instances, %d primary inputs, %d recorded nets\n",
+		nl.Name, len(nl.Instances), len(nl.Inputs), len(nl.Recorded()))
+	fmt.Fprintf(stderr, "measuring and parametrizing gates...\n")
+	ms, err := netlist.BuildModelSet(nl, p, 20*waveform.Pico)
+	if err != nil {
+		return err
+	}
+
+	progress := func(pr eval.Progress) {
+		fmt.Fprintf(stderr, "\revaluating seeds %d/%d", pr.Completed, pr.Total)
+		if pr.Completed == pr.Total {
+			fmt.Fprintln(stderr)
+		}
+	}
+	start := time.Now()
+	res, err := eval.EvaluateCircuit(nl, p, ms, cfg, seeds, &eval.Options{
+		Workers: o.parallel, Progress: progress,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stderr, "circuit %s: %d seeds in %.1fs\n", nl.Name, len(seeds), time.Since(start).Seconds())
+
+	w := stdout
+	if o.out != "" {
+		f, err := os.Create(o.out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	if o.csv {
+		return writeCircuitCSV(w, res)
+	}
+	return writeCircuitTable(w, nl, cfg, res)
+}
+
+// fmtRatio renders a normalized deviation ratio ("-" when undefined).
+func fmtRatio(v float64) string {
+	if v != v { // NaN
+		return "-"
+	}
+	return fmt.Sprintf("%.4f", v)
+}
+
+// errWriter accumulates the first write error so table emission can
+// report failures (e.g. a full disk behind -out) instead of silently
+// truncating.
+type errWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (ew *errWriter) printf(format string, args ...any) {
+	if ew.err == nil {
+		_, ew.err = fmt.Fprintf(ew.w, format, args...)
+	}
+}
+
+// writeCircuitTable renders the per-net accuracy report as an aligned
+// table, normalized per net against the inertial baseline (Fig. 7
+// convention lifted to circuits).
+func writeCircuitTable(w io.Writer, nl *netlist.Netlist, cfg gen.Config, res eval.CircuitResult) error {
+	ew := &errWriter{w: w}
+	ew.printf("circuit %s — %s, %d transitions, seeds %v\n",
+		nl.Name, cfg.Name(), cfg.Transitions, res.Seeds)
+	ew.printf("deviation area normalized to the per-net inertial baseline:\n\n")
+	ew.printf("%-12s %10s", "net", "golden-ev")
+	for _, model := range eval.ModelNames {
+		ew.printf(" %12s", model)
+	}
+	ew.printf("\n")
+	for _, net := range res.Nets {
+		ew.printf("%-12s %10d", net, res.GoldenEv[net])
+		for _, model := range eval.ModelNames {
+			ew.printf(" %12s", fmtRatio(res.Normalized[net][model]))
+		}
+		ew.printf("\n")
+	}
+	total := 0
+	for _, net := range res.Nets {
+		total += res.GoldenEv[net]
+	}
+	ew.printf("%-12s %10d", "TOTAL", total)
+	for _, model := range eval.ModelNames {
+		ew.printf(" %12s", fmtRatio(res.TotalNormalized[model]))
+	}
+	ew.printf("\n")
+	return ew.err
+}
+
+// writeCircuitCSV renders the per-net report as CSV (one row per net
+// plus a TOTAL row; absolute areas in seconds, normalized ratios as
+// NaN-safe columns).
+func writeCircuitCSV(w io.Writer, res eval.CircuitResult) error {
+	cols := []string{"net", "golden_events"}
+	for _, model := range eval.ModelNames {
+		cols = append(cols, "area_"+model, "norm_"+model)
+	}
+	if _, err := fmt.Fprintln(w, strings.Join(cols, ",")); err != nil {
+		return err
+	}
+	row := func(name string, ev int, area, norm map[string]float64) error {
+		fields := []string{name, fmt.Sprintf("%d", ev)}
+		for _, model := range eval.ModelNames {
+			fields = append(fields,
+				fmt.Sprintf("%g", area[model]),
+				fmt.Sprintf("%g", norm[model]))
+		}
+		_, err := fmt.Fprintln(w, strings.Join(fields, ","))
+		return err
+	}
+	for _, net := range res.Nets {
+		if err := row(net, res.GoldenEv[net], res.Area[net], res.Normalized[net]); err != nil {
+			return err
+		}
+	}
+	total := 0
+	for _, net := range res.Nets {
+		total += res.GoldenEv[net]
+	}
+	return row("TOTAL", total, res.TotalArea, res.TotalNormalized)
+}

@@ -143,6 +143,13 @@ func main() {
 		}
 		return
 	}
+	if name == "circuit" {
+		if err := runCircuitCmd(os.Args[2:]); err != nil {
+			fmt.Fprintf(os.Stderr, "hybridlab circuit: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 	fs := flag.NewFlagSet(name, flag.ExitOnError)
 	var opt options
 	var listGatesFlag bool
@@ -193,16 +200,18 @@ func main() {
 	os.Exit(2)
 }
 
-// listGates prints the registered gate names with arities.
+// listGates prints the registered gates in sorted order with arity and
+// description columns.
 func listGates(w io.Writer) {
 	fmt.Fprintln(w, "registered gates (select with -gate):")
+	fmt.Fprintf(w, "  %-8s %-8s %s\n", "name", "inputs", "description")
 	for _, name := range gate.Names() {
 		g, _ := gate.Lookup(name)
 		def := ""
 		if name == gate.Default().Name() {
 			def = " (default)"
 		}
-		fmt.Fprintf(w, "  %-8s %d inputs%s\n", name, g.Arity(), def)
+		fmt.Fprintf(w, "  %-8s %-8d %s%s\n", name, g.Arity(), g.Describe(), def)
 	}
 }
 
@@ -214,7 +223,10 @@ func usage() {
 	}
 	fmt.Fprintln(os.Stderr, "  all        run everything at reduced size")
 	fmt.Fprintln(os.Stderr, "  sweep      scenario sweep over the gate registry (own flags; see below)")
+	fmt.Fprintln(os.Stderr, "  circuit    circuit-level accuracy report for a multi-gate netlist (own flags)")
 	fmt.Fprintln(os.Stderr, "\nflags: -csv -fast -reps N -trans N -seed N -seeds L -parallel N -gate G -list-gates")
 	fmt.Fprintln(os.Stderr, "sweep flags: -gates L -vdd L -load L -modes L -mu L -sigma L -trans N")
 	fmt.Fprintln(os.Stderr, "             -reps N -seed N -seeds L -grid FILE -out FILE -csv -fast -parallel N")
+	fmt.Fprintln(os.Stderr, "circuit flags: -name C | -netlist FILE, -mode M -mu P -sigma P -trans N")
+	fmt.Fprintln(os.Stderr, "               -reps N -seed N -seeds L -out FILE -csv -fast -parallel N")
 }

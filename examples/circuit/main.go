@@ -1,8 +1,10 @@
-// circuit composes a small multi-gate netlist in the event-driven
-// simulator: a hybrid 2-input NOR channel (the paper's model, carrying
-// MIS state) feeding a three-stage inverter chain of involution
-// exp-channels. It demonstrates how MIS-induced glitches at the NOR
-// output propagate — or die — down the chain.
+// circuit composes a small multi-gate circuit through the netlist API:
+// a declarative description of a hybrid 2-input NOR (the paper's model,
+// carrying MIS state) feeding a three-stage inverter chain, elaborated
+// into the event-driven simulator with a custom per-instance channel
+// policy — the NOR gets the stateful hybrid channel, each inverter an
+// involution exp-channel. It demonstrates how MIS-induced glitches at
+// the NOR output propagate — or die — down the chain.
 //
 // Run with:
 //
@@ -19,43 +21,63 @@ import (
 func main() {
 	p := hybriddelay.TableI()
 
+	// The circuit: NOR(a, b) -> three tied-input NOR2 instances acting
+	// as inverters (NOR(x, x) = NOT x). The same description could be
+	// flattened into a composed analog golden with NewCircuitBench or
+	// scored per net with EvaluateCircuit.
+	nl := &hybriddelay.Netlist{
+		Name:   "nor-invchain",
+		Inputs: []string{"a", "b"},
+		Instances: []hybriddelay.NetlistInstance{
+			{Name: "nor", Gate: "nor2", Inputs: []string{"a", "b"}, Output: "nor_out"},
+			{Name: "inv1", Gate: "nor2", Inputs: []string{"nor_out", "nor_out"}, Output: "y1"},
+			{Name: "inv2", Gate: "nor2", Inputs: []string{"y1", "y1"}, Output: "y2"},
+			{Name: "inv3", Gate: "nor2", Inputs: []string{"y2", "y2"}, Output: "y3"},
+		},
+	}
+
+	// The per-instance channel policy: the paper's hybrid NOR channel
+	// (V_N worst case GND) at the front, involution exp-channels behind
+	// the zero-time inverters.
+	exp := hybriddelay.ExpChannel{TauUp: 30e-12, TauDown: 25e-12, DMin: 8e-12}
+	wire := func(sim *hybriddelay.Simulator, inst hybriddelay.NetlistInstance,
+		g hybriddelay.GateSpec, in []*hybriddelay.Net, out *hybriddelay.Net) error {
+		if inst.Name == "nor" {
+			_, err := hybriddelay.NewNORChannel(sim, p, in[0], in[1], out, 0)
+			return err
+		}
+		raw := hybriddelay.NewNet(inst.Name+"_raw", false)
+		if _, err := hybriddelay.NewGate(inst.Name, g.Logic, in, raw); err != nil {
+			return err
+		}
+		hybriddelay.NewChannel(sim, inst.Name+"_ch", raw, out, exp, hybriddelay.PolicyInvolution)
+		return nil
+	}
+
 	run := func(sepPs float64) (norEvents, outEvents int) {
 		sim := hybriddelay.NewSimulator()
-		a := hybriddelay.NewNet("a", true) // both inputs high: output low
-		b := hybriddelay.NewNet("b", true)
-		norOut := hybriddelay.NewNet("nor_out", false)
-		norOut.Record()
-
-		// The paper's hybrid NOR channel (V_N worst case GND).
-		if _, err := hybriddelay.NewNORChannel(sim, p, a, b, norOut, 0); err != nil {
-			log.Fatal(err)
-		}
-
-		// Three inverter stages with exp-channels behind the NOR.
-		exp := hybriddelay.ExpChannel{TauUp: 30e-12, TauDown: 25e-12, DMin: 8e-12}
-		out, err := hybriddelay.InverterChain(sim, norOut, 3, func(i int, from, to *hybriddelay.Net) {
-			hybriddelay.NewChannel(sim, fmt.Sprintf("ch%d", i), from, to, exp,
-				hybriddelay.PolicyInvolution)
-		})
+		// Both inputs start high: the NOR output starts low.
+		nets, err := hybriddelay.ElaborateNetlist(nl, sim, map[string]bool{"a": true, "b": true}, wire)
 		if err != nil {
 			log.Fatal(err)
 		}
-		out.Record()
+		nets["nor_out"].Record()
+		nets["y3"].Record()
 
 		// Stimulus: both inputs drop (NOR output rises), then input A
 		// rises again sepPs later — producing an output pulse of roughly
 		// sepPs width at the NOR, which the chain may or may not carry.
 		t0 := hybriddelay.Ps(500)
-		if err := hybriddelay.Drive(sim, a, hybriddelay.NewTrace(true, t0, t0+hybriddelay.Ps(sepPs))); err != nil {
+		if err := hybriddelay.Drive(sim, nets["a"], hybriddelay.NewTrace(true, t0, t0+hybriddelay.Ps(sepPs))); err != nil {
 			log.Fatal(err)
 		}
-		if err := hybriddelay.Drive(sim, b, hybriddelay.NewTrace(true, t0)); err != nil {
+		if err := hybriddelay.Drive(sim, nets["b"], hybriddelay.NewTrace(true, t0)); err != nil {
 			log.Fatal(err)
 		}
 		if err := sim.Run(10e-9); err != nil {
 			log.Fatal(err)
 		}
-		return norOut.Trace().NumEvents(), out.Trace().NumEvents()
+		return nets["nor_out"].Trace().NumEvents(), nets["y3"].Trace().NumEvents()
 	}
 
 	fmt.Println("pulse created at the NOR by re-raising input A after `sep`:")

@@ -281,6 +281,52 @@ func TestFacadeSweep(t *testing.T) {
 	}
 }
 
+// TestFacadeNetlist: the circuit-level pipeline through the facade —
+// parse a netlist, build its models, evaluate, and check the per-net
+// report shape.
+func TestFacadeNetlist(t *testing.T) {
+	if testing.Short() {
+		t.Skip("composed analog transients in -short mode")
+	}
+	nl, err := ParseNetlist(strings.NewReader(`{
+	  "name": "mini",
+	  "inputs": ["a", "b"],
+	  "instances": [
+	    {"name": "nor",  "gate": "nor2", "inputs": ["a", "b"],   "output": "y0"},
+	    {"name": "inv1", "gate": "nor2", "inputs": ["y0", "y0"], "output": "y1"}
+	  ]
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := DefaultBenchParams()
+	p.MaxStep = 8e-12
+	ms, err := BuildNetlistModels(nl, p, Ps(20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := PaperConfigs()[0]
+	cfg.Transitions = 8
+	res, err := EvaluateCircuit(nl, p, ms, cfg, []int64{1}, &EvalOptions{Workers: 2, Cache: NewGoldenCache()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Nets) != 2 {
+		t.Fatalf("recorded nets = %v, want [y0 y1]", res.Nets)
+	}
+	for _, model := range ModelNames() {
+		if _, ok := res.TotalNormalized[model]; !ok {
+			t.Errorf("missing total for model %s", model)
+		}
+	}
+	if _, err := BuiltinNetlist("c17"); err != nil {
+		t.Error(err)
+	}
+	if len(BuiltinNetlists()) < 2 {
+		t.Errorf("builtin circuits = %v", BuiltinNetlists())
+	}
+}
+
 // TestFacadeParseSweepSpec: the grid-file decoder through the facade.
 func TestFacadeParseSweepSpec(t *testing.T) {
 	spec, err := ParseSweepSpec(strings.NewReader(

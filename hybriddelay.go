@@ -78,6 +78,7 @@ import (
 	"hybriddelay/internal/hybrid"
 	"hybriddelay/internal/idm"
 	"hybriddelay/internal/inertial"
+	"hybriddelay/internal/netlist"
 	"hybriddelay/internal/nor"
 	"hybriddelay/internal/sweep"
 	"hybriddelay/internal/trace"
@@ -271,6 +272,101 @@ func EvaluateGate(bench GateBench, m Models, cfg TraceConfig, seeds []int64) (ev
 // bench; opt may be nil for defaults.
 func NewGateEvalRunner(bench GateBench, m Models, opt *EvalOptions) *EvalRunner {
 	return eval.NewGateRunner(bench, m, opt)
+}
+
+// Netlist API: declarative multi-gate circuits over registered gates,
+// elaborated down both sides of the accuracy pipeline — flattened into
+// one composed transistor-level golden circuit on the analog side, and
+// into either the event-driven simulator (with a pluggable per-gate
+// channel policy) or the offline per-gate delay models on the digital
+// side, with per-net accuracy scoring.
+
+// Netlist is a multi-gate circuit description: instances of registered
+// gates wired by named nets, validated for arity, single drivers and
+// acyclicity.
+type Netlist = netlist.Netlist
+
+// NetlistInstance is one gate instantiation inside a Netlist.
+type NetlistInstance = netlist.Instance
+
+// NetlistModels maps gate registry names to their parametrized model
+// sets — one entry per distinct gate a netlist uses.
+type NetlistModels = netlist.ModelSet
+
+// CircuitBench is a netlist flattened into one composed transistor-
+// level MNA circuit — the analog golden reference of circuit-level
+// evaluation, producing a digitized trace per recorded net.
+type CircuitBench = netlist.Bench
+
+// CircuitResult aggregates a circuit evaluation: per-net and total
+// deviation areas with inertial-normalized ratios.
+type CircuitResult = eval.CircuitResult
+
+// CircuitSeedResult is the outcome of one circuit (config, seed) unit.
+type CircuitSeedResult = eval.CircuitSeedResult
+
+// NetlistChannelBuilder realizes one instance's delay behaviour when a
+// netlist is elaborated into the event-driven simulator.
+type NetlistChannelBuilder = netlist.ChannelBuilder
+
+// Model names of the Fig. 7 legend, as used in result maps and by
+// WireNetlistModel.
+const (
+	ModelInertial = gate.ModelInertial
+	ModelExp      = gate.ModelExp
+	ModelHM       = gate.ModelHM
+	ModelHMNoDMin = gate.ModelHMNoDMin
+)
+
+// ModelNames lists the evaluated delay models in presentation order.
+func ModelNames() []string { return append([]string(nil), gate.ModelNames...) }
+
+// ParseNetlist decodes and validates the JSON netlist format of
+// `hybridlab circuit -netlist`.
+func ParseNetlist(r io.Reader) (*Netlist, error) { return netlist.Parse(r) }
+
+// BuiltinNetlist returns a shipped example circuit ("nor-invchain",
+// "c17") by name.
+func BuiltinNetlist(name string) (*Netlist, error) { return netlist.Builtin(name) }
+
+// BuiltinNetlists lists the shipped example circuits.
+func BuiltinNetlists() []string { return netlist.BuiltinNames() }
+
+// NewCircuitBench flattens a netlist into a composed analog bench.
+func NewCircuitBench(nl *Netlist, p BenchParams) (*CircuitBench, error) {
+	return netlist.NewBench(nl, p)
+}
+
+// BuildNetlistModels measures and parametrizes every distinct gate a
+// netlist uses at the given operating point (expDMin is the exp
+// channel's empirical pure delay, paper: 20 ps).
+func BuildNetlistModels(nl *Netlist, p BenchParams, expDMin float64) (NetlistModels, error) {
+	return netlist.BuildModelSet(nl, p, expDMin)
+}
+
+// EvaluateCircuit runs the circuit-level accuracy pipeline for one
+// waveform configuration over the given seeds on a bounded worker
+// pool: composed golden traces per recorded net (memoized in the
+// options' cache under the netlist content key), every delay model
+// elaborated over the netlist, per-net deviation-area scoring. The
+// result is bit-identical regardless of the worker count, and a
+// single-gate netlist reproduces EvaluateGate exactly.
+func EvaluateCircuit(nl *Netlist, p BenchParams, ms NetlistModels, cfg TraceConfig, seeds []int64, opt *EvalOptions) (CircuitResult, error) {
+	return eval.EvaluateCircuit(nl, p, ms, cfg, seeds, opt)
+}
+
+// ElaborateNetlist builds a netlist into the event-driven simulator:
+// one net per named net (primary inputs initialized from initial) and
+// one wire call per instance in topological order.
+func ElaborateNetlist(nl *Netlist, sim *Simulator, initial map[string]bool, wire NetlistChannelBuilder) (map[string]*Net, error) {
+	return netlist.Elaborate(nl, sim, initial, wire)
+}
+
+// WireNetlistModel returns the standard per-gate channel policy
+// realizing one named delay model (ModelInertial, ModelExp, ModelHM,
+// ModelHMNoDMin) from a model set.
+func WireNetlistModel(ms NetlistModels, model string) NetlistChannelBuilder {
+	return netlist.WireModel(ms, model)
 }
 
 // Scenario-sweep API: fan whole grids of operating points (gate ×

@@ -30,16 +30,17 @@ import (
 	"hybriddelay/internal/waveform"
 )
 
-// Model names used in result maps (Fig. 7 legend).
+// Model names used in result maps (Fig. 7 legend); the canonical
+// definitions live next to gate.Models in internal/gate.
 const (
-	ModelInertial = "inertial"
-	ModelExp      = "exp-channel"
-	ModelHM       = "hm"         // hybrid model with pure delay
-	ModelHMNoDMin = "hm-no-dmin" // hybrid model without pure delay
+	ModelInertial = gate.ModelInertial
+	ModelExp      = gate.ModelExp
+	ModelHM       = gate.ModelHM       // hybrid model with pure delay
+	ModelHMNoDMin = gate.ModelHMNoDMin // hybrid model without pure delay
 )
 
 // ModelNames lists the evaluated models in presentation order.
-var ModelNames = []string{ModelInertial, ModelExp, ModelHM, ModelHMNoDMin}
+var ModelNames = gate.ModelNames
 
 // Models bundles the parametrized delay models under comparison for one
 // gate; see gate.Models.

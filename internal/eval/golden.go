@@ -112,22 +112,37 @@ type goldenEntry struct {
 	err   error
 }
 
+// setEntry is one multi-trace cache slot (a composed circuit run
+// producing one digitized trace per recorded net); ready is closed once
+// out/err are set.
+type setEntry struct {
+	ready chan struct{}
+	out   map[string]trace.Trace
+	err   error
+}
+
 // GoldenCache memoizes digitized golden traces by GoldenKey. It is safe
 // for concurrent use and deduplicates in-flight computations
 // (singleflight): the first requester of a key computes, later ones wait
 // for its result. Failed computations are not cached. A cache may be
 // shared across runs, gates, benches and worker counts — the gate name
 // and bench parameters are part of the key.
+//
+// Single-gate golden traces (GetOrCompute) and composed circuit trace
+// sets (GetOrComputeSet, keyed by a netlist content key in the Gate
+// field) live in separate tables of the same cache, so one cache can
+// back a whole mixed gate-and-circuit sweep.
 type GoldenCache struct {
 	mu     sync.Mutex
 	table  map[GoldenKey]*goldenEntry
+	sets   map[GoldenKey]*setEntry
 	hits   int64
 	misses int64
 }
 
 // NewGoldenCache returns an empty golden-trace cache.
 func NewGoldenCache() *GoldenCache {
-	return &GoldenCache{table: map[GoldenKey]*goldenEntry{}}
+	return &GoldenCache{table: map[GoldenKey]*goldenEntry{}, sets: map[GoldenKey]*setEntry{}}
 }
 
 // CacheStats reports cache effectiveness counters.
@@ -137,12 +152,20 @@ type CacheStats struct {
 	Entries int   // completed entries currently stored
 }
 
-// Stats returns a snapshot of the cache counters.
+// Stats returns a snapshot of the cache counters. Entries counts
+// completed single-trace and circuit trace-set entries together.
 func (c *GoldenCache) Stats() CacheStats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	n := 0
 	for _, e := range c.table {
+		select {
+		case <-e.ready:
+			n++
+		default:
+		}
+	}
+	for _, e := range c.sets {
 		select {
 		case <-e.ready:
 			n++
@@ -189,6 +212,42 @@ func (c *GoldenCache) GetOrComputeTracked(key GoldenKey, compute func() (trace.T
 	if e.err != nil {
 		c.mu.Lock()
 		delete(c.table, key)
+		c.mu.Unlock()
+	}
+	close(e.ready)
+	return e.out, false, e.err
+}
+
+// GetOrComputeSet is the multi-trace counterpart of
+// GetOrComputeTracked for composed circuit golden runs: one transient
+// produces the digitized traces of every recorded net, memoized
+// together under a single key (conventionally carrying the netlist
+// content key in the Gate field). Semantics mirror GetOrComputeTracked:
+// singleflight per key, errors returned to all waiters but evicted,
+// and per-call hit attribution. The returned map is shared between
+// callers and must be treated as read-only.
+func (c *GoldenCache) GetOrComputeSet(key GoldenKey, compute func() (map[string]trace.Trace, error)) (map[string]trace.Trace, bool, error) {
+	c.mu.Lock()
+	if e, ok := c.sets[key]; ok {
+		c.mu.Unlock()
+		<-e.ready
+		if e.err == nil {
+			c.mu.Lock()
+			c.hits++
+			c.mu.Unlock()
+			return e.out, true, nil
+		}
+		return e.out, false, e.err
+	}
+	e := &setEntry{ready: make(chan struct{})}
+	c.sets[key] = e
+	c.misses++
+	c.mu.Unlock()
+
+	e.out, e.err = compute()
+	if e.err != nil {
+		c.mu.Lock()
+		delete(c.sets, key)
 		c.mu.Unlock()
 	}
 	close(e.ready)

@@ -18,9 +18,24 @@ import (
 	"hybriddelay/internal/idm"
 	"hybriddelay/internal/inertial"
 	"hybriddelay/internal/nor"
+	"hybriddelay/internal/spice"
 	"hybriddelay/internal/trace"
 	"hybriddelay/internal/waveform"
 )
+
+// Model names of the Fig. 7 legend — the four delay models every
+// registered gate parametrizes through BuildModels and the accuracy
+// pipeline scores against the golden reference (both per gate in
+// internal/eval and per netlist instance in circuit-level evaluation).
+const (
+	ModelInertial = "inertial"
+	ModelExp      = "exp-channel"
+	ModelHM       = "hm"         // hybrid model with pure delay
+	ModelHMNoDMin = "hm-no-dmin" // hybrid model without pure delay
+)
+
+// ModelNames lists the evaluated models in presentation order.
+var ModelNames = []string{ModelInertial, ModelExp, ModelHM, ModelHMNoDMin}
 
 // Gate describes one registered multi-input gate. Implementations are
 // stateless values safe for concurrent use; per-run state lives in the
@@ -28,6 +43,8 @@ import (
 type Gate interface {
 	// Name is the registry key (e.g. "nor2").
 	Name() string
+	// Describe is a one-line human description for listings.
+	Describe() string
 	// Arity is the number of gate inputs.
 	Arity() int
 	// Logic is the gate's zero-delay boolean function over Arity inputs.
@@ -36,11 +53,49 @@ type Gate interface {
 	// shared testbench parameter set. Benches are not safe for
 	// concurrent use; build one per worker.
 	NewBench(p nor.Params) (Bench, error)
+	// Stamp writes the gate's transistor-level subcircuit into a shared
+	// circuit, so multi-gate netlists can be flattened into one MNA
+	// system: the instance's devices (including its per-stage output
+	// load CO) between the given input nodes and a freshly created
+	// output node named outName, with internal nodes created under
+	// prefix. init holds the instance's logical input values at t=0;
+	// the returned Subcircuit carries the created node IDs and the
+	// settled initial voltage of every created node in that input state
+	// (internal nodes isolated by the input state use the paper's worst
+	// case GND). For a gate stamped alone with all-low inputs the
+	// resulting circuit is device-for-device identical to its
+	// standalone bench.
+	Stamp(c *spice.Circuit, prefix, outName string, p nor.Params, vdd spice.NodeID, in []spice.NodeID, init []bool) (Subcircuit, error)
 	// BuildModels parametrizes the Fig. 7 model set (per-pin inertial
 	// arcs, exp-channel, hybrid model with and without pure delay) from
 	// a bench measurement. expDMin is the exp channel's empirical pure
 	// delay (paper: 20 ps).
 	BuildModels(meas Measurement, supply waveform.Supply, expDMin float64) (Models, error)
+}
+
+// Subcircuit reports what one Stamp call added to a shared circuit.
+type Subcircuit struct {
+	// Out is the created output node.
+	Out spice.NodeID
+	// Internal lists the created internal nodes in stamp order.
+	Internal []spice.NodeID
+	// Initial maps every created node (internal and output) to its
+	// settled voltage for the instance's t=0 input state.
+	Initial map[spice.NodeID]float64
+}
+
+// stampArgs validates the common Stamp preconditions.
+func stampArgs(g Gate, p nor.Params, in []spice.NodeID, init []bool) error {
+	if err := nor.ValidateParams("gate "+g.Name(), p); err != nil {
+		return err
+	}
+	if len(in) != g.Arity() {
+		return fmt.Errorf("gate %s: stamp wants %d input nodes, got %d", g.Name(), g.Arity(), len(in))
+	}
+	if len(init) != g.Arity() {
+		return fmt.Errorf("gate %s: stamp wants %d initial input values, got %d", g.Name(), g.Arity(), len(init))
+	}
+	return nil
 }
 
 // Bench is an instantiated transistor-level golden bench of a gate. A
@@ -157,10 +212,12 @@ func toCharacteristic(m nor.CharacteristicDelays) hybrid.Characteristic {
 	}
 }
 
-// inputSignals converts digital traces into analog bench stimuli: one
+// InputSignals converts digital traces into analog bench stimuli: one
 // raised-cosine edge train per input plus the transient breakpoints at
-// the edge starts. All inputs must start low.
-func inputSignals(p nor.Params, inputs []trace.Trace) ([]waveform.Signal, []float64, error) {
+// the edge starts. All inputs must start low. It is the one conversion
+// convention every golden run shares — the standalone benches and the
+// netlist composer drive their input sources through it.
+func InputSignals(p nor.Params, inputs []trace.Trace) ([]waveform.Signal, []float64, error) {
 	sigs := make([]waveform.Signal, len(inputs))
 	var bps []float64
 	for i, in := range inputs {

@@ -6,6 +6,7 @@ import (
 	"hybriddelay/internal/hybrid"
 	"hybriddelay/internal/inertial"
 	"hybriddelay/internal/nor"
+	"hybriddelay/internal/spice"
 	"hybriddelay/internal/trace"
 	"hybriddelay/internal/waveform"
 )
@@ -21,6 +22,7 @@ func init() { Register(NAND2) }
 type nand2 struct{}
 
 func (nand2) Name() string         { return "nand2" }
+func (nand2) Describe() string     { return "2-input CMOS NAND, structural dual of the NOR" }
 func (nand2) Arity() int           { return 2 }
 func (nand2) Logic(in []bool) bool { return !(in[0] && in[1]) }
 
@@ -30,6 +32,34 @@ func (nand2) NewBench(p nor.Params) (Bench, error) {
 		return nil, err
 	}
 	return &NAND2Bench{B: b}, nil
+}
+
+// Stamp implements Gate: the dual NAND devices with the internal stack
+// node M created first. Settled voltages: the output follows the NAND
+// logic; M is pulled to GND while the bottom nMOS conducts (A high),
+// tracks the high output while only the upper stack device conducts
+// (A low, B high), and starts discharged (GND) when isolated in state
+// (0,0) — matching the standalone bench's golden initial condition.
+func (g nand2) Stamp(c *spice.Circuit, prefix, outName string, p nor.Params, vdd spice.NodeID, in []spice.NodeID, init []bool) (Subcircuit, error) {
+	if err := stampArgs(g, p, in, init); err != nil {
+		return Subcircuit{}, err
+	}
+	m := c.Node(prefix + "m")
+	o := c.Node(outName)
+	nor.StampNAND2(c, prefix, p, vdd, in[0], in[1], m, o)
+	vM := 0.0
+	if !init[0] && init[1] {
+		vM = p.Supply.VDD
+	}
+	vO := 0.0
+	if g.Logic(init) {
+		vO = p.Supply.VDD
+	}
+	return Subcircuit{
+		Out:      o,
+		Internal: []spice.NodeID{m},
+		Initial:  map[spice.NodeID]float64{m: vM, o: vO},
+	}, nil
 }
 
 func (g nand2) BuildModels(meas Measurement, supply waveform.Supply, expDMin float64) (Models, error) {
@@ -85,7 +115,7 @@ func (b *NAND2Bench) Golden(inputs []trace.Trace, until float64) (trace.Trace, e
 	if len(inputs) != 2 {
 		return trace.Trace{}, fmt.Errorf("gate nand2: want 2 inputs, got %d", len(inputs))
 	}
-	sigs, bps, err := inputSignals(b.B.P, inputs)
+	sigs, bps, err := InputSignals(b.B.P, inputs)
 	if err != nil {
 		return trace.Trace{}, err
 	}

@@ -6,6 +6,7 @@ import (
 	"hybriddelay/internal/hybrid"
 	"hybriddelay/internal/inertial"
 	"hybriddelay/internal/nor"
+	"hybriddelay/internal/spice"
 	"hybriddelay/internal/trace"
 	"hybriddelay/internal/waveform"
 )
@@ -19,6 +20,7 @@ func init() { Register(NOR2) }
 type nor2 struct{}
 
 func (nor2) Name() string         { return "nor2" }
+func (nor2) Describe() string     { return "2-input CMOS NOR, the paper's Fig. 1 gate" }
 func (nor2) Arity() int           { return 2 }
 func (nor2) Logic(in []bool) bool { return !(in[0] || in[1]) }
 
@@ -28,6 +30,35 @@ func (nor2) NewBench(p nor.Params) (Bench, error) {
 		return nil, err
 	}
 	return &NOR2Bench{B: b}, nil
+}
+
+// Stamp implements Gate: the Fig. 1 devices between the given input
+// nodes and a fresh output node, with the internal node N created first
+// (matching the standalone bench's node order). Settled voltages: the
+// output follows the NOR logic; N is VDD while the top pMOS conducts
+// (A low), tracks the low output while only the lower stack device
+// conducts (A high, B low), and takes the paper's worst case GND when
+// isolated in mode (1,1).
+func (g nor2) Stamp(c *spice.Circuit, prefix, outName string, p nor.Params, vdd spice.NodeID, in []spice.NodeID, init []bool) (Subcircuit, error) {
+	if err := stampArgs(g, p, in, init); err != nil {
+		return Subcircuit{}, err
+	}
+	n := c.Node(prefix + "n")
+	o := c.Node(outName)
+	nor.StampNOR2(c, prefix, p, vdd, in[0], in[1], n, o)
+	vN := 0.0
+	if !init[0] {
+		vN = p.Supply.VDD
+	}
+	vO := 0.0
+	if g.Logic(init) {
+		vO = p.Supply.VDD
+	}
+	return Subcircuit{
+		Out:      o,
+		Internal: []spice.NodeID{n},
+		Initial:  map[spice.NodeID]float64{n: vN, o: vO},
+	}, nil
 }
 
 func (g nor2) BuildModels(meas Measurement, supply waveform.Supply, expDMin float64) (Models, error) {
@@ -81,7 +112,7 @@ func (b *NOR2Bench) Golden(inputs []trace.Trace, until float64) (trace.Trace, er
 	if len(inputs) != 2 {
 		return trace.Trace{}, fmt.Errorf("gate nor2: want 2 inputs, got %d", len(inputs))
 	}
-	sigs, bps, err := inputSignals(b.B.P, inputs)
+	sigs, bps, err := InputSignals(b.B.P, inputs)
 	if err != nil {
 		return trace.Trace{}, err
 	}

@@ -6,6 +6,7 @@ import (
 	"hybriddelay/internal/hybrid"
 	"hybriddelay/internal/inertial"
 	"hybriddelay/internal/nor"
+	"hybriddelay/internal/spice"
 	"hybriddelay/internal/trace"
 	"hybriddelay/internal/waveform"
 )
@@ -30,6 +31,7 @@ const farPin = 2 * nor.SISFar
 type nor3 struct{}
 
 func (nor3) Name() string         { return "nor3" }
+func (nor3) Describe() string     { return "3-input CMOS NOR extension (three-deep pMOS stack)" }
 func (nor3) Arity() int           { return 3 }
 func (nor3) Logic(in []bool) bool { return !(in[0] || in[1] || in[2]) }
 
@@ -39,6 +41,38 @@ func (nor3) NewBench(p nor.Params) (Bench, error) {
 		return nil, err
 	}
 	return &NOR3Bench{B: b}, nil
+}
+
+// Stamp implements Gate: the three-deep stack with internal nodes N1
+// and N2 created first. Settled voltages follow the stack conduction
+// from the top: N1 is VDD while A is low, N2 is VDD while A and B are
+// both low; any node cut off from VDD ends at GND (either pulled low
+// through the conducting lower stack onto the low output, or isolated
+// at the paper's worst case).
+func (g nor3) Stamp(c *spice.Circuit, prefix, outName string, p nor.Params, vdd spice.NodeID, in []spice.NodeID, init []bool) (Subcircuit, error) {
+	if err := stampArgs(g, p, in, init); err != nil {
+		return Subcircuit{}, err
+	}
+	n1 := c.Node(prefix + "n1")
+	n2 := c.Node(prefix + "n2")
+	o := c.Node(outName)
+	nor.StampNOR3(c, prefix, p, vdd, in[0], in[1], in[2], n1, n2, o)
+	vdd0 := p.Supply.VDD
+	vN1, vN2, vO := 0.0, 0.0, 0.0
+	if !init[0] {
+		vN1 = vdd0
+		if !init[1] {
+			vN2 = vdd0
+		}
+	}
+	if g.Logic(init) {
+		vO = vdd0
+	}
+	return Subcircuit{
+		Out:      o,
+		Internal: []spice.NodeID{n1, n2},
+		Initial:  map[spice.NodeID]float64{n1: vN1, n2: vN2, o: vO},
+	}, nil
 }
 
 func (g nor3) BuildModels(meas Measurement, supply waveform.Supply, expDMin float64) (Models, error) {
@@ -124,7 +158,7 @@ func (b *NOR3Bench) Golden(inputs []trace.Trace, until float64) (trace.Trace, er
 	if len(inputs) != 3 {
 		return trace.Trace{}, fmt.Errorf("gate nor3: want 3 inputs, got %d", len(inputs))
 	}
-	sigs, bps, err := inputSignals(b.B.P, inputs)
+	sigs, bps, err := InputSignals(b.B.P, inputs)
 	if err != nil {
 		return trace.Trace{}, err
 	}

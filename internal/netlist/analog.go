@@ -1,0 +1,160 @@
+package netlist
+
+import (
+	"fmt"
+
+	"hybriddelay/internal/gate"
+	"hybriddelay/internal/nor"
+	"hybriddelay/internal/spice"
+	"hybriddelay/internal/trace"
+	"hybriddelay/internal/waveform"
+)
+
+// Bench is a netlist elaborated into one flat transistor-level MNA
+// circuit: every instance's subcircuit is stamped (via Gate.Stamp) into
+// a shared spice.Circuit with shared nets, so each stage drives the
+// next stage's gate capacitances through its own per-stage output load
+// — the composed analog golden reference of circuit-level evaluation.
+//
+// Like the single-gate benches, a Bench owns mutable simulator state
+// (input-source signals, device charge state) and must not run two
+// transients at once; use Clone (or the pooling CircuitBenchSource in
+// internal/eval) for concurrency.
+//
+// Construction is deliberately order-preserving: nodes are created as
+// supply, then primary inputs in netlist order, then per instance (in
+// topological order) internals before output, and devices as the
+// supply source, the primary input sources and each instance's stamp.
+// For a single-gate netlist this reproduces the standalone bench's MNA
+// system variable for variable and device for device, which is what
+// makes the composed golden bit-identical to the per-gate pipeline.
+type Bench struct {
+	nl *Netlist
+	p  nor.Params
+
+	circuit   *spice.Circuit
+	srcs      []*spice.VSource // one per primary input, in netlist order
+	nodes     map[string]spice.NodeID
+	init      map[spice.NodeID]float64
+	recorded  []string
+	recordIDs []spice.NodeID
+}
+
+// NewBench validates the netlist and flattens it into a fresh circuit.
+func NewBench(nl *Netlist, p nor.Params) (*Bench, error) {
+	if err := nl.Validate(); err != nil {
+		return nil, err
+	}
+	order, err := nl.Order()
+	if err != nil {
+		return nil, err
+	}
+	initVals, err := nl.InitialValues()
+	if err != nil {
+		return nil, err
+	}
+	b := &Bench{
+		nl:    nl,
+		p:     p,
+		nodes: map[string]spice.NodeID{},
+		init:  map[spice.NodeID]float64{},
+	}
+	c := spice.NewCircuit()
+	vdd := c.Node("vdd")
+	for _, name := range nl.Inputs {
+		b.nodes[name] = c.Node(name)
+	}
+	c.AddDCVSource("Vdd", vdd, spice.Ground, p.Supply.VDD)
+	for _, name := range nl.Inputs {
+		// Constant-low placeholder signals, as in the standalone benches;
+		// Golden substitutes the per-run stimuli.
+		b.srcs = append(b.srcs, c.AddVSource("V."+name, b.nodes[name], spice.Ground, waveform.Constant(0)))
+	}
+	for _, i := range order {
+		inst := nl.Instances[i]
+		g, err := gateOf(inst)
+		if err != nil {
+			return nil, err
+		}
+		in := make([]spice.NodeID, len(inst.Inputs))
+		initIn := make([]bool, len(inst.Inputs))
+		for k, net := range inst.Inputs {
+			in[k] = b.nodes[net]
+			initIn[k] = initVals[net]
+		}
+		sub, err := g.Stamp(c, inst.Name+".", inst.Output, p, vdd, in, initIn)
+		if err != nil {
+			return nil, fmt.Errorf("netlist %s: instance %q: %w", nl.label(), inst.Name, err)
+		}
+		b.nodes[inst.Output] = sub.Out
+		for node, v := range sub.Initial {
+			b.init[node] = v
+		}
+	}
+	b.recorded = nl.Recorded()
+	for _, net := range b.recorded {
+		b.recordIDs = append(b.recordIDs, b.nodes[net])
+	}
+	if err := c.Validate(); err != nil {
+		return nil, fmt.Errorf("netlist %s: composed circuit: %w", nl.label(), err)
+	}
+	b.circuit = c
+	return b, nil
+}
+
+// Netlist returns the description the bench was elaborated from.
+func (b *Bench) Netlist() *Netlist { return b.nl }
+
+// Params returns the shared testbench parameters.
+func (b *Bench) Params() nor.Params { return b.p }
+
+// Circuit exposes the flattened MNA circuit (diagnostics and tests).
+func (b *Bench) Circuit() *spice.Circuit { return b.circuit }
+
+// Recorded returns the recorded net names in report order.
+func (b *Bench) Recorded() []string { return append([]string(nil), b.recorded...) }
+
+// Clone returns an independent bench over the same netlist and
+// parameters; clones may run transients concurrently.
+func (b *Bench) Clone() (*Bench, error) { return NewBench(b.nl, b.p) }
+
+// Golden runs the composed analog transient over the given primary
+// input traces (all starting low, as everywhere in the pipeline) and
+// returns the digitized trace of every recorded net. The circuit
+// starts in the settled all-low-input state, with internal nodes that
+// the state isolates at the paper's worst case GND.
+func (b *Bench) Golden(inputs []trace.Trace, until float64) (map[string]trace.Trace, error) {
+	if len(inputs) != len(b.nl.Inputs) {
+		return nil, fmt.Errorf("netlist %s: %d primary inputs, got %d traces",
+			b.nl.label(), len(b.nl.Inputs), len(inputs))
+	}
+	sigs, bps, err := gate.InputSignals(b.p, inputs)
+	if err != nil {
+		return nil, fmt.Errorf("netlist %s: %w", b.nl.label(), err)
+	}
+	for i, src := range b.srcs {
+		src.Signal = sigs[i]
+	}
+	res, err := spice.Transient(b.circuit, spice.TransientOptions{
+		TStart:            0,
+		TStop:             until,
+		MaxStep:           b.p.MaxStep,
+		LTETol:            b.p.LTETol,
+		Method:            b.p.Method,
+		Breakpoints:       bps,
+		InitialConditions: b.init,
+		Record:            b.recordIDs,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("netlist %s: composed transient: %w", b.nl.label(), err)
+	}
+	out := make(map[string]trace.Trace, len(b.recorded))
+	for i, net := range b.recorded {
+		w, err := res.Waveform(b.recordIDs[i])
+		if err != nil {
+			return nil, fmt.Errorf("netlist %s: net %q: %w", b.nl.label(), net, err)
+		}
+		out[net] = trace.Digitize(w, b.p.Supply.Vth)
+	}
+	return out, nil
+}

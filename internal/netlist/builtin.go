@@ -1,0 +1,84 @@
+package netlist
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// InverterChain builds the acceptance circuit of the paper-style MIS
+// study lifted to circuits: a 2-input NOR front-end feeding a chain of
+// tied-input NOR2 inverters. MIS-induced glitches born at the NOR
+// either die inside the chain or propagate to its end, so the per-net
+// accuracy report shows how each delay model's error transforms stage
+// by stage. stages is the number of inverters (>= 1).
+func InverterChain(name string, stages int) (*Netlist, error) {
+	if stages < 1 {
+		return nil, fmt.Errorf("netlist: inverter chain needs at least one stage, got %d", stages)
+	}
+	n := &Netlist{Name: name, Inputs: []string{"a", "b"}}
+	n.Instances = append(n.Instances, Instance{
+		Name: "nor", Gate: "nor2", Inputs: []string{"a", "b"}, Output: "y0",
+	})
+	for i := 1; i <= stages; i++ {
+		prev := fmt.Sprintf("y%d", i-1)
+		n.Instances = append(n.Instances, Instance{
+			Name:   fmt.Sprintf("inv%d", i),
+			Gate:   "nor2",
+			Inputs: []string{prev, prev},
+			Output: fmt.Sprintf("y%d", i),
+		})
+	}
+	return n, nil
+}
+
+// C17 builds the ISCAS-85 c17 benchmark: six 2-input NANDs over five
+// primary inputs with two primary outputs. Its reconvergent fanout
+// (n11 feeds both g16 and g19, n16 feeds both outputs) makes it the
+// smallest standard circuit where per-net model errors interact, which
+// is why it is the repository's reconvergent example.
+func C17(name string) *Netlist {
+	nand := func(inst, a, b, out string) Instance {
+		return Instance{Name: inst, Gate: "nand2", Inputs: []string{a, b}, Output: out}
+	}
+	return &Netlist{
+		Name:    name,
+		Inputs:  []string{"in1", "in2", "in3", "in6", "in7"},
+		Outputs: []string{"out22", "out23"},
+		Instances: []Instance{
+			nand("g10", "in1", "in3", "n10"),
+			nand("g11", "in3", "in6", "n11"),
+			nand("g16", "in2", "n11", "n16"),
+			nand("g19", "n11", "in7", "n19"),
+			nand("g22", "n10", "n16", "out22"),
+			nand("g23", "n16", "n19", "out23"),
+		},
+	}
+}
+
+// builtins maps the named example circuits shipped with the CLI.
+var builtins = map[string]func() (*Netlist, error){
+	"nor-invchain": func() (*Netlist, error) { return InverterChain("nor-invchain", 3) },
+	"c17":          func() (*Netlist, error) { return C17("c17"), nil },
+}
+
+// BuiltinNames lists the shipped example circuits in sorted order.
+func BuiltinNames() []string {
+	out := make([]string, 0, len(builtins))
+	for name := range builtins {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Builtin returns a shipped example circuit by name; unknown names
+// error with the available names.
+func Builtin(name string) (*Netlist, error) {
+	mk, ok := builtins[name]
+	if !ok {
+		return nil, fmt.Errorf("netlist: unknown builtin circuit %q (available: %s)",
+			name, strings.Join(BuiltinNames(), ", "))
+	}
+	return mk()
+}

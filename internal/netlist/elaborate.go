@@ -1,0 +1,230 @@
+package netlist
+
+import (
+	"fmt"
+
+	"hybriddelay/internal/dtsim"
+	"hybriddelay/internal/gate"
+	"hybriddelay/internal/hybrid"
+	"hybriddelay/internal/inertial"
+	"hybriddelay/internal/nor"
+)
+
+// ModelSet maps resolved registry gate names to their parametrized
+// Fig. 7 model sets — one entry per distinct gate a netlist uses. It
+// feeds both the offline circuit scoring (internal/eval) and the
+// event-driven elaboration (WireModel).
+type ModelSet map[string]gate.Models
+
+// For returns the model set of an instance's (resolved) gate.
+func (ms ModelSet) For(inst Instance) (gate.Models, error) {
+	g, err := gateOf(inst)
+	if err != nil {
+		return gate.Models{}, err
+	}
+	m, ok := ms[g.Name()]
+	if !ok {
+		return gate.Models{}, fmt.Errorf("netlist: no models for gate %s (instance %q)", g.Name(), inst.Name)
+	}
+	return m, nil
+}
+
+// BuildModelSet measures and parametrizes every distinct gate the
+// netlist uses at the given operating point: one bench construction,
+// characteristic measurement and model fit per gate (the expensive
+// analog step — share the result across evaluations of the same
+// operating point). expDMin is the exp channel's empirical pure delay.
+func BuildModelSet(nl *Netlist, p nor.Params, expDMin float64) (ModelSet, error) {
+	if err := nl.Validate(); err != nil {
+		return nil, err
+	}
+	ms := ModelSet{}
+	for _, inst := range nl.Instances {
+		g, err := gateOf(inst)
+		if err != nil {
+			return nil, err
+		}
+		if _, ok := ms[g.Name()]; ok {
+			continue
+		}
+		bench, err := g.NewBench(p)
+		if err != nil {
+			return nil, fmt.Errorf("netlist %s: gate %s: bench: %w", nl.label(), g.Name(), err)
+		}
+		meas, err := bench.Measure()
+		if err != nil {
+			return nil, fmt.Errorf("netlist %s: gate %s: measure: %w", nl.label(), g.Name(), err)
+		}
+		m, err := g.BuildModels(meas, p.Supply, expDMin)
+		if err != nil {
+			return nil, fmt.Errorf("netlist %s: gate %s: models: %w", nl.label(), g.Name(), err)
+		}
+		ms[g.Name()] = m
+	}
+	return ms, nil
+}
+
+// ChannelBuilder realizes one instance's delay behaviour in the
+// event-driven simulator: wire the instance's input nets to its output
+// net (creating intermediate nets and channels as needed) and establish
+// the output net's initial value. It is the pluggable per-gate channel
+// policy of the digital elaboration — WireModel provides the standard
+// policies (hybrid channel, IDM exp-channel, inertial), and callers may
+// pass any closure for custom per-instance wiring.
+type ChannelBuilder func(sim *dtsim.Simulator, inst Instance, g gate.Gate, in []*dtsim.Net, out *dtsim.Net) error
+
+// Elaborate builds the netlist into the event-driven simulator: one
+// dtsim.Net per net (primary inputs initialized from initial, missing
+// entries default to low) and one wire call per instance in
+// topological order, so every builder sees its input nets' settled
+// initial values. The returned map holds every net.
+func Elaborate(nl *Netlist, sim *dtsim.Simulator, initial map[string]bool, wire ChannelBuilder) (map[string]*dtsim.Net, error) {
+	if err := nl.Validate(); err != nil {
+		return nil, err
+	}
+	order, err := nl.Order()
+	if err != nil {
+		return nil, err
+	}
+	nets := make(map[string]*dtsim.Net, len(nl.Inputs)+len(nl.Instances))
+	for _, name := range nl.Inputs {
+		nets[name] = dtsim.NewNet(name, initial[name])
+	}
+	for _, i := range order {
+		inst := nl.Instances[i]
+		g, err := gateOf(inst)
+		if err != nil {
+			return nil, err
+		}
+		in := make([]*dtsim.Net, len(inst.Inputs))
+		for k, net := range inst.Inputs {
+			in[k] = nets[net]
+		}
+		out := dtsim.NewNet(inst.Output, false)
+		if err := wire(sim, inst, g, in, out); err != nil {
+			return nil, fmt.Errorf("netlist %s: instance %q: %w", nl.label(), inst.Name, err)
+		}
+		nets[inst.Output] = out
+	}
+	return nets, nil
+}
+
+// WireModel returns the standard channel policy realizing one named
+// delay model (gate.ModelInertial, gate.ModelExp, gate.ModelHM or
+// gate.ModelHMNoDMin) from a model set:
+//
+//   - inertial: a pin-aware event-driven inertial gate (the
+//     event-driven counterpart of inertial.Arcs.Apply);
+//   - exp-channel: a zero-time boolean gate followed by the gate's IDM
+//     exp channel with involution cancellation;
+//   - hm / hm-no-dmin: the paper's stateful 2-input hybrid channel
+//     (available for nor2 instances, whose hybrid model has an
+//     event-driven form; other gates' switch-level models are applied
+//     offline through the eval pipeline instead).
+func WireModel(ms ModelSet, model string) ChannelBuilder {
+	return func(sim *dtsim.Simulator, inst Instance, g gate.Gate, in []*dtsim.Net, out *dtsim.Net) error {
+		m, err := ms.For(inst)
+		if err != nil {
+			return err
+		}
+		switch model {
+		case gate.ModelInertial:
+			return newArcsGate(sim, inst.Name, m.Inertial, g.Logic, in, out)
+		case gate.ModelExp:
+			raw := dtsim.NewNet(inst.Name+".raw", false)
+			if _, err := dtsim.NewGate(inst.Name, g.Logic, in, raw); err != nil {
+				return err
+			}
+			dtsim.NewChannelWithPolicy(sim, inst.Name+".ch", raw, out, m.Exp, dtsim.PolicyInvolution)
+			return nil
+		case gate.ModelHM, gate.ModelHMNoDMin:
+			hm := m.HM
+			if model == gate.ModelHMNoDMin {
+				hm = m.HMNoDMin
+			}
+			nm, ok := hm.(gate.NOR2Model)
+			if !ok {
+				return fmt.Errorf("netlist: model %s has no event-driven channel for gate %s (supported: nor2)",
+					model, g.Name())
+			}
+			// The same V_N initial fill the offline NOR2Model.Apply uses.
+			_, err := hybrid.NewChannel(sim, nm.P, in[0], in[1], out, nm.P.Supply.VDD)
+			return err
+		}
+		return fmt.Errorf("netlist: unknown model %q", model)
+	}
+}
+
+// arcsGate is the event-driven counterpart of inertial.Arcs.Apply: a
+// zero-time boolean gate whose output transitions are deferred by the
+// causing pin's arc delay under VHDL inertial cancellation (a new
+// transaction replaces the pending one; a transaction restoring the
+// committed value kills the pulse).
+type arcsGate struct {
+	sim   *dtsim.Simulator
+	name  string
+	arcs  inertial.Arcs
+	logic func([]bool) bool
+	out   *dtsim.Net
+
+	vals []bool
+	cur  bool // zero-time gate value
+
+	pendingID  dtsim.EventID
+	hasPending bool
+	pendValue  bool
+}
+
+// newArcsGate wires the gate and sets the output net's initial value to
+// the logic of the inputs' initial values.
+func newArcsGate(sim *dtsim.Simulator, name string, arcs inertial.Arcs, logic func([]bool) bool, in []*dtsim.Net, out *dtsim.Net) error {
+	if err := arcs.Validate(); err != nil {
+		return err
+	}
+	if len(in) != len(arcs) {
+		return fmt.Errorf("netlist: %d input nets for %d arcs", len(in), len(arcs))
+	}
+	g := &arcsGate{sim: sim, name: name, arcs: arcs, logic: logic, out: out, vals: make([]bool, len(in))}
+	for i, n := range in {
+		g.vals[i] = n.Value()
+	}
+	g.cur = logic(g.vals)
+	out.SetInitial(g.cur)
+	for i, n := range in {
+		i := i
+		n.OnChange(func(t float64, v bool) { g.onInput(t, i, v) })
+	}
+	return nil
+}
+
+func (g *arcsGate) onInput(t float64, pin int, v bool) {
+	g.vals[pin] = v
+	nv := g.logic(g.vals)
+	if nv == g.cur {
+		return
+	}
+	g.cur = nv
+	if g.hasPending {
+		g.sim.Cancel(g.pendingID)
+		g.hasPending = false
+	}
+	if nv == g.out.Value() {
+		// The replaced transaction restored the committed value: the
+		// pulse was too short to transmit.
+		return
+	}
+	d := g.arcs[pin].Rise
+	if !nv {
+		d = g.arcs[pin].Fall
+	}
+	id, err := g.sim.Schedule(t+d, func(ft float64) {
+		g.hasPending = false
+		g.out.Set(ft, g.pendValue)
+	})
+	if err != nil {
+		panic(fmt.Sprintf("netlist: inertial gate %s: %v", g.name, err))
+	}
+	g.pendingID = id
+	g.hasPending = true
+	g.pendValue = nv
+}

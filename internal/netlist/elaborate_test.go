@@ -1,0 +1,164 @@
+package netlist
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"hybriddelay/internal/dtsim"
+	"hybriddelay/internal/gate"
+	"hybriddelay/internal/hybrid"
+	"hybriddelay/internal/idm"
+	"hybriddelay/internal/inertial"
+	"hybriddelay/internal/trace"
+)
+
+// cheapModelSet builds a nor2 model set from fixed parameters (no
+// analog measurement), following the eval test convention.
+func cheapModelSet(t *testing.T) ModelSet {
+	t.Helper()
+	hm := hybrid.TableI()
+	hm0 := hm
+	hm0.DMin = 0
+	arcs, err := inertial.NORArcsFromSIS(40e-12, 38e-12, 53e-12, 56e-12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exp, err := idm.ExpFromSIS(54.5e-12, 39e-12, 20e-12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ModelSet{"nor2": {
+		Gate:     gate.NOR2,
+		Inertial: arcs.Arcs(),
+		Exp:      exp,
+		HM:       gate.NOR2Model{P: hm},
+		HMNoDMin: gate.NOR2Model{P: hm0},
+		Supply:   hm.Supply,
+	}}
+}
+
+// pulses builds a trace from transition times.
+func pulses(times ...float64) trace.Trace {
+	ev := make([]trace.Event, 0, len(times))
+	v := false
+	for _, tm := range times {
+		v = !v
+		ev = append(ev, trace.Event{Time: tm, Value: v})
+	}
+	return trace.New(false, ev)
+}
+
+// offlineModel applies one named model over the netlist as the eval
+// pipeline does: a topological dataflow of the offline appliers.
+func offlineModel(t *testing.T, nl *Netlist, ms ModelSet, model string, inputs []trace.Trace, until float64) map[string]trace.Trace {
+	t.Helper()
+	nets, err := nl.Walk(inputs, func(inst Instance, g gate.Gate, in []trace.Trace) (trace.Trace, error) {
+		m, err := ms.For(inst)
+		if err != nil {
+			return trace.Trace{}, err
+		}
+		switch model {
+		case gate.ModelInertial:
+			return m.Inertial.Apply(g.Logic, in...), nil
+		case gate.ModelExp:
+			return dtsim.ApplyDelay(trace.Combine(g.Logic, in...), m.Exp), nil
+		case gate.ModelHM:
+			return m.HM.Apply(in, until)
+		}
+		return trace.Trace{}, fmt.Errorf("unknown model %s", model)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return nets
+}
+
+// runElaborated drives the event-driven elaboration with the same
+// inputs and returns the recorded traces of every net.
+func runElaborated(t *testing.T, nl *Netlist, ms ModelSet, model string, inputs []trace.Trace, until float64) map[string]trace.Trace {
+	t.Helper()
+	sim := dtsim.NewSimulator()
+	nets, err := Elaborate(nl, sim, nil, WireModel(ms, model))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range nets {
+		n.Record()
+	}
+	for i, name := range nl.Inputs {
+		if err := dtsim.Drive(sim, nets[name], inputs[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := sim.Run(until); err != nil {
+		t.Fatal(err)
+	}
+	out := map[string]trace.Trace{}
+	for name, n := range nets {
+		out[name] = n.Trace()
+	}
+	return out
+}
+
+// TestElaborateMatchesOfflineModels: the event-driven elaboration and
+// the offline topological dataflow are two realizations of the same
+// per-gate channel semantics and must produce identical traces on
+// every net, for each standard channel policy.
+func TestElaborateMatchesOfflineModels(t *testing.T) {
+	chain, err := InverterChain("chain", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms := cheapModelSet(t)
+	inputs := []trace.Trace{
+		pulses(500e-12, 620e-12, 1500e-12, 1540e-12),
+		pulses(520e-12, 900e-12),
+	}
+	const until = 5e-9
+	for _, model := range []string{gate.ModelInertial, gate.ModelExp, gate.ModelHM} {
+		offline := offlineModel(t, chain, ms, model, inputs, until)
+		live := runElaborated(t, chain, ms, model, inputs, until)
+		for _, net := range []string{"y0", "y1", "y2"} {
+			a, b := offline[net], live[net]
+			if a.Initial != b.Initial || len(a.Events) != len(b.Events) {
+				t.Errorf("%s/%s: offline %+v != elaborated %+v", model, net, a, b)
+				continue
+			}
+			for i := range a.Events {
+				if a.Events[i] != b.Events[i] {
+					t.Errorf("%s/%s: event %d: offline %+v != elaborated %+v", model, net, i, a.Events[i], b.Events[i])
+				}
+			}
+		}
+	}
+}
+
+func TestWireModelErrors(t *testing.T) {
+	ms := cheapModelSet(t)
+	sim := dtsim.NewSimulator()
+	// Hybrid channel is only available for nor2 instances.
+	c17 := C17("c17")
+	nand := gate.NAND2
+	err := WireModel(ModelSet{"nand2": {Gate: nand}}, gate.ModelHM)(sim, c17.Instances[0], nand, nil, nil)
+	if err == nil || !strings.Contains(err.Error(), "no event-driven channel") {
+		t.Errorf("hm wiring of nand2 = %v, want unsupported-channel error", err)
+	}
+	// Missing model set entry.
+	nl := single()
+	if _, err := Elaborate(nl, sim, nil, WireModel(ModelSet{}, gate.ModelInertial)); err == nil {
+		t.Error("missing model set entry accepted")
+	}
+	// Unknown model name.
+	if _, err := Elaborate(nl, sim, nil, WireModel(ms, "bogus")); err == nil {
+		t.Error("unknown model accepted")
+	}
+}
+
+func TestBuildModelSetValidates(t *testing.T) {
+	nl := single()
+	nl.Instances[0].Gate = "bogus"
+	if _, err := BuildModelSet(nl, fastParams(), 20e-12); err == nil {
+		t.Error("invalid netlist accepted")
+	}
+}

@@ -1,0 +1,299 @@
+package netlist
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"strings"
+	"testing"
+
+	"hybriddelay/internal/gate"
+	"hybriddelay/internal/trace"
+)
+
+// single returns a minimal valid one-gate netlist.
+func single() *Netlist {
+	return &Netlist{
+		Name:   "single",
+		Inputs: []string{"a", "b"},
+		Instances: []Instance{
+			{Name: "g", Gate: "nor2", Inputs: []string{"a", "b"}, Output: "o"},
+		},
+	}
+}
+
+func TestValidateAcceptsWellFormed(t *testing.T) {
+	for _, nl := range []*Netlist{single(), C17("c17")} {
+		if err := nl.Validate(); err != nil {
+			t.Errorf("%s: %v", nl.Name, err)
+		}
+	}
+	chain, err := InverterChain("chain", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := chain.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestValidateErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*Netlist)
+		want string
+	}{
+		{"no inputs", func(n *Netlist) { n.Inputs = nil }, "no primary inputs"},
+		{"no instances", func(n *Netlist) { n.Instances = nil }, "no instances"},
+		{"dup input", func(n *Netlist) { n.Inputs = []string{"a", "a"} }, "listed twice"},
+		{"unknown gate", func(n *Netlist) { n.Instances[0].Gate = "xor9" }, "unknown gate"},
+		{"arity", func(n *Netlist) { n.Instances[0].Inputs = []string{"a"} }, "has 2 inputs, got 1"},
+		{"empty instance name", func(n *Netlist) { n.Instances[0].Name = "" }, "empty name"},
+		{"drives primary", func(n *Netlist) { n.Instances[0].Output = "a" }, "drives primary input"},
+		{"undriven", func(n *Netlist) { n.Instances[0].Inputs = []string{"a", "x"} }, "undriven"},
+		{"bad output", func(n *Netlist) { n.Outputs = []string{"nope"} }, "not driven"},
+		{"output is primary", func(n *Netlist) { n.Outputs = []string{"a"} }, "not driven"},
+		{
+			"dup instance",
+			func(n *Netlist) { n.Instances = append(n.Instances, n.Instances[0]) },
+			"duplicate instance",
+		},
+		{
+			"multi driver",
+			func(n *Netlist) {
+				n.Instances = append(n.Instances, Instance{
+					Name: "g2", Gate: "nand2", Inputs: []string{"a", "b"}, Output: "o",
+				})
+			},
+			"driven by both",
+		},
+		{
+			"cycle",
+			func(n *Netlist) {
+				n.Instances = append(n.Instances,
+					Instance{Name: "c1", Gate: "nor2", Inputs: []string{"o", "c2o"}, Output: "c1o"},
+					Instance{Name: "c2", Gate: "nor2", Inputs: []string{"o", "c1o"}, Output: "c2o"},
+				)
+			},
+			"combinational cycle",
+		},
+	}
+	for _, c := range cases {
+		nl := single()
+		c.mut(nl)
+		err := nl.Validate()
+		if err == nil {
+			t.Errorf("%s: accepted", c.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: error %q does not mention %q", c.name, err, c.want)
+		}
+	}
+}
+
+// TestUnknownGateErrorListsRegistry: netlist validation reuses
+// gate.Find, so the unknown-gate message lists the registered names —
+// the same actionable error as the CLI's -gate flag.
+func TestUnknownGateErrorListsRegistry(t *testing.T) {
+	nl := single()
+	nl.Instances[0].Gate = "xor9"
+	err := nl.Validate()
+	if err == nil {
+		t.Fatal("unknown gate accepted")
+	}
+	for _, name := range gate.Names() {
+		if !strings.Contains(err.Error(), name) {
+			t.Errorf("error %q does not list registered gate %q", err, name)
+		}
+	}
+}
+
+func TestOrderTopological(t *testing.T) {
+	// Declare consumers before producers: order must still put drivers
+	// first.
+	nl := &Netlist{
+		Name:   "rev",
+		Inputs: []string{"a", "b"},
+		Instances: []Instance{
+			{Name: "late", Gate: "nor2", Inputs: []string{"mid", "mid"}, Output: "out"},
+			{Name: "early", Gate: "nor2", Inputs: []string{"a", "b"}, Output: "mid"},
+		},
+	}
+	order, err := nl.Order()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if order[0] != 1 || order[1] != 0 {
+		t.Errorf("order = %v, want [1 0]", order)
+	}
+}
+
+func TestInitialValues(t *testing.T) {
+	chain, err := InverterChain("chain", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals, err := chain.InitialValues()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All-low inputs: NOR(0,0)=1, then alternating through the chain.
+	want := map[string]bool{"a": false, "b": false, "y0": true, "y1": false, "y2": true}
+	for net, v := range want {
+		if vals[net] != v {
+			t.Errorf("initial %s = %v, want %v", net, vals[net], v)
+		}
+	}
+}
+
+func TestRecordedDefaultsToInstanceOutputs(t *testing.T) {
+	chain, err := InverterChain("chain", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := chain.Recorded()
+	want := []string{"y0", "y1", "y2"}
+	if len(got) != len(want) {
+		t.Fatalf("recorded = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("recorded = %v, want %v", got, want)
+		}
+	}
+	c17 := C17("c17")
+	if rec := c17.Recorded(); len(rec) != 2 || rec[0] != "out22" || rec[1] != "out23" {
+		t.Errorf("c17 recorded = %v, want [out22 out23]", rec)
+	}
+}
+
+func TestContentKeyIgnoresNameOnly(t *testing.T) {
+	a := single()
+	b := single()
+	b.Name = "renamed"
+	if a.ContentKey() != b.ContentKey() {
+		t.Error("renaming changed the content key")
+	}
+	c := single()
+	c.Instances[0].Inputs = []string{"b", "a"}
+	if a.ContentKey() == c.ContentKey() {
+		t.Error("swapping pin connections did not change the content key")
+	}
+	d := single()
+	d.Outputs = []string{"o"}
+	// Same recorded set (default is the only instance output) -> same key.
+	if a.ContentKey() != d.ContentKey() {
+		t.Error("explicit identical recorded set changed the content key")
+	}
+	// The empty gate name resolves to the default gate in the key.
+	e := single()
+	e.Instances[0].Gate = ""
+	if a.ContentKey() != e.ContentKey() {
+		t.Error("default-gate spelling changed the content key")
+	}
+}
+
+func TestParseRoundTrip(t *testing.T) {
+	nl := C17("c17")
+	var buf bytes.Buffer
+	if err := nl.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Parse(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.ContentKey() != nl.ContentKey() || got.Name != nl.Name {
+		t.Error("round trip changed the netlist")
+	}
+}
+
+func TestParseRejectsInvalid(t *testing.T) {
+	cases := []string{
+		`{"bogus_field": 1}`,
+		`{"inputs": ["a"], "instances": []}`,
+		`{"inputs": ["a", "b"], "instances": [{"name": "g", "gate": "nope", "inputs": ["a", "b"], "output": "o"}]}`,
+	}
+	for _, s := range cases {
+		if _, err := Parse(strings.NewReader(s)); err == nil {
+			t.Errorf("parsed invalid netlist %s", s)
+		}
+	}
+}
+
+func TestBuiltins(t *testing.T) {
+	for _, name := range BuiltinNames() {
+		nl, err := Builtin(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := nl.Validate(); err != nil {
+			t.Errorf("builtin %s: %v", name, err)
+		}
+		if nl.Name != name {
+			t.Errorf("builtin %s named %q", name, nl.Name)
+		}
+	}
+	if _, err := Builtin("nope"); err == nil || !strings.Contains(err.Error(), "c17") {
+		t.Errorf("unknown-builtin error %v does not list the available circuits", err)
+	}
+	if _, err := InverterChain("x", 0); err == nil {
+		t.Error("zero-stage chain accepted")
+	}
+}
+
+// TestShippedNetlistFiles: the JSON files under examples/netlists are
+// the shipped form of the builtin circuits and must stay in sync.
+func TestShippedNetlistFiles(t *testing.T) {
+	for _, name := range BuiltinNames() {
+		f, err := os.Open("../../examples/netlists/" + name + ".json")
+		if err != nil {
+			t.Fatalf("shipped netlist missing: %v", err)
+		}
+		got, err := Parse(f)
+		f.Close()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		want, err := Builtin(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Name != want.Name || got.ContentKey() != want.ContentKey() {
+			t.Errorf("%s: shipped file drifted from the builtin", name)
+		}
+	}
+}
+
+func TestWalkZeroDelay(t *testing.T) {
+	chain, err := InverterChain("chain", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := trace.New(false, []trace.Event{{Time: 1e-9, Value: true}})
+	b := trace.Trace{Initial: false}
+	nets, err := chain.Walk([]trace.Trace{a, b}, func(inst Instance, g gate.Gate, in []trace.Trace) (trace.Trace, error) {
+		return trace.Combine(g.Logic, in...), nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// y0 = NOR(a, b) starts high and falls; y1 = inverter of y0.
+	if !nets["y0"].Initial || nets["y0"].NumEvents() != 1 {
+		t.Errorf("y0 = %+v, want initial high with one event", nets["y0"])
+	}
+	if nets["y1"].Initial || nets["y1"].NumEvents() != 1 || !nets["y1"].Events[0].Value {
+		t.Errorf("y1 = %+v, want initial low with one rising event", nets["y1"])
+	}
+	if _, err := chain.Walk([]trace.Trace{a}, nil); err == nil {
+		t.Error("wrong input count accepted")
+	}
+	// An apply error surfaces with the instance name.
+	_, err = chain.Walk([]trace.Trace{a, b}, func(inst Instance, g gate.Gate, in []trace.Trace) (trace.Trace, error) {
+		return trace.Trace{}, fmt.Errorf("boom")
+	})
+	if err == nil || !strings.Contains(err.Error(), `"nor"`) {
+		t.Errorf("apply error = %v, want the failing instance named", err)
+	}
+}

@@ -24,19 +24,35 @@ type NANDBench struct {
 	srcB    *spice.VSource
 }
 
+// StampNAND2 writes the dual NAND devices into c between existing
+// nodes: the serial nMOS stack GND -> M -> O, the parallel pMOS
+// pull-ups and the load capacitors, mirroring the NOR topology from the
+// same device parameters. Like StampNOR2 it is the single source of the
+// topology for both the standalone bench and the netlist composer, and
+// the device order is part of the contract.
+func StampNAND2(c *spice.Circuit, prefix string, p Params, vdd, a, b, m, o spice.NodeID) {
+	flip := func(mp spice.MOSParams) spice.MOSParams {
+		mp.PMOS = !mp.PMOS
+		return mp
+	}
+	// Duality: NOR T1 (pMOS A, VDD->N) -> nMOS A, M->GND (stack bottom);
+	// NOR T2 (pMOS B, N->O) -> nMOS B, O->M (stack top); NOR T3/T4
+	// (nMOS A/B to GND) -> pMOS A/B pull-ups.
+	c.AddMOSFET(prefix+"TNA", m, a, spice.Ground, flip(p.T1))
+	c.AddMOSFET(prefix+"TNB", o, b, m, flip(p.T2))
+	c.AddMOSFET(prefix+"TPA", o, a, vdd, flip(p.T3))
+	c.AddMOSFET(prefix+"TPB", o, b, vdd, flip(p.T4))
+	c.AddCapacitor(prefix+"Cm", m, spice.Ground, p.CN)
+	c.AddCapacitor(prefix+"Co", o, spice.Ground, p.CO)
+}
+
 // NewNAND builds the dual testbench from the same parameter set as the
 // NOR bench: the NOR's pMOS stack devices (T1, T2) become the NAND's
 // nMOS stack and vice versa, with channel polarity flipped and threshold
 // magnitudes kept, so the two benches are electrical mirrors.
 func NewNAND(p Params) (*NANDBench, error) {
-	if !p.Supply.Valid() {
-		return nil, fmt.Errorf("nand: invalid supply %+v", p.Supply)
-	}
-	if p.CN <= 0 || p.CO <= 0 {
-		return nil, fmt.Errorf("nand: capacitances must be positive")
-	}
-	if p.InputRise <= 0 {
-		return nil, fmt.Errorf("nand: input rise time must be positive")
+	if err := ValidateParams("nand", p); err != nil {
+		return nil, err
 	}
 	b := &NANDBench{P: p}
 	c := spice.NewCircuit()
@@ -50,20 +66,7 @@ func NewNAND(p Params) (*NANDBench, error) {
 	b.srcA = c.AddVSource("Va", b.nodeA, spice.Ground, waveform.Constant(0))
 	b.srcB = c.AddVSource("Vb", b.nodeB, spice.Ground, waveform.Constant(0))
 
-	flip := func(m spice.MOSParams) spice.MOSParams {
-		m.PMOS = !m.PMOS
-		return m
-	}
-	// Duality: NOR T1 (pMOS A, VDD->N) -> nMOS A, M->GND (stack bottom);
-	// NOR T2 (pMOS B, N->O) -> nMOS B, O->M (stack top); NOR T3/T4
-	// (nMOS A/B to GND) -> pMOS A/B pull-ups.
-	c.AddMOSFET("TNA", b.nodeM, b.nodeA, spice.Ground, flip(p.T1))
-	c.AddMOSFET("TNB", b.nodeO, b.nodeB, b.nodeM, flip(p.T2))
-	c.AddMOSFET("TPA", b.nodeO, b.nodeA, vdd, flip(p.T3))
-	c.AddMOSFET("TPB", b.nodeO, b.nodeB, vdd, flip(p.T4))
-
-	c.AddCapacitor("Cm", b.nodeM, spice.Ground, p.CN)
-	c.AddCapacitor("Co", b.nodeO, spice.Ground, p.CO)
+	StampNAND2(c, "", p, vdd, b.nodeA, b.nodeB, b.nodeM, b.nodeO)
 
 	b.circuit = c
 	return b, nil

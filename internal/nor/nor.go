@@ -101,17 +101,45 @@ type Bench struct {
 	srcB    *spice.VSource
 }
 
+// ValidateParams checks the parameter invariants shared by every bench
+// topology built from Params (NOR2, NAND2, NOR3 and netlist-composed
+// circuits). kind names the caller in error messages.
+func ValidateParams(kind string, p Params) error {
+	if !p.Supply.Valid() {
+		return fmt.Errorf("%s: invalid supply %+v", kind, p.Supply)
+	}
+	if p.CN <= 0 || p.CO <= 0 {
+		return fmt.Errorf("%s: capacitances must be positive (CN=%g, CO=%g)", kind, p.CN, p.CO)
+	}
+	if p.InputRise <= 0 {
+		return fmt.Errorf("%s: input rise time must be positive", kind)
+	}
+	return nil
+}
+
+// StampNOR2 writes the Fig. 1 NOR devices into c between existing nodes:
+// the pMOS stack VDD -> N -> O, the parallel nMOS pull-downs and the
+// internal/output load capacitors. Device names carry the given prefix
+// so several instances can share one circuit. The standalone bench and
+// the netlist composer both stamp through this helper, so the composed
+// topology can never drift from the golden-reference one; the device
+// order is part of the contract (MNA stamping order affects the
+// floating-point sums, and the single-gate composed circuit must stay
+// bit-identical to the bench).
+func StampNOR2(c *spice.Circuit, prefix string, p Params, vdd, a, b, n, o spice.NodeID) {
+	c.AddMOSFET(prefix+"T1", n, a, vdd, p.T1)
+	c.AddMOSFET(prefix+"T2", o, b, n, p.T2)
+	c.AddMOSFET(prefix+"T3", o, a, spice.Ground, p.T3)
+	c.AddMOSFET(prefix+"T4", o, b, spice.Ground, p.T4)
+	c.AddCapacitor(prefix+"Cn", n, spice.Ground, p.CN)
+	c.AddCapacitor(prefix+"Co", o, spice.Ground, p.CO)
+}
+
 // New builds the testbench netlist with placeholder (constant-low) input
 // sources; Run substitutes per-experiment stimuli.
 func New(p Params) (*Bench, error) {
-	if !p.Supply.Valid() {
-		return nil, fmt.Errorf("nor: invalid supply %+v", p.Supply)
-	}
-	if p.CN <= 0 || p.CO <= 0 {
-		return nil, fmt.Errorf("nor: capacitances must be positive (CN=%g, CO=%g)", p.CN, p.CO)
-	}
-	if p.InputRise <= 0 {
-		return nil, fmt.Errorf("nor: input rise time must be positive")
+	if err := ValidateParams("nor", p); err != nil {
+		return nil, err
 	}
 	b := &Bench{P: p}
 	c := spice.NewCircuit()
@@ -125,14 +153,7 @@ func New(p Params) (*Bench, error) {
 	b.srcA = c.AddVSource("Va", b.nodeA, spice.Ground, waveform.Constant(0))
 	b.srcB = c.AddVSource("Vb", b.nodeB, spice.Ground, waveform.Constant(0))
 
-	// Fig. 1: pMOS stack VDD -> N -> O, parallel nMOS O -> GND.
-	c.AddMOSFET("T1", b.nodeN, b.nodeA, vdd, p.T1)
-	c.AddMOSFET("T2", b.nodeO, b.nodeB, b.nodeN, p.T2)
-	c.AddMOSFET("T3", b.nodeO, b.nodeA, spice.Ground, p.T3)
-	c.AddMOSFET("T4", b.nodeO, b.nodeB, spice.Ground, p.T4)
-
-	c.AddCapacitor("Cn", b.nodeN, spice.Ground, p.CN)
-	c.AddCapacitor("Co", b.nodeO, spice.Ground, p.CO)
+	StampNOR2(c, "", p, vdd, b.nodeA, b.nodeB, b.nodeN, b.nodeO)
 
 	b.circuit = c
 	return b, nil

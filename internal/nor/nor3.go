@@ -26,14 +26,8 @@ type NOR3Bench struct {
 // T1 for the top stack device, T2 for the two lower ones, T3/T4 for the
 // pull-downs (the third pull-down reuses T4).
 func NewNOR3(p Params) (*NOR3Bench, error) {
-	if !p.Supply.Valid() {
-		return nil, fmt.Errorf("nor3: invalid supply %+v", p.Supply)
-	}
-	if p.CN <= 0 || p.CO <= 0 {
-		return nil, fmt.Errorf("nor3: capacitances must be positive")
-	}
-	if p.InputRise <= 0 {
-		return nil, fmt.Errorf("nor3: input rise time must be positive")
+	if err := ValidateParams("nor3", p); err != nil {
+		return nil, err
 	}
 	b := &NOR3Bench{P: p}
 	c := spice.NewCircuit()
@@ -50,19 +44,27 @@ func NewNOR3(p Params) (*NOR3Bench, error) {
 	b.srcB = c.AddVSource("Vb", b.nodeB, spice.Ground, waveform.Constant(0))
 	b.srcC = c.AddVSource("Vc", b.nodeC, spice.Ground, waveform.Constant(0))
 
-	c.AddMOSFET("T1", b.nodeN1, b.nodeA, vdd, p.T1)
-	c.AddMOSFET("T2", b.nodeN2, b.nodeB, b.nodeN1, p.T2)
-	c.AddMOSFET("T3", b.nodeO, b.nodeC, b.nodeN2, p.T2)
-	c.AddMOSFET("T4", b.nodeO, b.nodeA, spice.Ground, p.T3)
-	c.AddMOSFET("T5", b.nodeO, b.nodeB, spice.Ground, p.T4)
-	c.AddMOSFET("T6", b.nodeO, b.nodeC, spice.Ground, p.T4)
-
-	c.AddCapacitor("Cn1", b.nodeN1, spice.Ground, p.CN)
-	c.AddCapacitor("Cn2", b.nodeN2, spice.Ground, p.CN)
-	c.AddCapacitor("Co", b.nodeO, spice.Ground, p.CO)
+	StampNOR3(c, "", p, vdd, b.nodeA, b.nodeB, b.nodeC, b.nodeN1, b.nodeN2, b.nodeO)
 
 	b.circuit = c
 	return b, nil
+}
+
+// StampNOR3 writes the 3-input NOR devices into c between existing
+// nodes: the three-deep pMOS stack VDD -> N1 -> N2 -> O, the three
+// parallel nMOS pull-downs and the load capacitors. Shared by the
+// standalone bench and the netlist composer; device order is part of
+// the contract (see StampNOR2).
+func StampNOR3(c *spice.Circuit, prefix string, p Params, vdd, a, b, cc, n1, n2, o spice.NodeID) {
+	c.AddMOSFET(prefix+"T1", n1, a, vdd, p.T1)
+	c.AddMOSFET(prefix+"T2", n2, b, n1, p.T2)
+	c.AddMOSFET(prefix+"T3", o, cc, n2, p.T2)
+	c.AddMOSFET(prefix+"T4", o, a, spice.Ground, p.T3)
+	c.AddMOSFET(prefix+"T5", o, b, spice.Ground, p.T4)
+	c.AddMOSFET(prefix+"T6", o, cc, spice.Ground, p.T4)
+	c.AddCapacitor(prefix+"Cn1", n1, spice.Ground, p.CN)
+	c.AddCapacitor(prefix+"Cn2", n2, spice.Ground, p.CN)
+	c.AddCapacitor(prefix+"Co", o, spice.Ground, p.CO)
 }
 
 // Run drives the bench with the given input signals over [0, tStop]

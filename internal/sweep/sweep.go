@@ -1,9 +1,13 @@
 // Package sweep turns the single-operating-point accuracy study of
 // paper §VI (Fig. 7) into a scenario-exploration engine: a declarative
-// grid of scenario axes — gate topology, supply-voltage scaling, output
-// load scaling, stimulus configuration and seed count — expands into
-// individual scenarios, which are evaluated through the gate-generic
-// pipeline of internal/eval on one shared bounded worker pool.
+// grid of scenario axes — gate topology (single gates and whole
+// netlist circuits), supply-voltage scaling, output load scaling,
+// stimulus configuration and seed count — expands into individual
+// scenarios, which are evaluated through the gate-generic pipeline of
+// internal/eval on one shared bounded worker pool. Circuit scenarios
+// run the circuit-level pipeline (composed analog golden, per-net
+// scoring summed into the report row) and share their member gates'
+// measured operating points with the gate axis.
 //
 // The engine reuses the existing evaluation machinery end to end: each
 // scenario's operating point is prepared with Gate.NewBench / Measure /
@@ -28,6 +32,7 @@ import (
 	"hybriddelay/internal/eval"
 	"hybriddelay/internal/gate"
 	"hybriddelay/internal/gen"
+	"hybriddelay/internal/netlist"
 	"hybriddelay/internal/nor"
 	"hybriddelay/internal/pool"
 	"hybriddelay/internal/trace"
@@ -61,8 +66,18 @@ func (s Stimulus) Name() string {
 // to the calibrated testbench.
 type Spec struct {
 	// Gates lists registry names ("nor2", "nand2", "nor3"). Empty
-	// defaults to the default gate.
+	// defaults to the default gate unless Circuits are given.
 	Gates []string `json:"gates,omitempty"`
+
+	// Circuits lists multi-gate netlists swept as circuit-level
+	// scenarios alongside the single gates: each circuit crosses the
+	// same VDD/load/stimulus axes (the stimulus drives the circuit's
+	// primary inputs), is scored through the composed analog golden,
+	// and reports the deviation areas summed over its recorded nets
+	// (per-net detail is available through eval.EvaluateCircuit). Every
+	// circuit needs a unique name; its report rows appear under
+	// "circuit:<name>".
+	Circuits []netlist.Netlist `json:"circuits,omitempty"`
 
 	// VDDScale lists supply-voltage scale factors applied to both VDD
 	// and the logic threshold of the base bench supply (the threshold
@@ -92,16 +107,19 @@ type Spec struct {
 	Bench *nor.Params `json:"-"`
 }
 
-// Scenario is one expanded grid point: a gate at one operating point
-// under one stimulus configuration.
+// Scenario is one expanded grid point: a gate — or a whole circuit —
+// at one operating point under one stimulus configuration.
 type Scenario struct {
 	Index     int        // position in grid order
-	Gate      string     // registry name
+	Gate      string     // registry name, or "circuit:<name>" for circuit rows
 	VDDScale  float64    // applied supply scale
 	LoadScale float64    // applied output-load scale
 	Stimulus  Stimulus   // stimulus-axis point
 	Params    nor.Params // fully scaled bench parameters
 	Config    gen.Config // derived generator configuration (Inputs = arity)
+
+	// Circuit is the swept netlist for circuit rows, nil for gate rows.
+	Circuit *netlist.Netlist
 }
 
 // Name renders a compact scenario label for progress and reports.
@@ -159,11 +177,26 @@ func scaleParams(base nor.Params, vddScale, loadScale float64) nor.Params {
 }
 
 // Expand validates the spec and expands it into scenarios in grid order
-// (gate-major, then VDD scale, load scale and stimulus).
+// (gate-major, then VDD scale, load scale and stimulus; circuit rows
+// follow the gate rows in the same axis order).
 func Expand(spec Spec) ([]Scenario, error) {
 	gates := spec.Gates
-	if len(gates) == 0 {
+	if len(gates) == 0 && len(spec.Circuits) == 0 {
 		gates = []string{gate.Default().Name()}
+	}
+	seenCirc := map[string]bool{}
+	for i := range spec.Circuits {
+		nl := &spec.Circuits[i]
+		if nl.Name == "" {
+			return nil, fmt.Errorf("sweep: circuit %d needs a name", i)
+		}
+		if seenCirc[nl.Name] {
+			return nil, fmt.Errorf("sweep: circuit %q listed twice", nl.Name)
+		}
+		seenCirc[nl.Name] = true
+		if err := nl.Validate(); err != nil {
+			return nil, fmt.Errorf("sweep: %w", err)
+		}
 	}
 	arities := make(map[string]int, len(gates))
 	seen := map[string]bool{}
@@ -238,8 +271,8 @@ func Expand(spec Spec) ([]Scenario, error) {
 		seenSeed[s] = true
 	}
 	base := spec.baseParams()
-	out := make([]Scenario, 0, len(gates)*len(vdds)*len(loads)*len(spec.Stimuli))
-	for _, name := range gates {
+	out := make([]Scenario, 0, (len(gates)+len(spec.Circuits))*len(vdds)*len(loads)*len(spec.Stimuli))
+	add := func(label string, inputs int, circuit *netlist.Netlist) {
 		for _, vdd := range vdds {
 			for _, load := range loads {
 				for _, st := range spec.Stimuli {
@@ -249,16 +282,17 @@ func Expand(spec Spec) ([]Scenario, error) {
 					}
 					out = append(out, Scenario{
 						Index:     len(out),
-						Gate:      name,
+						Gate:      label,
 						VDDScale:  vdd,
 						LoadScale: load,
 						Stimulus:  stim,
 						Params:    scaleParams(base, vdd, load),
+						Circuit:   circuit,
 						Config: gen.Config{
 							Mu:          stim.Mu,
 							Sigma:       stim.Sigma,
 							Mode:        stim.Mode,
-							Inputs:      arities[name],
+							Inputs:      inputs,
 							Transitions: stim.Transitions,
 							Start:       stim.Start,
 							MinGap:      stim.MinGap,
@@ -267,6 +301,13 @@ func Expand(spec Spec) ([]Scenario, error) {
 				}
 			}
 		}
+	}
+	for _, name := range gates {
+		add(name, arities[name], nil)
+	}
+	for i := range spec.Circuits {
+		nl := &spec.Circuits[i]
+		add("circuit:"+nl.Name, len(nl.Inputs), nl)
 	}
 	return out, nil
 }
@@ -320,6 +361,40 @@ type opPoint struct {
 	golden *eval.BenchSource
 }
 
+// circuitKey identifies one circuit operating point.
+type circuitKey struct {
+	circuit   string
+	vddScale  float64
+	loadScale float64
+}
+
+// circuitPoint carries one prepared circuit operating point: the
+// pooled composed bench and the per-gate model set assembled from the
+// already-prepared single-gate operating points.
+type circuitPoint struct {
+	params nor.Params
+	models netlist.ModelSet
+	golden *eval.CircuitBenchSource
+}
+
+// memberGates lists the distinct resolved gate names a netlist uses,
+// in instance order.
+func memberGates(nl *netlist.Netlist) ([]string, error) {
+	seen := map[string]bool{}
+	var out []string
+	for _, inst := range nl.Instances {
+		g, err := gate.Find(inst.Gate)
+		if err != nil {
+			return nil, err
+		}
+		if !seen[g.Name()] {
+			seen[g.Name()] = true
+			out = append(out, g.Name())
+		}
+	}
+	return out, nil
+}
+
 // trackedSource adapts one scenario's golden lookups onto the shared
 // cache, attributing hits and misses to the scenario.
 type trackedSource struct {
@@ -345,6 +420,47 @@ func (s trackedSource) Golden(req eval.GoldenRequest) (trace.Trace, error) {
 		}
 	}
 	return out, err
+}
+
+// trackedCircuitSource is the circuit counterpart of trackedSource:
+// composed golden trace sets looked up in the shared cache under the
+// netlist content key, with per-scenario hit attribution.
+type trackedCircuitSource struct {
+	key    string // netlist content key
+	bench  nor.Params
+	cache  *eval.GoldenCache
+	src    eval.CircuitGoldenSource
+	hits   *atomic.Int64
+	misses *atomic.Int64
+}
+
+// GoldenNets implements eval.CircuitGoldenSource.
+func (s trackedCircuitSource) GoldenNets(req eval.GoldenRequest) (map[string]trace.Trace, error) {
+	out, hit, err := s.cache.GetOrComputeSet(eval.CircuitKey(s.key, s.bench, req.Config, req.Seed),
+		func() (map[string]trace.Trace, error) { return s.src.GoldenNets(req) })
+	if err == nil {
+		if hit {
+			s.hits.Add(1)
+		} else {
+			s.misses.Add(1)
+		}
+	}
+	return out, err
+}
+
+// circuitToSeedResult folds a per-net circuit unit result into the flat
+// per-model shape the sweep report aggregates: areas and golden events
+// summed over the recorded nets, in net and model order (deterministic
+// floating-point sums).
+func circuitToSeedResult(cr eval.CircuitSeedResult) eval.SeedResult {
+	out := eval.SeedResult{Config: cr.Config, Seed: cr.Seed, Area: map[string]float64{}}
+	for _, net := range cr.Nets {
+		out.GoldenEv += cr.GoldenEv[net]
+		for _, model := range eval.ModelNames {
+			out.Area[model] += cr.Area[net][model]
+		}
+	}
+	return out
 }
 
 // RunSweep expands the spec and evaluates every scenario. All scenarios
@@ -375,6 +491,10 @@ func RunSweep(spec Spec, opt *Options) (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
+	cpoints, err := prepareCircuitPoints(scenarios, points)
+	if err != nil {
+		return nil, err
+	}
 
 	// One flat unit list over the whole grid: scenario-major (grid
 	// order), seed-minor — exactly the eval runner's schedule, lifted
@@ -386,7 +506,20 @@ func RunSweep(spec Spec, opt *Options) (*Report, error) {
 	scenarioMisses := make([]atomic.Int64, len(scenarios))
 	scenarioNanos := make([]atomic.Int64, len(scenarios))
 	sources := make([]eval.GoldenSource, len(scenarios))
+	csources := make([]eval.CircuitGoldenSource, len(scenarios))
 	for i, sc := range scenarios {
+		if sc.Circuit != nil {
+			cp := cpoints[circuitKey{sc.Circuit.Name, sc.VDDScale, sc.LoadScale}]
+			csources[i] = trackedCircuitSource{
+				key:    sc.Circuit.ContentKey(),
+				bench:  cp.params,
+				cache:  o.Cache,
+				src:    cp.golden,
+				hits:   &scenarioHits[i],
+				misses: &scenarioMisses[i],
+			}
+			continue
+		}
 		pt := points[opKey{sc.Gate, sc.VDDScale, sc.LoadScale}]
 		sources[i] = trackedSource{
 			gate:   sc.Gate,
@@ -411,7 +544,14 @@ func RunSweep(spec Spec, opt *Options) (*Report, error) {
 		si := i / len(seeds)
 		sc := scenarios[si]
 		unitStart := time.Now()
-		parts[i], errs[i] = eval.EvaluateSeed(sources[si], points[opKey{sc.Gate, sc.VDDScale, sc.LoadScale}].models, sc.Config, seeds[i%len(seeds)])
+		if sc.Circuit != nil {
+			cp := cpoints[circuitKey{sc.Circuit.Name, sc.VDDScale, sc.LoadScale}]
+			var cres eval.CircuitSeedResult
+			cres, errs[i] = eval.EvaluateCircuitSeed(csources[si], sc.Circuit, cp.models, sc.Config, seeds[i%len(seeds)])
+			parts[i] = circuitToSeedResult(cres)
+		} else {
+			parts[i], errs[i] = eval.EvaluateSeed(sources[si], points[opKey{sc.Gate, sc.VDDScale, sc.LoadScale}].models, sc.Config, seeds[i%len(seeds)])
+		}
 		scenarioNanos[si].Add(time.Since(unitStart).Nanoseconds())
 		return errs[i]
 	}, onDone)
@@ -439,16 +579,32 @@ func RunSweep(spec Spec, opt *Options) (*Report, error) {
 
 // preparePoints builds and measures each unique operating point (gate,
 // VDD scale, load scale) once — bench construction, characteristic
-// measurement and model fitting — on the shared worker budget.
+// measurement and model fitting — on the shared worker budget. Circuit
+// scenarios contribute the operating points of their member gates, so
+// a circuit sharing a gate with the gate axis (or with another
+// circuit) measures and fits that gate only once.
 func preparePoints(scenarios []Scenario, expDMin float64, o Options) (map[opKey]*opPoint, error) {
 	points := map[opKey]*opPoint{}
 	var order []opKey
-	for _, sc := range scenarios {
-		key := opKey{sc.Gate, sc.VDDScale, sc.LoadScale}
+	add := func(gname string, sc Scenario) {
+		key := opKey{gname, sc.VDDScale, sc.LoadScale}
 		if _, ok := points[key]; !ok {
 			points[key] = &opPoint{key: key, params: sc.Params}
 			order = append(order, key)
 		}
+	}
+	for _, sc := range scenarios {
+		if sc.Circuit != nil {
+			members, err := memberGates(sc.Circuit)
+			if err != nil {
+				return nil, fmt.Errorf("sweep: circuit %q: %w", sc.Circuit.Name, err)
+			}
+			for _, gname := range members {
+				add(gname, sc)
+			}
+			continue
+		}
+		add(sc.Gate, sc)
 	}
 	errs := make([]error, len(order))
 	var onDone func(i, completed int, err error)
@@ -494,6 +650,43 @@ func preparePoint(pt *opPoint, expDMin float64) error {
 	pt.models = models
 	pt.golden = eval.NewGateBenchSource(bench)
 	return nil
+}
+
+// prepareCircuitPoints flattens each unique circuit operating point
+// (circuit, VDD scale, load scale) into a pooled composed bench and
+// assembles its per-gate model set from the prepared single-gate
+// points. Flattening is pure netlist work (no analog runs), so it
+// stays serial.
+func prepareCircuitPoints(scenarios []Scenario, points map[opKey]*opPoint) (map[circuitKey]*circuitPoint, error) {
+	cpoints := map[circuitKey]*circuitPoint{}
+	for _, sc := range scenarios {
+		if sc.Circuit == nil {
+			continue
+		}
+		key := circuitKey{sc.Circuit.Name, sc.VDDScale, sc.LoadScale}
+		if _, ok := cpoints[key]; ok {
+			continue
+		}
+		members, err := memberGates(sc.Circuit)
+		if err != nil {
+			return nil, fmt.Errorf("sweep: circuit %q: %w", sc.Circuit.Name, err)
+		}
+		models := netlist.ModelSet{}
+		for _, gname := range members {
+			models[gname] = points[opKey{gname, sc.VDDScale, sc.LoadScale}].models
+		}
+		bench, err := netlist.NewBench(sc.Circuit, sc.Params)
+		if err != nil {
+			return nil, fmt.Errorf("sweep: circuit %q vdd=%.2f load=%.2f: %w",
+				sc.Circuit.Name, sc.VDDScale, sc.LoadScale, err)
+		}
+		cpoints[key] = &circuitPoint{
+			params: sc.Params,
+			models: models,
+			golden: eval.NewCircuitBenchSource(bench),
+		}
+	}
+	return cpoints, nil
 }
 
 // buildScenarioResult folds one scenario's merged and per-seed results
