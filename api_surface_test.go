@@ -1,0 +1,117 @@
+package hybriddelay
+
+// API-surface snapshot: the exported identifiers of the facade package
+// are pinned in testdata/api_surface.golden, so any surface drift —
+// an accidentally removed wrapper, a renamed type, a new entry point —
+// shows up as an explicit golden-file diff in review instead of
+// slipping through. Regenerate deliberately with
+//
+//	go test -run TestAPISurface -update .
+//
+// The listing is go doc-style: one line per exported const, var, func
+// (with signature) and type declared at the package top level, sorted.
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/printer"
+	"go/token"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+)
+
+var updateSurface = flag.Bool("update", false, "regenerate the API-surface golden file")
+
+// apiSurface renders the exported top-level declarations of the
+// package in this directory as a sorted, deterministic listing.
+func apiSurface(t *testing.T) string {
+	t.Helper()
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, ".", func(fi os.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, ok := pkgs["hybriddelay"]
+	if !ok {
+		t.Fatalf("package hybriddelay not found (parsed: %v)", pkgs)
+	}
+	render := func(n ast.Node) string {
+		var buf bytes.Buffer
+		if err := printer.Fprint(&buf, fset, n); err != nil {
+			t.Fatal(err)
+		}
+		// Collapse multi-line renderings (struct literals, long
+		// signatures) into single canonical lines.
+		return strings.Join(strings.Fields(buf.String()), " ")
+	}
+	var lines []string
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				if d.Recv != nil || !d.Name.IsExported() {
+					continue // methods live on the aliased internal types
+				}
+				lines = append(lines, fmt.Sprintf("func %s %s", d.Name.Name, render(d.Type)))
+			case *ast.GenDecl:
+				for _, spec := range d.Specs {
+					switch sp := spec.(type) {
+					case *ast.TypeSpec:
+						if !sp.Name.IsExported() {
+							continue
+						}
+						eq := ""
+						if sp.Assign != token.NoPos {
+							eq = "= "
+						}
+						lines = append(lines, fmt.Sprintf("type %s %s%s", sp.Name.Name, eq, render(sp.Type)))
+					case *ast.ValueSpec:
+						kind := "const"
+						if d.Tok == token.VAR {
+							kind = "var"
+						}
+						for _, name := range sp.Names {
+							if name.IsExported() {
+								lines = append(lines, fmt.Sprintf("%s %s", kind, name.Name))
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	sort.Strings(lines)
+	return strings.Join(lines, "\n") + "\n"
+}
+
+func TestAPISurface(t *testing.T) {
+	got := apiSurface(t)
+	path := filepath.Join("testdata", "api_surface.golden")
+	if *updateSurface {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("regenerated %s (%d identifiers)", path, strings.Count(got, "\n"))
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run `go test -run TestAPISurface -update .`): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("exported API surface drifted from %s.\n"+
+			"If the change is intentional, regenerate with `go test -run TestAPISurface -update .` and review the diff.\n"+
+			"--- want ---\n%s\n--- got ---\n%s", path, want, got)
+	}
+}

@@ -1,10 +1,9 @@
 package main
 
 import (
-	"flag"
+	"context"
 	"fmt"
 	"io"
-	"os"
 	"runtime"
 	"strings"
 	"time"
@@ -12,6 +11,7 @@ import (
 	"hybriddelay/internal/eval"
 	"hybriddelay/internal/gen"
 	"hybriddelay/internal/netlist"
+	"hybriddelay/internal/session"
 	"hybriddelay/internal/waveform"
 )
 
@@ -42,7 +42,7 @@ type circuitOptions struct {
 // -out or stdout (aligned table by default, CSV with -csv).
 func runCircuitCmd(args []string) error {
 	var o circuitOptions
-	fs := flag.NewFlagSet("circuit", flag.ExitOnError)
+	fs := newSubFlags("circuit")
 	fs.StringVar(&o.name, "name", "nor-invchain",
 		fmt.Sprintf("shipped example circuit (%s)", strings.Join(netlist.BuiltinNames(), ", ")))
 	fs.StringVar(&o.netlistPath, "netlist", "", "JSON netlist file (overrides -name)")
@@ -63,28 +63,9 @@ func runCircuitCmd(args []string) error {
 	return o.run()
 }
 
-// resolveNetlist loads the circuit from -netlist or the builtins.
-func (o circuitOptions) resolveNetlist() (*netlist.Netlist, error) {
-	if o.netlistPath != "" {
-		f, err := os.Open(o.netlistPath)
-		if err != nil {
-			return nil, err
-		}
-		defer f.Close()
-		return netlist.Parse(f)
-	}
-	return netlist.Builtin(o.name)
-}
-
 func (o circuitOptions) run() error {
-	stdout, stderr := o.stdout, o.stderr
-	if stdout == nil {
-		stdout = os.Stdout
-	}
-	if stderr == nil {
-		stderr = os.Stderr
-	}
-	nl, err := o.resolveNetlist()
+	stdout, stderr := subIO(o.stdout, o.stderr)
+	nl, err := findNetlist(o.name, o.netlistPath)
 	if err != nil {
 		return err
 	}
@@ -109,39 +90,35 @@ func (o circuitOptions) run() error {
 	fmt.Fprintf(stderr, "circuit %s: %d instances, %d primary inputs, %d recorded nets\n",
 		nl.Name, len(nl.Instances), len(nl.Inputs), len(nl.Recorded()))
 	fmt.Fprintf(stderr, "measuring and parametrizing gates...\n")
-	ms, err := netlist.BuildModelSet(nl, p, 20*waveform.Pico)
-	if err != nil {
-		return err
-	}
 
-	progress := func(pr eval.Progress) {
-		fmt.Fprintf(stderr, "\revaluating seeds %d/%d", pr.Completed, pr.Total)
-		if pr.Completed == pr.Total {
-			fmt.Fprintln(stderr)
-		}
-	}
 	start := time.Now()
-	res, err := eval.EvaluateCircuit(nl, p, ms, cfg, seeds, &eval.Options{
-		Workers: o.parallel, Progress: progress,
+	s := session.New(session.Options{Workers: o.parallel})
+	jres, err := s.Evaluate(context.Background(), session.CircuitJob{
+		Netlist: nl, Params: &p, Config: cfg, Seeds: seeds,
+		ExpDMin:  20 * waveform.Pico,
+		Progress: sessionProgress(stderr, "evaluating seeds"),
 	})
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(stderr, "circuit %s: %d seeds in %.1fs\n", nl.Name, len(seeds), time.Since(start).Seconds())
+	res := *jres.Circuit
+	fmt.Fprintf(stderr, "circuit %s: %d seeds in %.1fs (cache: %d hits / %d misses / %d entries)\n",
+		nl.Name, len(seeds), time.Since(start).Seconds(),
+		jres.Stats.Golden.Hits, jres.Stats.Golden.Misses, jres.Stats.Golden.Entries)
 
-	w := stdout
-	if o.out != "" {
-		f, err := os.Create(o.out)
-		if err != nil {
-			return err
-		}
-		defer f.Close()
-		w = f
+	w, closeReport, err := openReport(o.out, stdout)
+	if err != nil {
+		return err
 	}
 	if o.csv {
-		return writeCircuitCSV(w, res)
+		err = writeCircuitCSV(w, res)
+	} else {
+		err = writeCircuitTable(w, nl, cfg, res)
 	}
-	return writeCircuitTable(w, nl, cfg, res)
+	if cerr := closeReport(); err == nil {
+		err = cerr
+	}
+	return err
 }
 
 // fmtRatio renders a normalized deviation ratio ("-" when undefined).

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"runtime"
@@ -12,6 +13,7 @@ import (
 	"hybriddelay/internal/hybrid"
 	"hybriddelay/internal/la"
 	"hybriddelay/internal/nor"
+	"hybriddelay/internal/session"
 	"hybriddelay/internal/waveform"
 )
 
@@ -348,25 +350,15 @@ func runFig6(opt options) error {
 }
 
 // runFig7 runs the deviation-area accuracy comparison (Fig. 7) for the
-// selected -gate through the registry-driven generic pipeline.
+// selected -gate through one Session per invocation: the engine
+// prepares (and memoizes) the operating point and fans the units
+// across its worker pool.
 func runFig7(opt options) error {
 	g, err := opt.gateSpec()
 	if err != nil {
 		return err
 	}
 	p := benchParams(opt)
-	b, err := g.NewBench(p)
-	if err != nil {
-		return err
-	}
-	meas, err := b.Measure()
-	if err != nil {
-		return err
-	}
-	models, err := g.BuildModels(meas, p.Supply, 20e-12)
-	if err != nil {
-		return err
-	}
 	seeds, err := opt.seedList()
 	if err != nil {
 		return err
@@ -381,6 +373,38 @@ func runFig7(opt options) error {
 		}
 	}
 	out := opt.w()
+	workers := opt.parallel
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if units := len(configs) * len(seeds); workers > units {
+		workers = units // the engine never spawns more workers than units
+	}
+	job := session.GateJob{
+		Gate: g.Name(), Params: &p,
+		Configs: configs, Seeds: seeds,
+		ExpDMin: 20e-12,
+		// No golden cache: every (config, seed) unit in a single fig7
+		// run is unique, so memoization could never hit within one CLI
+		// invocation — it would only hold every trace in memory.
+		NoCache: true,
+	}
+	if !opt.csv {
+		// Progress goes to stderr so redirected stdout stays clean.
+		job.Progress = func(p session.Progress) {
+			fmt.Fprintf(os.Stderr, "\r%-20s seed %-6d %d/%d units", p.Config.Name(), p.Seed, p.Completed, p.Total)
+		}
+	}
+	start := time.Now()
+	s := session.New(session.Options{Workers: workers})
+	jres, err := s.Evaluate(context.Background(), job)
+	if !opt.csv {
+		fmt.Fprintln(os.Stderr)
+	}
+	if err != nil {
+		return err
+	}
+	results := jres.Gate
 	if g.Name() != gate.Default().Name() {
 		// The default gate keeps the historical output byte-for-byte; other
 		// gates announce themselves. In CSV mode the banner goes to stderr
@@ -389,31 +413,7 @@ func runFig7(opt options) error {
 		if opt.csv {
 			w = os.Stderr
 		}
-		fmt.Fprintf(w, "gate: %s (%d inputs), hybrid fit: %s\n", g.Name(), g.Arity(), models.HM)
-	}
-	workers := opt.parallel
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if units := len(configs) * len(seeds); workers > units {
-		workers = units // the runner never spawns more workers than units
-	}
-	// No cache: every (config, seed) unit in a single fig7 run is unique,
-	// so memoization could never hit within one CLI invocation.
-	evalOpt := &eval.Options{Workers: workers}
-	if !opt.csv {
-		// Progress goes to stderr so redirected stdout stays clean.
-		evalOpt.Progress = func(p eval.Progress) {
-			fmt.Fprintf(os.Stderr, "\r%-20s seed %-6d %d/%d units", p.Config.Name(), p.Seed, p.Completed, p.Total)
-		}
-	}
-	start := time.Now()
-	results, err := eval.NewGateRunner(b, models, evalOpt).Run(configs, seeds)
-	if !opt.csv {
-		fmt.Fprintln(os.Stderr)
-	}
-	if err != nil {
-		return err
+		fmt.Fprintf(w, "gate: %s (%d inputs), hybrid fit: %s\n", g.Name(), g.Arity(), jres.Models.HM)
 	}
 	groups := []string{}
 	vals := map[string][]float64{}

@@ -68,10 +68,10 @@ func (o options) w() io.Writer {
 	return os.Stdout
 }
 
-// gateSpec resolves the -gate flag against the registry; an unknown name
-// errors with the registered names.
+// gateSpec resolves the -gate flag through the shared lookup helper;
+// an unknown name errors with the registered names.
 func (o options) gateSpec() (gate.Gate, error) {
-	return gate.Find(o.gate)
+	return findGate(o.gate)
 }
 
 // seedList resolves the evaluation seeds: an explicit -seeds list when
@@ -109,6 +109,23 @@ type experiment struct {
 	run  func(opt options) error
 }
 
+// subcommand is a hybridlab mode with its own flag set (unlike the
+// experiments, which share the common flags). All subcommands run
+// through subMain, so flag errors, unknown-name errors and exit codes
+// are reported identically.
+type subcommand struct {
+	name string
+	desc string
+	run  func(args []string) error
+}
+
+func subcommands() []subcommand {
+	return []subcommand{
+		{"sweep", "scenario sweep over the gate registry (own flags; see below)", runSweepCmd},
+		{"circuit", "circuit-level accuracy report for a multi-gate netlist (own flags)", runCircuitCmd},
+	}
+}
+
 func experiments() []experiment {
 	return []experiment{
 		{"fig2-wave", "analog NOR waveforms (Fig. 2a/2c)", runFig2Wave},
@@ -136,19 +153,11 @@ func main() {
 		listGates(os.Stdout)
 		return
 	}
-	if name == "sweep" {
-		if err := runSweepCmd(os.Args[2:]); err != nil {
-			fmt.Fprintf(os.Stderr, "hybridlab sweep: %v\n", err)
-			os.Exit(1)
+	for _, sc := range subcommands() {
+		if sc.name == name {
+			subMain(sc.name, func() error { return sc.run(os.Args[2:]) })
+			return
 		}
-		return
-	}
-	if name == "circuit" {
-		if err := runCircuitCmd(os.Args[2:]); err != nil {
-			fmt.Fprintf(os.Stderr, "hybridlab circuit: %v\n", err)
-			os.Exit(1)
-		}
-		return
 	}
 	fs := flag.NewFlagSet(name, flag.ExitOnError)
 	var opt options
@@ -178,20 +187,14 @@ func main() {
 		opt.fast = true
 		for _, e := range experiments() {
 			fmt.Printf("==== %s — %s ====\n", e.name, e.desc)
-			if err := e.run(opt); err != nil {
-				fmt.Fprintf(os.Stderr, "hybridlab %s: %v\n", e.name, err)
-				os.Exit(1)
-			}
+			subMain(e.name, func() error { return e.run(opt) })
 			fmt.Println()
 		}
 		return
 	}
 	for _, e := range experiments() {
 		if e.name == name {
-			if err := e.run(opt); err != nil {
-				fmt.Fprintf(os.Stderr, "hybridlab %s: %v\n", name, err)
-				os.Exit(1)
-			}
+			subMain(e.name, func() error { return e.run(opt) })
 			return
 		}
 	}
@@ -222,8 +225,9 @@ func usage() {
 		fmt.Fprintf(os.Stderr, "  %-10s %s\n", e.name, e.desc)
 	}
 	fmt.Fprintln(os.Stderr, "  all        run everything at reduced size")
-	fmt.Fprintln(os.Stderr, "  sweep      scenario sweep over the gate registry (own flags; see below)")
-	fmt.Fprintln(os.Stderr, "  circuit    circuit-level accuracy report for a multi-gate netlist (own flags)")
+	for _, sc := range subcommands() {
+		fmt.Fprintf(os.Stderr, "  %-10s %s\n", sc.name, sc.desc)
+	}
 	fmt.Fprintln(os.Stderr, "\nflags: -csv -fast -reps N -trans N -seed N -seeds L -parallel N -gate G -list-gates")
 	fmt.Fprintln(os.Stderr, "sweep flags: -gates L -vdd L -load L -modes L -mu L -sigma L -trans N")
 	fmt.Fprintln(os.Stderr, "             -reps N -seed N -seeds L -grid FILE -out FILE -csv -fast -parallel N")

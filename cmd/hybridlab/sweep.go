@@ -1,7 +1,7 @@
 package main
 
 import (
-	"flag"
+	"context"
 	"fmt"
 	"io"
 	"os"
@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"hybriddelay/internal/gen"
+	"hybriddelay/internal/session"
 	"hybriddelay/internal/sweep"
 	"hybriddelay/internal/waveform"
 )
@@ -43,7 +44,7 @@ type sweepOptions struct {
 // -out or stdout.
 func runSweepCmd(args []string) error {
 	var o sweepOptions
-	fs := flag.NewFlagSet("sweep", flag.ExitOnError)
+	fs := newSubFlags("sweep")
 	fs.StringVar(&o.gates, "gates", "nor2", "comma-separated registered gates (see -list-gates)")
 	fs.StringVar(&o.vdd, "vdd", "1", "comma-separated supply-voltage scale factors")
 	fs.StringVar(&o.load, "load", "1", "comma-separated output-load scale factors")
@@ -66,20 +67,14 @@ func runSweepCmd(args []string) error {
 }
 
 func (o sweepOptions) run() error {
-	stdout, stderr := o.stdout, o.stderr
-	if stdout == nil {
-		stdout = os.Stdout
-	}
-	if stderr == nil {
-		stderr = os.Stderr
-	}
+	stdout, stderr := subIO(o.stdout, o.stderr)
 	spec, err := o.spec()
 	if err != nil {
 		return err
 	}
 	// Expansion is a microsecond cross product; running it once up
 	// front surfaces spec errors (and the grid size) before any analog
-	// work starts. RunSweep re-expands internally.
+	// work starts. The sweep job re-expands internally.
 	scenarios, err := sweep.Expand(spec)
 	if err != nil {
 		return err
@@ -87,37 +82,34 @@ func (o sweepOptions) run() error {
 	fmt.Fprintf(stderr, "sweep: %d scenarios, %d seeds each, %d workers\n",
 		len(scenarios), len(spec.SeedList()), o.parallel)
 
-	progress := func(p sweep.Progress) {
-		if p.Phase == sweep.PhasePrepare {
-			fmt.Fprintf(stderr, "\rpreparing operating points %d/%d", p.Completed, p.Total)
-		} else {
-			fmt.Fprintf(stderr, "\revaluating units %d/%d", p.Completed, p.Total)
-		}
-		if p.Completed == p.Total {
-			fmt.Fprintln(stderr)
-		}
-	}
 	start := time.Now()
-	rep, err := sweep.RunSweep(spec, &sweep.Options{Workers: o.parallel, Progress: progress})
+	s := session.New(session.Options{Workers: o.parallel})
+	res, err := s.Evaluate(context.Background(), session.SweepJob{
+		Spec:     spec,
+		Progress: sessionProgress(stderr, "evaluating units"),
+	})
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(stderr, "sweep: %d units in %.1fs (cache: %d hits / %d misses)\n",
-		rep.TotalUnits, time.Since(start).Seconds(), rep.Cache.Hits, rep.Cache.Misses)
+	rep := res.Sweep
+	fmt.Fprintf(stderr, "sweep: %d units in %.1fs (cache: %d hits / %d misses / %d entries; operating points: %d fitted / %d reused)\n",
+		rep.TotalUnits, time.Since(start).Seconds(),
+		rep.Cache.Hits, rep.Cache.Misses, rep.Cache.Entries,
+		res.Stats.Params.Misses, res.Stats.Params.Hits)
 
-	w := stdout
-	if o.out != "" {
-		f, err := os.Create(o.out)
-		if err != nil {
-			return err
-		}
-		defer f.Close()
-		w = f
+	w, closeReport, err := openReport(o.out, stdout)
+	if err != nil {
+		return err
 	}
 	if o.csv {
-		return rep.WriteCSV(w)
+		err = rep.WriteCSV(w)
+	} else {
+		err = rep.WriteJSON(w)
 	}
-	return rep.WriteJSON(w)
+	if cerr := closeReport(); err == nil {
+		err = cerr
+	}
+	return err
 }
 
 // spec assembles the sweep.Spec from the -grid file or the axis flags.

@@ -45,11 +45,16 @@
 //	                   baselines
 //	internal/gen     - §VI random waveform configurations
 //	internal/eval    - Fig. 7 deviation-area accuracy pipeline, keyed by
-//	                   registered gate
+//	                   registered gate, with the golden-trace and
+//	                   parametrization caches
 //	internal/sweep   - scenario sweep engine: declarative grids of
 //	                   operating points (gate × VDD scale × load scale ×
 //	                   stimulus × seeds) evaluated on one shared worker
 //	                   pool and golden-trace cache, reported as JSON/CSV
+//	internal/session - the unified Session engine: one long-lived owner
+//	                   of the worker pool and both caches, evaluating
+//	                   gate, circuit and sweep jobs through a single
+//	                   Job/Result surface with context cancellation
 //	internal/fit     - Nelder-Mead / Brent / Levenberg-Marquardt
 //	internal/la, ode, roots, waveform, trace - math & signal substrates
 //
@@ -69,7 +74,9 @@
 package hybriddelay
 
 import (
+	"context"
 	"io"
+	"sync"
 
 	"hybriddelay/internal/dtsim"
 	"hybriddelay/internal/eval"
@@ -80,6 +87,7 @@ import (
 	"hybriddelay/internal/inertial"
 	"hybriddelay/internal/netlist"
 	"hybriddelay/internal/nor"
+	"hybriddelay/internal/session"
 	"hybriddelay/internal/sweep"
 	"hybriddelay/internal/trace"
 	"hybriddelay/internal/waveform"
@@ -188,11 +196,12 @@ func MeasureCharacteristic(bench *Bench) (Characteristic, error) {
 }
 
 // Evaluate runs the Fig. 7 accuracy pipeline for one waveform
-// configuration over the given seeds, walking the seeds serially on the
-// caller's bench. EvaluateParallel produces bit-identical results on a
-// worker pool.
+// configuration over the given seeds, walking the seeds on a single
+// worker (the serial schedule). EvaluateParallel produces bit-identical
+// results on a worker pool; like it, Evaluate delegates to the default
+// Session.
 func Evaluate(bench *Bench, m Models, cfg TraceConfig, seeds []int64) (eval.RunResult, error) {
-	return eval.Evaluate(bench, m, cfg, seeds)
+	return EvaluateGate(&gate.NOR2Bench{B: bench}, m, cfg, seeds)
 }
 
 // RunResult aggregates the deviation areas of one evaluation run.
@@ -226,12 +235,141 @@ func NewEvalRunner(bench *Bench, m Models, opt *EvalOptions) *EvalRunner {
 	return eval.NewRunner(bench, m, opt)
 }
 
+// Session API: one long-lived, concurrency-safe engine owning the
+// bounded worker pool, the golden-trace cache and the parametrization
+// cache (which memoizes the bench-measure-fit chain per operating
+// point). All workloads — single-gate accuracy runs, circuit-level
+// runs, scenario sweeps — are values submitted through one door,
+// Session.Evaluate(ctx, job), returning a uniform Result and reporting
+// through a single Progress stream, with context cancellation plumbed
+// down to the unit workers. The legacy entry points (Evaluate,
+// EvaluateParallel, EvaluateGate, EvaluateCircuit, RunSweep) remain
+// supported as thin wrappers over a process-wide default Session with
+// bit-identical results.
+
+// Session is the unified evaluation engine; see NewSession.
+type Session = session.Session
+
+// SessionOptions configures a new Session: the shared worker budget
+// and optional pre-existing caches.
+type SessionOptions = session.Options
+
+// NewSession builds a long-lived evaluation engine. The zero options
+// value selects GOMAXPROCS workers and fresh private caches.
+func NewSession(opt SessionOptions) *Session { return session.New(opt) }
+
+// Job is a workload value accepted by Session.Evaluate: a GateJob,
+// CircuitJob or SweepJob.
+type Job = session.Job
+
+// GateJob evaluates the Fig. 7 pipeline for one gate at one operating
+// point over one or more waveform configurations.
+type GateJob = session.GateJob
+
+// CircuitJob evaluates the circuit-level pipeline for one netlist.
+type CircuitJob = session.CircuitJob
+
+// SweepJob evaluates a declarative scenario grid.
+type SweepJob = session.SweepJob
+
+// JobKind names a job (and result) flavour.
+type JobKind = session.Kind
+
+// The three workload flavours a Session evaluates.
+const (
+	JobGate    = session.KindGate
+	JobCircuit = session.KindCircuit
+	JobSweep   = session.KindSweep
+)
+
+// Result is the uniform outcome of Session.Evaluate: the submitted
+// flavour's rows plus shared cache and timing statistics.
+type Result = session.Result
+
+// SessionStats is the cache and timing picture attached to every
+// Result.
+type SessionStats = session.Stats
+
+// Progress is the session's single progress stream: one event per
+// completed preparation step or evaluation unit of any job flavour.
+type Progress = session.Progress
+
+// CacheStats reports golden-trace cache effectiveness counters
+// (hits, misses, completed entries).
+type CacheStats = eval.CacheStats
+
+// ParamCache memoizes prepared operating points — the Gate.NewBench →
+// Measure → BuildModels chain — per (gate, bench parameters, expDMin)
+// content key with singleflight deduplication. Share one across
+// sessions to never re-fit a model set for a known operating point.
+type ParamCache = eval.ParamCache
+
+// NewParamCache returns an empty parametrization cache.
+func NewParamCache() *ParamCache { return eval.NewParamCache() }
+
+// ParamCacheStats reports parametrization-cache effectiveness counters.
+type ParamCacheStats = eval.ParamStats
+
+// DefaultSessionExpDMin is the exp channel's empirical pure delay a
+// session job applies when not overridden (paper: 20 ps).
+const DefaultSessionExpDMin = session.DefaultExpDMin
+
+// defaultSession backs the legacy entry points: one process-wide
+// engine. Its parametrization cache gives repeated legacy sweeps
+// cross-call reuse of measured operating points; golden-trace
+// memoization keeps the historical contract (only with an explicit
+// caller-supplied cache), so long-lived legacy callers see no new
+// memory growth.
+var (
+	defaultSessionOnce sync.Once
+	defaultSessionVal  *Session
+)
+
+// DefaultSession returns the process-wide Session the legacy entry
+// points delegate to. It is created on first use with default options.
+func DefaultSession() *Session {
+	defaultSessionOnce.Do(func() { defaultSessionVal = session.New(session.Options{}) })
+	return defaultSessionVal
+}
+
+// evalOverrides maps the legacy EvalOptions onto per-job overrides,
+// translating the session progress stream back onto the legacy
+// callback type. The historical entry points only memoize golden
+// traces when the caller supplies a cache, so noCache is set whenever
+// opt.Cache is nil — delegating to the Session must not change the
+// wrappers' memory behaviour.
+func evalOverrides(opt *EvalOptions) (workers int, cache *GoldenCache, noCache bool, progress func(Progress)) {
+	if opt == nil {
+		return 0, nil, true, nil
+	}
+	workers, cache = opt.Workers, opt.Cache
+	noCache = cache == nil
+	if opt.Progress != nil {
+		fn := opt.Progress
+		progress = func(p Progress) {
+			fn(eval.Progress{Config: p.Config, Seed: p.Seed, Completed: p.Completed, Total: p.Total, Err: p.Err})
+		}
+	}
+	return
+}
+
 // EvaluateParallel runs the Fig. 7 accuracy pipeline for one waveform
 // configuration over the given seeds on a bounded worker pool. For a
 // fixed seed list the result is bit-identical to Evaluate regardless of
-// the worker count.
+// the worker count. It delegates to the default Session; golden traces
+// are memoized only in an explicitly supplied opt.Cache (the
+// historical contract), while Session jobs get the shared caches.
 func EvaluateParallel(bench *Bench, m Models, cfg TraceConfig, seeds []int64, opt *EvalOptions) (eval.RunResult, error) {
-	return eval.EvaluateParallel(bench, m, cfg, seeds, opt)
+	workers, cache, noCache, progress := evalOverrides(opt)
+	res, err := DefaultSession().Evaluate(context.Background(), GateJob{
+		Bench: &gate.NOR2Bench{B: bench}, Models: &m,
+		Configs: []TraceConfig{cfg}, Seeds: seeds,
+		Workers: workers, Cache: cache, NoCache: noCache, Progress: progress,
+	})
+	if err != nil {
+		return eval.RunResult{Config: cfg, Area: map[string]float64{}, Normalized: map[string]float64{}}, err
+	}
+	return res.Gate[0], nil
 }
 
 // Gate-registry API: the evaluation pipeline is generic over registered
@@ -263,9 +401,20 @@ func LookupGate(name string) (GateSpec, bool) { return gate.Lookup(name) }
 // DefaultGate returns the paper's gate, the 2-input NOR.
 func DefaultGate() GateSpec { return gate.Default() }
 
-// EvaluateGate runs the Fig. 7 pipeline serially on any gate bench.
+// EvaluateGate runs the Fig. 7 pipeline on any gate bench, walking the
+// seeds on a single worker (the serial schedule). It delegates to the
+// default Session; results are bit-identical to the historical serial
+// evaluation.
 func EvaluateGate(bench GateBench, m Models, cfg TraceConfig, seeds []int64) (eval.RunResult, error) {
-	return eval.EvaluateBench(bench, m, cfg, seeds)
+	res, err := DefaultSession().Evaluate(context.Background(), GateJob{
+		Bench: bench, Models: &m,
+		Configs: []TraceConfig{cfg}, Seeds: seeds,
+		Workers: 1, NoCache: true, // the historical serial path never cached
+	})
+	if err != nil {
+		return eval.MergeSeedResults(cfg, nil), err
+	}
+	return res.Gate[0], nil
 }
 
 // NewGateEvalRunner builds a parallel evaluation runner for any gate
@@ -346,13 +495,24 @@ func BuildNetlistModels(nl *Netlist, p BenchParams, expDMin float64) (NetlistMod
 
 // EvaluateCircuit runs the circuit-level accuracy pipeline for one
 // waveform configuration over the given seeds on a bounded worker
-// pool: composed golden traces per recorded net (memoized in the
-// options' cache under the netlist content key), every delay model
-// elaborated over the netlist, per-net deviation-area scoring. The
-// result is bit-identical regardless of the worker count, and a
-// single-gate netlist reproduces EvaluateGate exactly.
+// pool: composed golden traces per recorded net (memoized under the
+// netlist content key), every delay model elaborated over the netlist,
+// per-net deviation-area scoring. The result is bit-identical
+// regardless of the worker count, and a single-gate netlist reproduces
+// EvaluateGate exactly. It delegates to the default Session; composed
+// golden traces are memoized only in an explicitly supplied opt.Cache
+// (the historical contract).
 func EvaluateCircuit(nl *Netlist, p BenchParams, ms NetlistModels, cfg TraceConfig, seeds []int64, opt *EvalOptions) (CircuitResult, error) {
-	return eval.EvaluateCircuit(nl, p, ms, cfg, seeds, opt)
+	workers, cache, noCache, progress := evalOverrides(opt)
+	res, err := DefaultSession().Evaluate(context.Background(), CircuitJob{
+		Netlist: nl, Params: &p, Models: ms,
+		Config: cfg, Seeds: seeds,
+		Workers: workers, Cache: cache, NoCache: noCache, Progress: progress,
+	})
+	if err != nil {
+		return eval.MergeCircuitSeedResults(nl, cfg, nil), err
+	}
+	return *res.Circuit, nil
 }
 
 // ElaborateNetlist builds a netlist into the event-driven simulator:
@@ -416,9 +576,33 @@ func ExpandSweep(spec SweepSpec) ([]SweepScenario, error) { return sweep.Expand(
 
 // RunSweep expands and evaluates a scenario grid on one bounded worker
 // pool with a shared golden-trace cache; the report is bit-identical
-// regardless of the worker count.
+// regardless of the worker count. It delegates to the default Session:
+// operating points measured by earlier calls are served from the
+// session's parametrization cache instead of being re-fitted. When
+// opt.Cache is nil the report's golden-cache statistics describe a
+// private per-call cache (the historical behaviour); pass a cache —
+// e.g. DefaultSession().GoldenCache() — to share golden traces across
+// calls too.
 func RunSweep(spec SweepSpec, opt *SweepOptions) (*SweepReport, error) {
-	return sweep.RunSweep(spec, opt)
+	job := SweepJob{Spec: spec}
+	if opt != nil {
+		job.Workers, job.Cache = opt.Workers, opt.Cache
+		if opt.Progress != nil {
+			fn := opt.Progress
+			job.Progress = func(p Progress) {
+				fn(sweep.Progress{Phase: p.Phase, Scenario: p.Scenario, Seed: p.Seed,
+					Completed: p.Completed, Total: p.Total, Err: p.Err})
+			}
+		}
+	}
+	if job.Cache == nil {
+		job.Cache = NewGoldenCache()
+	}
+	res, err := DefaultSession().Evaluate(context.Background(), job)
+	if err != nil {
+		return nil, err
+	}
+	return res.Sweep, nil
 }
 
 // ParseSweepSpec decodes the JSON grid-file format of `hybridlab sweep

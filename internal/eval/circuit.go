@@ -1,6 +1,7 @@
 package eval
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"runtime"
@@ -133,10 +134,21 @@ type CircuitSeedResult struct {
 // input count.
 func EvaluateCircuitSeed(golden CircuitGoldenSource, nl *netlist.Netlist, ms netlist.ModelSet,
 	cfg gen.Config, seed int64) (CircuitSeedResult, error) {
+	return EvaluateCircuitSeedContext(context.Background(), golden, nl, ms, cfg, seed)
+}
+
+// EvaluateCircuitSeedContext is EvaluateCircuitSeed with cancellation:
+// ctx is checked between the unit's stages (trace generation, the
+// composed golden run, each model's dataflow walk).
+func EvaluateCircuitSeedContext(ctx context.Context, golden CircuitGoldenSource, nl *netlist.Netlist,
+	ms netlist.ModelSet, cfg gen.Config, seed int64) (CircuitSeedResult, error) {
 	res := CircuitSeedResult{Config: cfg, Seed: seed, Nets: nl.Recorded(),
 		Area: map[string]map[string]float64{}, GoldenEv: map[string]int{}}
 	if len(nl.Inputs) != cfg.Inputs {
 		return res, fmt.Errorf("eval: netlist has %d primary inputs, config has %d", len(nl.Inputs), cfg.Inputs)
+	}
+	if err := ctx.Err(); err != nil {
+		return res, err
 	}
 	inputs, err := gen.Traces(cfg, seed)
 	if err != nil {
@@ -155,6 +167,9 @@ func EvaluateCircuitSeed(golden CircuitGoldenSource, nl *netlist.Netlist, ms net
 		res.GoldenEv[net] = g[net].NumEvents()
 	}
 	for _, model := range ModelNames {
+		if err := ctx.Err(); err != nil {
+			return res, err
+		}
 		nets, err := nl.Walk(inputs, func(inst netlist.Instance, gg gate.Gate, in []trace.Trace) (trace.Trace, error) {
 			m, err := ms.For(inst)
 			if err != nil {
@@ -254,6 +269,15 @@ func MergeCircuitSeedResults(nl *netlist.Netlist, cfg gen.Config, parts []Circui
 // regardless of the worker count. opt may be nil for defaults.
 func EvaluateCircuit(nl *netlist.Netlist, p nor.Params, ms netlist.ModelSet,
 	cfg gen.Config, seeds []int64, opt *Options) (CircuitResult, error) {
+	return EvaluateCircuitContext(context.Background(), nl, p, ms, cfg, seeds, opt)
+}
+
+// EvaluateCircuitContext is EvaluateCircuit with cancellation: once ctx
+// is done no new seed units are claimed, in-flight units stop at their
+// next stage boundary, and ctx.Err() is returned (unit errors that
+// occurred before the cancellation take precedence).
+func EvaluateCircuitContext(ctx context.Context, nl *netlist.Netlist, p nor.Params, ms netlist.ModelSet,
+	cfg gen.Config, seeds []int64, opt *Options) (CircuitResult, error) {
 	var o Options
 	if opt != nil {
 		o = *opt
@@ -282,14 +306,17 @@ func EvaluateCircuit(nl *netlist.Netlist, p nor.Params, ms netlist.ModelSet,
 				Completed: completed, Total: len(seeds), Err: err})
 		}
 	}
-	pool.Run(len(seeds), o.Workers, func(i int) error {
-		parts[i], errs[i] = EvaluateCircuitSeed(golden, nl, ms, cfg, seeds[i])
+	ctxErr := pool.RunContext(ctx, len(seeds), o.Workers, func(i int) error {
+		parts[i], errs[i] = EvaluateCircuitSeedContext(ctx, golden, nl, ms, cfg, seeds[i])
 		return errs[i]
 	}, onDone)
 	for _, err := range errs {
-		if err != nil {
+		if err != nil && !(ctxErr != nil && IsContextErr(err)) {
 			return empty, err
 		}
+	}
+	if ctxErr != nil {
+		return empty, ctxErr
 	}
 	return MergeCircuitSeedResults(nl, cfg, parts), nil
 }

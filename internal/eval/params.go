@@ -1,0 +1,182 @@
+package eval
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"hybriddelay/internal/gate"
+	"hybriddelay/internal/nor"
+)
+
+// This file adds the second memoization layer of the evaluation engine:
+// where GoldenCache skips re-simulating identical golden transients,
+// ParamCache skips re-preparing identical operating points — the
+// Gate.NewBench → Measure → BuildModels chain that every evaluation
+// workload runs before its first unit, and by far the most expensive
+// per-call fixed cost (a characteristic measurement is a family of
+// analog transients plus two least-squares fits). A long-lived Session
+// shares one ParamCache across gate evaluations, circuit evaluations
+// and sweeps, so repeated workloads at the same operating point never
+// re-measure or re-fit.
+
+// ParamKey is the content key of one prepared operating point: the gate
+// name, the full bench parameter set the bench is built from, and the
+// exp channel's empirical pure delay (the one BuildModels input that is
+// not derived from the measurement). All fields are comparable value
+// types, so keys index a map directly; distinct operating points (e.g.
+// two VDD scales of one gate) always differ in Bench.
+type ParamKey struct {
+	Gate    string
+	Bench   nor.Params
+	ExpDMin float64
+}
+
+// OperatingPoint is one prepared operating point: the measured
+// characteristic turned into the parametrized Fig. 7 model set, plus a
+// pooled golden source seeded with the bench the measurement ran on
+// (so the construction cost is amortized into the pool too). An
+// OperatingPoint is shared between cache users and safe for concurrent
+// use: Models is immutable after preparation and BenchSource hands a
+// private bench instance to every concurrent golden run.
+type OperatingPoint struct {
+	Key    ParamKey
+	Models gate.Models
+	Golden *BenchSource
+}
+
+// paramEntry is one cache slot; ready is closed once pt/err are set, so
+// concurrent requests for the same key wait instead of re-measuring.
+type paramEntry struct {
+	ready chan struct{}
+	pt    *OperatingPoint
+	err   error
+}
+
+// ParamCache memoizes prepared operating points by ParamKey. It is safe
+// for concurrent use and deduplicates in-flight preparations
+// (singleflight): the first requester of a key measures and fits, later
+// ones wait for its result. Failed preparations are not cached, so a
+// later call retries. One cache may back any mix of workloads — the
+// sweep engine's operating-point preparation, circuit model sets and
+// single-gate evaluations all key by (gate, bench params, expDMin).
+type ParamCache struct {
+	mu     sync.Mutex
+	table  map[ParamKey]*paramEntry
+	hits   int64
+	misses int64
+}
+
+// NewParamCache returns an empty parametrization cache.
+func NewParamCache() *ParamCache {
+	return &ParamCache{table: map[ParamKey]*paramEntry{}}
+}
+
+// ParamStats reports parametrization-cache effectiveness counters.
+type ParamStats struct {
+	Hits    int64 // lookups served from a cached or in-flight operating point
+	Misses  int64 // lookups that had to measure and fit
+	Entries int   // completed operating points currently stored
+}
+
+// Stats returns a snapshot of the cache counters.
+func (c *ParamCache) Stats() ParamStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	for _, e := range c.table {
+		select {
+		case <-e.ready:
+			n++
+		default:
+		}
+	}
+	return ParamStats{Hits: c.hits, Misses: c.misses, Entries: n}
+}
+
+// OperatingPoint returns the prepared operating point for (g, p,
+// expDMin), preparing it at most once per key: concurrent callers for
+// the same key block on the first caller's result. Errors are returned
+// to all waiters but evicted, so a later call retries; ctx cancels the
+// wait (and aborts a preparation before it starts), but never evicts a
+// preparation another caller is still waiting on. A waiter whose
+// leader was cancelled (the leader's own context, not the waiter's)
+// does not inherit that cancellation: it retries the preparation under
+// its own context, so concurrent jobs on one session cannot poison
+// each other.
+func (c *ParamCache) OperatingPoint(ctx context.Context, g gate.Gate, p nor.Params, expDMin float64) (*OperatingPoint, error) {
+	key := ParamKey{Gate: g.Name(), Bench: p, ExpDMin: expDMin}
+	for {
+		c.mu.Lock()
+		if e, ok := c.table[key]; ok {
+			c.mu.Unlock()
+			select {
+			case <-e.ready:
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+			if e.err == nil {
+				c.mu.Lock()
+				c.hits++
+				c.mu.Unlock()
+				return e.pt, nil
+			}
+			if IsContextErr(e.err) {
+				// The leader aborted because *its* context ended. The
+				// failed entry is already evicted; retry as (or behind)
+				// a new leader unless this caller is cancelled too.
+				if err := ctx.Err(); err != nil {
+					return nil, err
+				}
+				continue
+			}
+			return nil, e.err
+		}
+		e := &paramEntry{ready: make(chan struct{})}
+		c.table[key] = e
+		c.misses++
+		c.mu.Unlock()
+
+		e.pt, e.err = PrepareOperatingPoint(ctx, g, p, expDMin)
+		if e.err != nil {
+			c.mu.Lock()
+			delete(c.table, key)
+			c.mu.Unlock()
+		}
+		close(e.ready)
+		return e.pt, e.err
+	}
+}
+
+// PrepareOperatingPoint runs the uncached preparation chain for one
+// operating point: build a golden bench, measure its characteristic
+// delays and parametrize the Fig. 7 model set. ctx aborts between the
+// stages; the bench itself seeds the returned source's instance pool.
+func PrepareOperatingPoint(ctx context.Context, g gate.Gate, p nor.Params, expDMin float64) (*OperatingPoint, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	bench, err := g.NewBench(p)
+	if err != nil {
+		return nil, fmt.Errorf("eval: gate %s: bench: %w", g.Name(), err)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	meas, err := bench.Measure()
+	if err != nil {
+		return nil, fmt.Errorf("eval: gate %s: measure: %w", g.Name(), err)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	models, err := g.BuildModels(meas, p.Supply, expDMin)
+	if err != nil {
+		return nil, fmt.Errorf("eval: gate %s: models: %w", g.Name(), err)
+	}
+	return &OperatingPoint{
+		Key:    ParamKey{Gate: g.Name(), Bench: p, ExpDMin: expDMin},
+		Models: models,
+		Golden: NewGateBenchSource(bench),
+	}, nil
+}

@@ -1,6 +1,8 @@
 package eval
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math"
 	"runtime"
@@ -30,9 +32,20 @@ type SeedResult struct {
 // are assembled from. The configuration's input count must match the
 // model gate's arity.
 func EvaluateSeed(golden GoldenSource, m Models, cfg gen.Config, seed int64) (SeedResult, error) {
+	return EvaluateSeedContext(context.Background(), golden, m, cfg, seed)
+}
+
+// EvaluateSeedContext is EvaluateSeed with cancellation: ctx is checked
+// between the unit's stages (trace generation, the golden run, the
+// model runs), so a cancelled evaluation stops before its next analog
+// transient instead of running the unit to completion.
+func EvaluateSeedContext(ctx context.Context, golden GoldenSource, m Models, cfg gen.Config, seed int64) (SeedResult, error) {
 	res := SeedResult{Config: cfg, Seed: seed, Area: map[string]float64{}}
 	if m.Gate == nil {
 		return res, fmt.Errorf("eval: Models.Gate is unset (build models through a registered gate)")
+	}
+	if err := ctx.Err(); err != nil {
+		return res, err
 	}
 	inputs, err := gen.Traces(cfg, seed)
 	if err != nil {
@@ -48,6 +61,9 @@ func EvaluateSeed(golden GoldenSource, m Models, cfg gen.Config, seed int64) (Se
 		return res, fmt.Errorf("eval: seed %d: %w", seed, err)
 	}
 	res.GoldenEv = g.NumEvents()
+	if err := ctx.Err(); err != nil {
+		return res, err
+	}
 	models, err := RunModels(m, inputs, until)
 	if err != nil {
 		return res, fmt.Errorf("eval: seed %d: %w", seed, err)
@@ -153,11 +169,36 @@ func NewRunner(bench *nor.Bench, m Models, opt *Options) *Runner {
 	return NewGateRunner(&gate.NOR2Bench{B: bench}, m, opt)
 }
 
+// NewSourceRunner builds a runner over an arbitrary golden source — the
+// session engine composes pooled and cached sources itself and hands
+// the finished source here. opt.Cache is ignored (a source-level cache
+// needs the gate name and bench parameters for its keys; compose a
+// CachedSource instead); opt.Workers and opt.Progress apply as in
+// NewGateRunner.
+func NewSourceRunner(src GoldenSource, m Models, opt *Options) *Runner {
+	var o Options
+	if opt != nil {
+		o = *opt
+	}
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	return &Runner{golden: src, models: m, workers: o.Workers, progress: o.Progress}
+}
+
 // Run evaluates every configuration over the given seeds and returns one
 // merged RunResult per configuration, in input order. On the first unit
 // error the pool stops picking up new units and the error of the
 // earliest failed unit (in config-major, seed-minor order) is returned.
 func (r *Runner) Run(configs []gen.Config, seeds []int64) ([]RunResult, error) {
+	return r.RunContext(context.Background(), configs, seeds)
+}
+
+// RunContext is Run with cancellation: once ctx is done no new units
+// are claimed, in-flight units stop at their next stage boundary, and
+// ctx.Err() is returned (unit errors that occurred before the
+// cancellation take precedence).
+func (r *Runner) RunContext(ctx context.Context, configs []gen.Config, seeds []int64) ([]RunResult, error) {
 	if len(seeds) == 0 {
 		return nil, fmt.Errorf("eval: no seeds supplied")
 	}
@@ -177,20 +218,33 @@ func (r *Runner) Run(configs []gen.Config, seeds []int64) ([]RunResult, error) {
 			})
 		}
 	}
-	pool.Run(total, r.workers, func(i int) error {
-		parts[i], errs[i] = EvaluateSeed(r.golden, r.models, configs[i/len(seeds)], seeds[i%len(seeds)])
+	ctxErr := pool.RunContext(ctx, total, r.workers, func(i int) error {
+		parts[i], errs[i] = EvaluateSeedContext(ctx, r.golden, r.models, configs[i/len(seeds)], seeds[i%len(seeds)])
 		return errs[i]
 	}, onDone)
 	for _, err := range errs {
-		if err != nil {
+		// Context-flavoured unit errors are only collapsed into the
+		// run's own ctx.Err(); if this run is live they are real unit
+		// failures and must surface.
+		if err != nil && !(ctxErr != nil && IsContextErr(err)) {
 			return nil, err
 		}
+	}
+	if ctxErr != nil {
+		return nil, ctxErr
 	}
 	out := make([]RunResult, len(configs))
 	for ci := range configs {
 		out[ci] = MergeSeedResults(configs[ci], parts[ci*len(seeds):(ci+1)*len(seeds)])
 	}
 	return out, nil
+}
+
+// IsContextErr reports whether an error is (or wraps) a context
+// cancellation. The engines use it to collapse context-flavoured unit
+// errors into a cancelled run's single ctx.Err().
+func IsContextErr(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
 }
 
 // EvaluateParallel runs the Fig. 7 pipeline for one configuration over

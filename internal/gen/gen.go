@@ -14,6 +14,7 @@ package gen
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 	"strings"
 
@@ -87,6 +88,38 @@ func (c Config) Name() string {
 	return fmt.Sprintf("%.0f/%.0f - %s", c.Mu/waveform.Pico, c.Sigma/waveform.Pico, c.Mode)
 }
 
+// Validate checks the configuration for use: counts must be positive,
+// the gap distribution must be a positive finite mu with a non-negative
+// finite sigma, the optional start time and gap clamp must be finite
+// and non-negative, and the mode must be known. A config that fails
+// validation would otherwise silently generate NaN transition times (a
+// non-finite gap poisons every later event) or hang the generator, so
+// every entry point validates before generating.
+func (c Config) Validate() error {
+	if c.Inputs < 1 {
+		return fmt.Errorf("gen: need at least one input, have %d", c.Inputs)
+	}
+	if c.Transitions < 1 {
+		return fmt.Errorf("gen: need at least one transition, have %d", c.Transitions)
+	}
+	if !(c.Mu > 0) || math.IsInf(c.Mu, 0) {
+		return fmt.Errorf("gen: mean transition gap must be positive and finite, have mu=%g", c.Mu)
+	}
+	if c.Sigma < 0 || math.IsNaN(c.Sigma) || math.IsInf(c.Sigma, 0) {
+		return fmt.Errorf("gen: gap standard deviation must be non-negative and finite, have sigma=%g", c.Sigma)
+	}
+	if c.Start < 0 || math.IsNaN(c.Start) || math.IsInf(c.Start, 0) {
+		return fmt.Errorf("gen: start time must be non-negative and finite, have start=%g", c.Start)
+	}
+	if math.IsNaN(c.MinGap) || math.IsInf(c.MinGap, 0) {
+		return fmt.Errorf("gen: gap clamp must be finite, have min_gap=%g", c.MinGap)
+	}
+	if c.Mode != Local && c.Mode != Global {
+		return fmt.Errorf("gen: unknown mode %d", int(c.Mode))
+	}
+	return nil
+}
+
 // PaperConfigs returns the four waveform configurations of Fig. 7 for a
 // 2-input gate: 100/50 LOCAL, 200/100 LOCAL, 2000/1000 GLOBAL and
 // 5000/5 GLOBAL, with 500 transitions each except 250 for the last.
@@ -112,14 +145,8 @@ func PaperConfigs() []Config {
 // Traces generates the per-input digital traces for the configuration.
 // All inputs start low.
 func Traces(cfg Config, seed int64) ([]trace.Trace, error) {
-	if cfg.Inputs < 1 {
-		return nil, fmt.Errorf("gen: need at least one input")
-	}
-	if cfg.Transitions < 1 {
-		return nil, fmt.Errorf("gen: need at least one transition")
-	}
-	if cfg.Mu <= 0 || cfg.Sigma < 0 {
-		return nil, fmt.Errorf("gen: invalid gap distribution mu=%g sigma=%g", cfg.Mu, cfg.Sigma)
+	if err := cfg.Validate(); err != nil {
+		return nil, err
 	}
 	minGap := cfg.MinGap
 	if minGap <= 0 {

@@ -2,6 +2,7 @@ package gen
 
 import (
 	"math"
+	"strings"
 	"testing"
 
 	"hybriddelay/internal/waveform"
@@ -184,6 +185,87 @@ func TestTracesValidation(t *testing.T) {
 	}
 	if _, err := Traces(Config{Inputs: 1, Transitions: 1, Mu: 1, Mode: Mode(99)}, 0); err == nil {
 		t.Error("unknown mode accepted")
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	valid := Config{Mu: 100e-12, Sigma: 50e-12, Mode: Local, Inputs: 2, Transitions: 10, Start: 200e-12}
+	nan, inf := math.NaN(), math.Inf(1)
+	cases := []struct {
+		name    string
+		mutate  func(*Config)
+		wantSub string // substring the error must carry; "" = valid
+	}{
+		{"valid", func(c *Config) {}, ""},
+		{"valid zero sigma", func(c *Config) { c.Sigma = 0 }, ""},
+		{"valid zero start", func(c *Config) { c.Start = 0 }, ""},
+		{"valid explicit min gap", func(c *Config) { c.MinGap = 2e-12 }, ""},
+		{"zero inputs", func(c *Config) { c.Inputs = 0 }, "input"},
+		{"negative inputs", func(c *Config) { c.Inputs = -3 }, "input"},
+		{"zero transitions", func(c *Config) { c.Transitions = 0 }, "transition"},
+		{"negative transitions", func(c *Config) { c.Transitions = -1 }, "transition"},
+		{"zero mu", func(c *Config) { c.Mu = 0 }, "mu"},
+		{"negative mu", func(c *Config) { c.Mu = -100e-12 }, "mu"},
+		{"NaN mu", func(c *Config) { c.Mu = nan }, "mu"},
+		{"infinite mu", func(c *Config) { c.Mu = inf }, "mu"},
+		{"negative sigma", func(c *Config) { c.Sigma = -1e-12 }, "sigma"},
+		{"NaN sigma", func(c *Config) { c.Sigma = nan }, "sigma"},
+		{"infinite sigma", func(c *Config) { c.Sigma = inf }, "sigma"},
+		{"negative start", func(c *Config) { c.Start = -1e-12 }, "start"},
+		{"NaN start", func(c *Config) { c.Start = nan }, "start"},
+		{"infinite start", func(c *Config) { c.Start = inf }, "start"},
+		{"NaN min gap", func(c *Config) { c.MinGap = nan }, "min_gap"},
+		{"infinite min gap", func(c *Config) { c.MinGap = inf }, "min_gap"},
+		{"unknown mode", func(c *Config) { c.Mode = Mode(7) }, "mode"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := valid
+			tc.mutate(&cfg)
+			err := cfg.Validate()
+			if tc.wantSub == "" {
+				if err != nil {
+					t.Fatalf("valid config rejected: %v", err)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatalf("invalid config accepted")
+			}
+			if !strings.Contains(err.Error(), tc.wantSub) {
+				t.Errorf("error %q does not mention %q", err, tc.wantSub)
+			}
+			// Traces must reject exactly what Validate rejects — no
+			// silent NaN traces from a bad distribution.
+			if _, terr := Traces(cfg, 1); terr == nil {
+				t.Errorf("Traces accepted a config Validate rejects")
+			}
+		})
+	}
+}
+
+// TestTracesFiniteTimes pins the property the validation exists for:
+// every generated transition time is finite and strictly increasing per
+// input, for valid configs across both modes.
+func TestTracesFiniteTimes(t *testing.T) {
+	for _, mode := range []Mode{Local, Global} {
+		cfg := Config{Mu: 100e-12, Sigma: 80e-12, Mode: mode, Inputs: 3, Transitions: 60}
+		trs, err := Traces(cfg, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, tr := range trs {
+			last := math.Inf(-1)
+			for _, e := range tr.Events {
+				if math.IsNaN(e.Time) || math.IsInf(e.Time, 0) {
+					t.Fatalf("%s input %d: non-finite transition time %g", mode, i, e.Time)
+				}
+				if e.Time <= last {
+					t.Fatalf("%s input %d: non-increasing transition time %g after %g", mode, i, e.Time, last)
+				}
+				last = e.Time
+			}
+		}
 	}
 }
 

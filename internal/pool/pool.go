@@ -1,10 +1,12 @@
 // Package pool provides the bounded work-claiming loop shared by the
-// evaluation runner and the sweep engine: a fixed set of indexed units
-// fanned across a capped number of goroutines, with early stop on the
-// first error and serialized completion callbacks.
+// evaluation runner, the sweep engine and the session engine: a fixed
+// set of indexed units fanned across a capped number of goroutines,
+// with early stop on the first error or context cancellation and
+// serialized completion callbacks.
 package pool
 
 import (
+	"context"
 	"sync"
 	"sync/atomic"
 )
@@ -17,8 +19,17 @@ import (
 // the in-order completion count and the unit's error; calls are
 // serialized. Run returns when every claimed unit has finished.
 func Run(total, workers int, fn func(i int) error, onDone func(i, completed int, err error)) {
+	RunContext(context.Background(), total, workers, fn, onDone)
+}
+
+// RunContext is Run with cancellation: once ctx is done, no new units
+// are claimed (units already claimed still finish, so shared state
+// stays consistent) and ctx.Err() is returned. A nil error means every
+// unit was claimed; individual unit errors are reported through fn's
+// return value and onDone, exactly as in Run.
+func RunContext(ctx context.Context, total, workers int, fn func(i int) error, onDone func(i, completed int, err error)) error {
 	if total <= 0 {
-		return
+		return ctx.Err()
 	}
 	if workers > total {
 		workers = total
@@ -33,11 +44,19 @@ func Run(total, workers int, fn func(i int) error, onDone func(i, completed int,
 		completed int
 		wg        sync.WaitGroup
 	)
+	done := ctx.Done()
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for {
+				if done != nil {
+					select {
+					case <-done:
+						return
+					default:
+					}
+				}
 				i := int(next.Add(1)) - 1
 				if i >= total || stop.Load() {
 					return
@@ -56,4 +75,5 @@ func Run(total, workers int, fn func(i int) error, onDone func(i, completed int,
 		}()
 	}
 	wg.Wait()
+	return ctx.Err()
 }

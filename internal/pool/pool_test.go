@@ -1,6 +1,8 @@
 package pool
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sync/atomic"
 	"testing"
@@ -64,5 +66,45 @@ func TestRunEmptyAndNilCallback(t *testing.T) {
 	Run(5, 2, func(i int) error { ran.Add(1); return nil }, nil) // nil onDone is fine
 	if ran.Load() != 5 {
 		t.Errorf("%d units ran, want 5", ran.Load())
+	}
+}
+
+func TestRunContextCancellation(t *testing.T) {
+	// Pre-cancelled: no unit is ever claimed.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var ran atomic.Int64
+	err := RunContext(ctx, 100, 4, func(i int) error { ran.Add(1); return nil }, nil)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("RunContext returned %v, want context.Canceled", err)
+	}
+	if ran.Load() != 0 {
+		t.Errorf("%d units ran under a pre-cancelled context, want 0", ran.Load())
+	}
+
+	// Cancelled mid-run: claimed units finish, no new units claimed
+	// afterwards, and the context error is reported.
+	ctx, cancel = context.WithCancel(context.Background())
+	ran.Store(0)
+	err = RunContext(ctx, 1000, 2, func(i int) error {
+		if ran.Add(1) == 5 {
+			cancel()
+		}
+		return nil
+	}, nil)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("mid-run cancellation returned %v, want context.Canceled", err)
+	}
+	if n := ran.Load(); n >= 1000 || n < 5 {
+		t.Errorf("%d units ran after mid-run cancellation, want a handful (claimed ones finish, rest skipped)", n)
+	}
+
+	// Background context: identical to Run, nil error.
+	ran.Store(0)
+	if err := RunContext(context.Background(), 7, 3, func(i int) error { ran.Add(1); return nil }, nil); err != nil {
+		t.Fatalf("uncancelled RunContext returned %v", err)
+	}
+	if ran.Load() != 7 {
+		t.Errorf("%d units ran, want 7", ran.Load())
 	}
 }

@@ -1,0 +1,504 @@
+// Package session unifies the evaluation entry points of the accuracy
+// study behind one long-lived, concurrency-safe engine. The paper's
+// pipeline is a single flow — golden simulation, model parametrization,
+// trace comparison — but PRs 1–4 grew one entry-point family per
+// workload (gate evaluation, circuit evaluation, scenario sweeps), each
+// threading its own worker count, golden cache and freshly re-fitted
+// models. A Session owns those resources once:
+//
+//   - the bounded worker budget every workload schedules on,
+//   - the shared golden-trace cache (eval.GoldenCache), and
+//   - the shared parametrization cache (eval.ParamCache) memoizing
+//     Gate.NewBench → Measure → BuildModels per operating point,
+//
+// so repeated and mixed workloads at the same operating point never
+// re-simulate a golden transient or re-fit a model set. All workloads
+// are values submitted through one door — Session.Evaluate(ctx, job)
+// with a GateJob, CircuitJob or SweepJob — returning a uniform Result
+// (per-config / per-net / per-scenario rows plus cache and timing
+// stats) and reporting through a single Progress stream. Cancellation
+// via the context is plumbed down to the unit workers: a cancelled job
+// stops claiming units and aborts in-flight units at their next stage
+// boundary.
+//
+// The legacy facade entry points (EvaluateParallel, EvaluateGate,
+// EvaluateCircuit, RunSweep) remain supported as thin wrappers over a
+// process-wide default Session, with bit-identical results.
+package session
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"time"
+
+	"hybriddelay/internal/eval"
+	"hybriddelay/internal/gate"
+	"hybriddelay/internal/gen"
+	"hybriddelay/internal/netlist"
+	"hybriddelay/internal/nor"
+	"hybriddelay/internal/sweep"
+	"hybriddelay/internal/waveform"
+)
+
+// DefaultExpDMin is the exp channel's empirical pure delay used when a
+// job does not override it (paper: 20 ps) — the same default the sweep
+// engine and the CLI apply.
+const DefaultExpDMin = 20 * waveform.Pico
+
+// Options configures a Session.
+type Options struct {
+	// Workers bounds the worker pool each job schedules on. Zero or
+	// negative selects runtime.GOMAXPROCS(0); individual jobs may
+	// override per submission.
+	Workers int
+
+	// Golden, when non-nil, seeds the session with an existing
+	// golden-trace cache (e.g. to share one cache between sessions).
+	// Nil creates a private cache owned by the session.
+	Golden *eval.GoldenCache
+
+	// Params, when non-nil, seeds the session with an existing
+	// parametrization cache. Nil creates a private cache.
+	Params *eval.ParamCache
+}
+
+// Session is the long-lived evaluation engine: one value owns the
+// worker budget, the golden-trace cache and the parametrization cache,
+// and every workload — single-gate accuracy runs, circuit-level runs,
+// scenario sweeps — is submitted through Evaluate. A Session is safe
+// for concurrent use; concurrent jobs share the caches (including
+// in-flight singleflight deduplication) but each schedules its units on
+// its own bounded pool.
+type Session struct {
+	workers int
+	golden  *eval.GoldenCache
+	params  *eval.ParamCache
+}
+
+// New builds a Session. opt zero value selects all defaults.
+func New(opt Options) *Session {
+	s := &Session{workers: opt.Workers, golden: opt.Golden, params: opt.Params}
+	if s.workers <= 0 {
+		s.workers = runtime.GOMAXPROCS(0)
+	}
+	if s.golden == nil {
+		s.golden = eval.NewGoldenCache()
+	}
+	if s.params == nil {
+		s.params = eval.NewParamCache()
+	}
+	return s
+}
+
+// GoldenCache returns the session's shared golden-trace cache.
+func (s *Session) GoldenCache() *eval.GoldenCache { return s.golden }
+
+// ParamCache returns the session's shared parametrization cache.
+func (s *Session) ParamCache() *eval.ParamCache { return s.params }
+
+// Kind names a job (and result) flavour.
+type Kind string
+
+// The three workload flavours a Session evaluates.
+const (
+	KindGate    Kind = "gate"
+	KindCircuit Kind = "circuit"
+	KindSweep   Kind = "sweep"
+)
+
+// Phase names reported through Progress, shared with the sweep engine.
+const (
+	PhasePrepare = sweep.PhasePrepare // operating-point preparation steps
+	PhaseEval    = sweep.PhaseEval    // (config/scenario, seed) evaluation units
+)
+
+// Progress is the session's single progress stream: one event per
+// completed step of any job flavour. Calls to a job's Progress callback
+// are serialized; steps may complete in any order.
+type Progress struct {
+	Kind      Kind       // submitting job's flavour
+	Phase     string     // PhasePrepare or PhaseEval
+	Config    gen.Config // evaluated configuration (gate and circuit units)
+	Scenario  int        // scenario index (sweep units; -1 otherwise)
+	Seed      int64      // seed of the completed unit (eval phase)
+	Completed int        // steps of this phase finished so far
+	Total     int        // total steps of this phase
+	Err       error      // the step's error, if any
+}
+
+// Job is a workload value submitted to Session.Evaluate: a GateJob,
+// CircuitJob or SweepJob.
+type Job interface {
+	kind() Kind
+}
+
+// GateJob evaluates the Fig. 7 accuracy pipeline for one gate at one
+// operating point over one or more waveform configurations. The zero
+// value of every optional field selects a default: the registry's
+// default gate, the calibrated bench parameters, DefaultExpDMin, the
+// session's worker budget. When Models (and optionally Bench) are set
+// the job skips the parametrization cache and evaluates exactly the
+// given model set — this is how the legacy entry points, which receive
+// pre-built models, submit their work.
+type GateJob struct {
+	// Gate is the registry name ("nor2", "nand2", "nor3"); empty
+	// selects the default gate. Ignored when Models is set.
+	Gate string
+	// Params overrides the bench parameters; nil selects
+	// nor.DefaultParams().
+	Params *nor.Params
+	// Bench, when non-nil, seeds the golden bench pool with an existing
+	// instance instead of constructing one (its gate and parameters take
+	// precedence over Gate/Params).
+	Bench gate.Bench
+	// Models, when non-nil, is evaluated as-is; nil prepares (or reuses)
+	// the operating point through the session's parametrization cache.
+	Models *gate.Models
+	// Configs lists the waveform configurations; each is evaluated over
+	// Seeds and reported as one Result row.
+	Configs []gen.Config
+	// Seeds lists the repetitions per configuration.
+	Seeds []int64
+	// ExpDMin overrides the exp channel's empirical pure delay;
+	// 0 selects DefaultExpDMin. Ignored when Models is set.
+	ExpDMin float64
+	// Cache overrides the session's golden cache for this job; nil
+	// shares the session cache.
+	Cache *eval.GoldenCache
+	// NoCache evaluates without golden-trace memoization entirely —
+	// for workloads whose (config, seed) units never repeat, where
+	// caching would only grow memory without ever hitting. Overrides
+	// Cache.
+	NoCache bool
+	// Workers overrides the session's worker budget for this job.
+	Workers int
+	// Progress, when non-nil, receives the job's progress events.
+	Progress func(Progress)
+}
+
+func (GateJob) kind() Kind { return KindGate }
+
+// CircuitJob evaluates the circuit-level accuracy pipeline for one
+// netlist at one operating point under one waveform configuration.
+// Zero-value optional fields select defaults as in GateJob; the member
+// gates' model sets are prepared through (or served from) the session's
+// parametrization cache unless Models is set.
+type CircuitJob struct {
+	// Netlist is the evaluated circuit. Required.
+	Netlist *netlist.Netlist
+	// Params overrides the bench parameters; nil selects
+	// nor.DefaultParams().
+	Params *nor.Params
+	// Models, when non-nil, is used as-is; nil prepares one model set
+	// per distinct member gate through the parametrization cache.
+	Models netlist.ModelSet
+	// Config is the waveform configuration driving the primary inputs.
+	Config gen.Config
+	// Seeds lists the repetitions.
+	Seeds []int64
+	// ExpDMin overrides the exp channel's pure delay; 0 selects
+	// DefaultExpDMin. Ignored when Models is set.
+	ExpDMin float64
+	// Cache overrides the session's golden cache for this job; nil
+	// shares the session cache.
+	Cache *eval.GoldenCache
+	// NoCache evaluates without golden-trace memoization entirely;
+	// see GateJob.NoCache. Overrides Cache.
+	NoCache bool
+	// Workers overrides the session's worker budget for this job.
+	Workers int
+	// Progress, when non-nil, receives the job's progress events.
+	Progress func(Progress)
+}
+
+func (CircuitJob) kind() Kind { return KindCircuit }
+
+// SweepJob evaluates a declarative scenario grid. The sweep shares the
+// session's caches: golden traces memoize across the grid and across
+// jobs, and operating points prepared by earlier jobs (or sweeps) are
+// not re-measured.
+type SweepJob struct {
+	// Spec is the scenario grid. Required.
+	Spec sweep.Spec
+	// Cache overrides the session's golden cache for this job (the
+	// legacy RunSweep wrapper uses a private cache per call so its
+	// report's cache statistics stay those of one run). Nil shares the
+	// session cache.
+	Cache *eval.GoldenCache
+	// Workers overrides the session's worker budget for this job.
+	Workers int
+	// Progress, when non-nil, receives the job's progress events.
+	Progress func(Progress)
+}
+
+func (SweepJob) kind() Kind { return KindSweep }
+
+// Stats reports a job's resource picture: snapshots of the cache
+// counters taken when the job finished, and the job's wall time.
+// Golden describes the golden cache the job actually used — the
+// session's shared cache, or the job's Cache override (zero when the
+// job opted out with NoCache); Params always describes the session's
+// shared parametrization cache. Snapshots are cache-lifetime values,
+// not per-job deltas — a warm session shows the accumulated
+// effectiveness.
+type Stats struct {
+	Golden      eval.CacheStats // snapshot of the golden cache the job used
+	Params      eval.ParamStats // parametrization cache snapshot
+	WallSeconds float64         // job wall time
+}
+
+// Result is the uniform outcome of Session.Evaluate: exactly one of
+// the per-flavour payloads is populated (matching Kind), plus the
+// cache and timing stats every flavour shares.
+type Result struct {
+	Kind Kind
+
+	// Gate holds one merged row per GateJob configuration, in input
+	// order.
+	Gate []eval.RunResult
+	// Models is the model set a GateJob evaluated (prepared or passed
+	// in), for callers that report fit parameters.
+	Models *gate.Models
+
+	// Circuit holds a CircuitJob's per-net accuracy rows.
+	Circuit *eval.CircuitResult
+
+	// Sweep holds a SweepJob's report.
+	Sweep *sweep.Report
+
+	Stats Stats
+}
+
+// Evaluate runs one job to completion on the session's resources.
+// It is safe to call concurrently; ctx cancels the job (no new units
+// claimed, in-flight units stop at their next stage boundary).
+func (s *Session) Evaluate(ctx context.Context, job Job) (*Result, error) {
+	start := time.Now()
+	var (
+		res *Result
+		err error
+	)
+	switch j := job.(type) {
+	case GateJob:
+		res, err = s.evaluateGate(ctx, j)
+	case CircuitJob:
+		res, err = s.evaluateCircuit(ctx, j)
+	case SweepJob:
+		res, err = s.evaluateSweep(ctx, j)
+	case nil:
+		return nil, fmt.Errorf("session: nil job")
+	default:
+		return nil, fmt.Errorf("session: unknown job type %T", job)
+	}
+	if err != nil {
+		return nil, err
+	}
+	res.Stats.Params = s.params.Stats()
+	res.Stats.WallSeconds = time.Since(start).Seconds()
+	return res, nil
+}
+
+// goldenFor resolves the golden cache a job uses: its override, the
+// session's shared cache, or none (NoCache).
+func (s *Session) goldenFor(override *eval.GoldenCache, noCache bool) *eval.GoldenCache {
+	if noCache {
+		return nil
+	}
+	if override != nil {
+		return override
+	}
+	return s.golden
+}
+
+// workersFor resolves a job's effective worker budget.
+func (s *Session) workersFor(override int) int {
+	if override > 0 {
+		return override
+	}
+	return s.workers
+}
+
+// expDMinOr resolves a job's exp-channel pure delay.
+func expDMinOr(v float64) float64 {
+	if v > 0 {
+		return v
+	}
+	return DefaultExpDMin
+}
+
+// paramsOr resolves a job's bench parameters.
+func paramsOr(p *nor.Params) nor.Params {
+	if p != nil {
+		return *p
+	}
+	return nor.DefaultParams()
+}
+
+// gateProgress adapts the eval runner's progress events onto the
+// session stream.
+func gateProgress(kind Kind, fn func(Progress)) func(eval.Progress) {
+	if fn == nil {
+		return nil
+	}
+	return func(p eval.Progress) {
+		fn(Progress{
+			Kind: kind, Phase: PhaseEval, Config: p.Config, Scenario: -1,
+			Seed: p.Seed, Completed: p.Completed, Total: p.Total, Err: p.Err,
+		})
+	}
+}
+
+// evaluateGate resolves the operating point (from the job or the
+// parametrization cache), composes the pooled and cached golden source
+// and fans the (config, seed) units across the job's worker budget.
+func (s *Session) evaluateGate(ctx context.Context, j GateJob) (*Result, error) {
+	var (
+		models gate.Models
+		src    eval.GoldenSource
+		params nor.Params
+	)
+	switch {
+	case j.Models != nil:
+		models = *j.Models
+		if models.Gate == nil {
+			return nil, fmt.Errorf("session: GateJob.Models.Gate is unset (build models through a registered gate)")
+		}
+		if j.Bench != nil {
+			params = j.Bench.Params()
+			src = eval.NewGateBenchSource(j.Bench)
+		} else {
+			params = paramsOr(j.Params)
+			bench, err := models.Gate.NewBench(params)
+			if err != nil {
+				return nil, fmt.Errorf("session: gate %s: bench: %w", models.Gate.Name(), err)
+			}
+			src = eval.NewGateBenchSource(bench)
+		}
+	case j.Bench != nil:
+		// A bench without models: prepare the bench's own operating
+		// point through the cache (the bench still seeds nothing — the
+		// cached point pools its own instances).
+		op, err := s.params.OperatingPoint(ctx, j.Bench.Gate(), j.Bench.Params(), expDMinOr(j.ExpDMin))
+		if err != nil {
+			return nil, err
+		}
+		models, src, params = op.Models, op.Golden, j.Bench.Params()
+	default:
+		g, err := gate.Find(j.Gate)
+		if err != nil {
+			return nil, fmt.Errorf("session: %w", err)
+		}
+		params = paramsOr(j.Params)
+		op, err := s.params.OperatingPoint(ctx, g, params, expDMinOr(j.ExpDMin))
+		if err != nil {
+			return nil, err
+		}
+		models, src = op.Models, op.Golden
+	}
+	cache := s.goldenFor(j.Cache, j.NoCache)
+	if cache != nil {
+		src = eval.CachedSource{Gate: models.Gate.Name(), Bench: params, Cache: cache, Src: src}
+	}
+	runner := eval.NewSourceRunner(src, models, &eval.Options{
+		Workers:  s.workersFor(j.Workers),
+		Progress: gateProgress(KindGate, j.Progress),
+	})
+	rows, err := runner.RunContext(ctx, j.Configs, j.Seeds)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Kind: KindGate, Gate: rows, Models: &models}
+	if cache != nil {
+		res.Stats.Golden = cache.Stats()
+	}
+	return res, nil
+}
+
+// modelSetFor assembles a netlist's per-gate model sets from the
+// parametrization cache: one prepared operating point per distinct
+// member gate.
+func (s *Session) modelSetFor(ctx context.Context, nl *netlist.Netlist, p nor.Params, expDMin float64) (netlist.ModelSet, error) {
+	ms := netlist.ModelSet{}
+	for _, inst := range nl.Instances {
+		g, err := gate.Find(inst.Gate)
+		if err != nil {
+			return nil, fmt.Errorf("session: netlist instance %q: %w", inst.Name, err)
+		}
+		if _, ok := ms[g.Name()]; ok {
+			continue
+		}
+		op, err := s.params.OperatingPoint(ctx, g, p, expDMin)
+		if err != nil {
+			return nil, err
+		}
+		ms[g.Name()] = op.Models
+	}
+	return ms, nil
+}
+
+// evaluateCircuit validates the netlist, resolves the member-gate model
+// sets (from the job or the parametrization cache) and runs the
+// circuit pipeline on the job's worker budget against the session's
+// golden cache.
+func (s *Session) evaluateCircuit(ctx context.Context, j CircuitJob) (*Result, error) {
+	if j.Netlist == nil {
+		return nil, fmt.Errorf("session: CircuitJob.Netlist is nil")
+	}
+	if err := j.Netlist.Validate(); err != nil {
+		return nil, err
+	}
+	p := paramsOr(j.Params)
+	ms := j.Models
+	if ms == nil {
+		var err error
+		if ms, err = s.modelSetFor(ctx, j.Netlist, p, expDMinOr(j.ExpDMin)); err != nil {
+			return nil, err
+		}
+	}
+	cache := s.goldenFor(j.Cache, j.NoCache)
+	res, err := eval.EvaluateCircuitContext(ctx, j.Netlist, p, ms, j.Config, j.Seeds, &eval.Options{
+		Workers:  s.workersFor(j.Workers),
+		Cache:    cache, // nil (NoCache) evaluates uncached
+		Progress: gateProgress(KindCircuit, j.Progress),
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := &Result{Kind: KindCircuit, Circuit: &res}
+	if cache != nil {
+		out.Stats.Golden = cache.Stats()
+	}
+	return out, nil
+}
+
+// evaluateSweep runs the scenario grid on the job's worker budget; the
+// session's parametrization cache serves operating points prepared by
+// any earlier job, and the golden cache (unless overridden) memoizes
+// across the grid and across jobs.
+func (s *Session) evaluateSweep(ctx context.Context, j SweepJob) (*Result, error) {
+	cache := j.Cache
+	if cache == nil {
+		cache = s.golden
+	}
+	var progress func(sweep.Progress)
+	if j.Progress != nil {
+		fn := j.Progress
+		progress = func(p sweep.Progress) {
+			fn(Progress{
+				Kind: KindSweep, Phase: p.Phase, Scenario: p.Scenario,
+				Seed: p.Seed, Completed: p.Completed, Total: p.Total, Err: p.Err,
+			})
+		}
+	}
+	rep, err := sweep.RunSweepContext(ctx, j.Spec, &sweep.Options{
+		Workers:  s.workersFor(j.Workers),
+		Cache:    cache,
+		Params:   s.params,
+		Progress: progress,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Kind: KindSweep, Sweep: rep, Stats: Stats{Golden: cache.Stats()}}, nil
+}

@@ -1,0 +1,456 @@
+package session
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"reflect"
+	"sync"
+	"testing"
+
+	"hybriddelay/internal/eval"
+	"hybriddelay/internal/gate"
+	"hybriddelay/internal/gen"
+	"hybriddelay/internal/netlist"
+	"hybriddelay/internal/nor"
+	"hybriddelay/internal/sweep"
+	"hybriddelay/internal/waveform"
+)
+
+// fastParams returns coarse-step bench parameters for quick analog
+// test runs.
+func fastParams() nor.Params {
+	p := nor.DefaultParams()
+	p.MaxStep = 8e-12
+	return p
+}
+
+// testConfig returns a small evaluation configuration for n inputs.
+func testConfig(inputs, transitions int) gen.Config {
+	return gen.Config{
+		Mu:          200 * waveform.Pico,
+		Sigma:       100 * waveform.Pico,
+		Mode:        gen.Local,
+		Inputs:      inputs,
+		Transitions: transitions,
+		Start:       200 * waveform.Pico,
+	}
+}
+
+// testSweepSpec returns a one-gate, two-stimulus grid at the fast
+// operating point (vdd/load scale 1, so it shares the gate jobs'
+// parametrization key).
+func testSweepSpec(transitions int) sweep.Spec {
+	p := fastParams()
+	return sweep.Spec{
+		Gates: []string{"nor2"},
+		Stimuli: []sweep.Stimulus{
+			{Mode: gen.Local, Mu: 200 * waveform.Pico, Sigma: 100 * waveform.Pico, Transitions: transitions},
+			{Mode: gen.Global, Mu: 200 * waveform.Pico, Sigma: 100 * waveform.Pico, Transitions: transitions},
+		},
+		Seeds: []int64{1, 2},
+		Bench: &p,
+	}
+}
+
+func TestSessionGateJobMatchesLegacyRunner(t *testing.T) {
+	if testing.Short() {
+		t.Skip("analog evaluation in -short mode")
+	}
+	p := fastParams()
+	bench, err := gate.NOR2.NewBench(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	meas, err := bench.Measure()
+	if err != nil {
+		t.Fatal(err)
+	}
+	models, err := gate.NOR2.BuildModels(meas, p.Supply, DefaultExpDMin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := testConfig(2, 10)
+	seeds := []int64{1, 2}
+
+	want, err := eval.EvaluateBench(bench, models, cfg, seeds)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	s := New(Options{Workers: 4})
+	res, err := s.Evaluate(context.Background(), GateJob{
+		Models: &models, Params: &p,
+		Configs: []gen.Config{cfg}, Seeds: seeds,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Kind != KindGate || len(res.Gate) != 1 {
+		t.Fatalf("result shape: kind=%s rows=%d", res.Kind, len(res.Gate))
+	}
+	if !reflect.DeepEqual(res.Gate[0], want) {
+		t.Errorf("session result differs from legacy serial evaluation:\n got %+v\nwant %+v", res.Gate[0], want)
+	}
+	if res.Models == nil || res.Models.Gate.Name() != "nor2" {
+		t.Error("result does not carry the evaluated model set")
+	}
+}
+
+func TestSessionGateJobPreparesOnceAndCachesGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("analog evaluation in -short mode")
+	}
+	p := fastParams()
+	s := New(Options{Workers: 2})
+	job := GateJob{
+		Gate: "nor2", Params: &p,
+		Configs: []gen.Config{testConfig(2, 8)}, Seeds: []int64{1, 2},
+	}
+	first, err := s.Evaluate(context.Background(), job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := first.Stats.Params; st.Misses != 1 || st.Entries != 1 {
+		t.Errorf("cold job param stats %+v, want exactly one prepared point", st)
+	}
+	if st := first.Stats.Golden; st.Misses != 2 || st.Hits != 0 {
+		t.Errorf("cold job golden stats %+v, want 2 misses (one per seed)", st)
+	}
+	again, err := s.Evaluate(context.Background(), job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := again.Stats.Params; st.Misses != 1 || st.Hits != 1 {
+		t.Errorf("warm job param stats %+v, want a hit and no new miss", st)
+	}
+	if st := again.Stats.Golden; st.Misses != 2 || st.Hits != 2 {
+		t.Errorf("warm job golden stats %+v, want every golden served from cache", st)
+	}
+	if !reflect.DeepEqual(first.Gate, again.Gate) {
+		t.Error("warm evaluation differs from cold")
+	}
+}
+
+func TestSessionCircuitJobMatchesLegacy(t *testing.T) {
+	if testing.Short() {
+		t.Skip("analog evaluation in -short mode")
+	}
+	nl, err := netlist.Builtin("nor-invchain")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := fastParams()
+	cfg := testConfig(len(nl.Inputs), 8)
+	seeds := []int64{1, 2}
+
+	ms, err := netlist.BuildModelSet(nl, p, DefaultExpDMin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := eval.EvaluateCircuit(nl, p, ms, cfg, seeds, &eval.Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	s := New(Options{Workers: 2})
+	res, err := s.Evaluate(context.Background(), CircuitJob{
+		Netlist: nl, Params: &p, Config: cfg, Seeds: seeds,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Kind != KindCircuit || res.Circuit == nil {
+		t.Fatalf("result shape: kind=%s circuit=%v", res.Kind, res.Circuit)
+	}
+	if !reflect.DeepEqual(*res.Circuit, want) {
+		t.Errorf("session circuit result differs from legacy:\n got %+v\nwant %+v", *res.Circuit, want)
+	}
+}
+
+func TestSessionSweepJobMatchesLegacy(t *testing.T) {
+	if testing.Short() {
+		t.Skip("analog sweep in -short mode")
+	}
+	spec := testSweepSpec(8)
+	encode := func(rep *sweep.Report) string {
+		t.Helper()
+		rep.ClearTimings()
+		var buf bytes.Buffer
+		if err := rep.WriteJSON(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	want, err := sweep.RunSweep(spec, &sweep.Options{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	s := New(Options{Workers: 4})
+	// A private golden cache per job mirrors the legacy call's private
+	// cache, keeping the report's cache statistics comparable.
+	res, err := s.Evaluate(context.Background(), SweepJob{Spec: spec, Cache: eval.NewGoldenCache()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Kind != KindSweep || res.Sweep == nil {
+		t.Fatalf("result shape: kind=%s sweep=%v", res.Kind, res.Sweep)
+	}
+	if got, exp := encode(res.Sweep), encode(want); got != exp {
+		t.Errorf("session sweep report differs from legacy:\n--- session ---\n%s\n--- legacy ---\n%s", got, exp)
+	}
+}
+
+// TestSessionMixedJobsConcurrent is the acceptance test of the unified
+// engine: one Session evaluates a gate job, a circuit job and a sweep
+// simultaneously (under -race), produces byte-identical reports to
+// serial execution, and serves the operating point all three workloads
+// share from one parametrization — the cache records exactly one
+// preparation and a hit for each reuse.
+func TestSessionMixedJobsConcurrent(t *testing.T) {
+	if testing.Short() {
+		t.Skip("analog evaluation in -short mode")
+	}
+	p := fastParams()
+	nl, err := netlist.Builtin("nor-invchain")
+	if err != nil {
+		t.Fatal(err)
+	}
+	gateJob := GateJob{
+		Gate: "nor2", Params: &p,
+		Configs: []gen.Config{testConfig(2, 8)}, Seeds: []int64{1, 2},
+	}
+	circuitJob := CircuitJob{
+		Netlist: nl, Params: &p, Config: testConfig(len(nl.Inputs), 8), Seeds: []int64{1, 2},
+	}
+	// Sweep jobs get a private golden cache so the report's cache rows
+	// cannot depend on what the sibling jobs put into the shared cache
+	// first — the byte-identity assertion needs schedule-independent
+	// reports. The parametrization cache stays shared: reuse there is
+	// invisible to report bytes (preparation is deterministic).
+	run := func(s *Session, concurrent bool) (gateRows []eval.RunResult, circ eval.CircuitResult, sweepJSON string) {
+		t.Helper()
+		sweepJob := SweepJob{Spec: testSweepSpec(8), Cache: eval.NewGoldenCache()}
+		var gres, cres, sres *Result
+		if concurrent {
+			var wg sync.WaitGroup
+			errs := make([]error, 3)
+			wg.Add(3)
+			go func() { defer wg.Done(); gres, errs[0] = s.Evaluate(context.Background(), gateJob) }()
+			go func() { defer wg.Done(); cres, errs[1] = s.Evaluate(context.Background(), circuitJob) }()
+			go func() { defer wg.Done(); sres, errs[2] = s.Evaluate(context.Background(), sweepJob) }()
+			wg.Wait()
+			for _, err := range errs {
+				if err != nil {
+					t.Fatal(err)
+				}
+			}
+		} else {
+			var err error
+			if gres, err = s.Evaluate(context.Background(), gateJob); err != nil {
+				t.Fatal(err)
+			}
+			if cres, err = s.Evaluate(context.Background(), circuitJob); err != nil {
+				t.Fatal(err)
+			}
+			if sres, err = s.Evaluate(context.Background(), sweepJob); err != nil {
+				t.Fatal(err)
+			}
+		}
+		sres.Sweep.ClearTimings()
+		var buf bytes.Buffer
+		if err := sres.Sweep.WriteJSON(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return gres.Gate, *cres.Circuit, buf.String()
+	}
+
+	serial := New(Options{Workers: 2})
+	wantGate, wantCirc, wantSweep := run(serial, false)
+
+	mixed := New(Options{Workers: 4})
+	gotGate, gotCirc, gotSweep := run(mixed, true)
+
+	if !reflect.DeepEqual(gotGate, wantGate) {
+		t.Errorf("concurrent gate rows differ from serial:\n got %+v\nwant %+v", gotGate, wantGate)
+	}
+	if !reflect.DeepEqual(gotCirc, wantCirc) {
+		t.Errorf("concurrent circuit result differs from serial:\n got %+v\nwant %+v", gotCirc, wantCirc)
+	}
+	if gotSweep != wantSweep {
+		t.Errorf("concurrent sweep report differs from serial:\n--- concurrent ---\n%s\n--- serial ---\n%s", gotSweep, wantSweep)
+	}
+
+	// All three workloads run nor2 at the same (params, expDMin) point:
+	// one preparation, two cache hits — no re-measurement, no re-fit.
+	st := mixed.ParamCache().Stats()
+	if st.Misses != 1 || st.Entries != 1 {
+		t.Errorf("mixed-session param stats %+v, want exactly one prepared operating point", st)
+	}
+	if st.Hits < 2 {
+		t.Errorf("mixed-session param stats %+v, want >= 2 hits (circuit and sweep reuse)", st)
+	}
+}
+
+func TestSessionCancellation(t *testing.T) {
+	s := New(Options{Workers: 2})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	p := fastParams()
+	if _, err := s.Evaluate(ctx, GateJob{
+		Gate: "nor2", Params: &p,
+		Configs: []gen.Config{testConfig(2, 8)}, Seeds: []int64{1},
+	}); !errors.Is(err, context.Canceled) {
+		t.Errorf("cancelled gate job returned %v, want context.Canceled", err)
+	}
+	if _, err := s.Evaluate(ctx, SweepJob{Spec: testSweepSpec(4)}); !errors.Is(err, context.Canceled) {
+		t.Errorf("cancelled sweep job returned %v, want context.Canceled", err)
+	}
+	nl, err := netlist.Builtin("nor-invchain")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Evaluate(ctx, CircuitJob{
+		Netlist: nl, Params: &p, Config: testConfig(2, 8), Seeds: []int64{1},
+	}); !errors.Is(err, context.Canceled) {
+		t.Errorf("cancelled circuit job returned %v, want context.Canceled", err)
+	}
+}
+
+func TestSessionJobValidation(t *testing.T) {
+	s := New(Options{})
+	ctx := context.Background()
+	if _, err := s.Evaluate(ctx, nil); err == nil {
+		t.Error("nil job accepted")
+	}
+	if _, err := s.Evaluate(ctx, GateJob{Gate: "xor7", Configs: []gen.Config{testConfig(2, 4)}, Seeds: []int64{1}}); err == nil {
+		t.Error("unknown gate accepted")
+	}
+	if _, err := s.Evaluate(ctx, CircuitJob{}); err == nil {
+		t.Error("nil netlist accepted")
+	}
+	if _, err := s.Evaluate(ctx, SweepJob{}); err == nil {
+		t.Error("empty sweep spec accepted")
+	}
+	if _, err := s.Evaluate(ctx, GateJob{Models: &gate.Models{}}); err == nil {
+		t.Error("models without a gate accepted")
+	}
+}
+
+func TestSessionProgressStream(t *testing.T) {
+	if testing.Short() {
+		t.Skip("analog evaluation in -short mode")
+	}
+	p := fastParams()
+	s := New(Options{Workers: 2})
+	var mu sync.Mutex
+	var events []Progress
+	_, err := s.Evaluate(context.Background(), GateJob{
+		Gate: "nor2", Params: &p,
+		Configs: []gen.Config{testConfig(2, 8)}, Seeds: []int64{1, 2},
+		Progress: func(pr Progress) {
+			mu.Lock()
+			events = append(events, pr)
+			mu.Unlock()
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 2 {
+		t.Fatalf("got %d progress events, want 2 (one per unit)", len(events))
+	}
+	for _, ev := range events {
+		if ev.Kind != KindGate || ev.Phase != PhaseEval || ev.Total != 2 || ev.Scenario != -1 {
+			t.Errorf("unexpected progress event %+v", ev)
+		}
+	}
+	if events[len(events)-1].Completed != 2 {
+		t.Errorf("last event completed=%d, want 2", events[len(events)-1].Completed)
+	}
+}
+
+func TestSessionAccessorsAndDefaults(t *testing.T) {
+	golden := eval.NewGoldenCache()
+	params := eval.NewParamCache()
+	s := New(Options{Workers: 3, Golden: golden, Params: params})
+	if s.GoldenCache() != golden || s.ParamCache() != params {
+		t.Error("session did not adopt the seeded caches")
+	}
+	if got := s.workersFor(0); got != 3 {
+		t.Errorf("workersFor(0) = %d, want the session budget 3", got)
+	}
+	if got := s.workersFor(7); got != 7 {
+		t.Errorf("workersFor(7) = %d, want the override", got)
+	}
+	if expDMinOr(0) != DefaultExpDMin || expDMinOr(5e-12) != 5e-12 {
+		t.Error("expDMinOr resolution wrong")
+	}
+	p := fastParams()
+	if paramsOr(&p) != p || paramsOr(nil) != nor.DefaultParams() {
+		t.Error("paramsOr resolution wrong")
+	}
+	kinds := []struct {
+		job  Job
+		want Kind
+	}{
+		{GateJob{}, KindGate}, {CircuitJob{}, KindCircuit}, {SweepJob{}, KindSweep},
+	}
+	for _, k := range kinds {
+		if k.job.kind() != k.want {
+			t.Errorf("%T kind = %s, want %s", k.job, k.job.kind(), k.want)
+		}
+	}
+	// A defaulted session builds its own caches.
+	d := New(Options{})
+	if d.GoldenCache() == nil || d.ParamCache() == nil || d.workers < 1 {
+		t.Error("defaulted session is missing resources")
+	}
+}
+
+// TestSessionGoldenCacheControls pins the per-job golden-cache
+// resolution: NoCache evaluates without memoization (nothing stored,
+// zero stats), a Cache override accrues (and reports) on the override
+// instead of the session cache.
+func TestSessionGoldenCacheControls(t *testing.T) {
+	if testing.Short() {
+		t.Skip("analog evaluation in -short mode")
+	}
+	p := fastParams()
+	s := New(Options{Workers: 2})
+	job := GateJob{
+		Gate: "nor2", Params: &p,
+		Configs: []gen.Config{testConfig(2, 8)}, Seeds: []int64{1},
+	}
+
+	nc := job
+	nc.NoCache = true
+	res, err := s.Evaluate(context.Background(), nc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Golden != (eval.CacheStats{}) {
+		t.Errorf("NoCache job reported golden stats %+v, want zero", res.Stats.Golden)
+	}
+	if st := s.GoldenCache().Stats(); st.Entries != 0 || st.Misses != 0 {
+		t.Errorf("NoCache job touched the session cache: %+v", st)
+	}
+
+	private := eval.NewGoldenCache()
+	ov := job
+	ov.Cache = private
+	res, err = s.Evaluate(context.Background(), ov)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := private.Stats(); st.Misses != 1 || st.Entries != 1 {
+		t.Errorf("override cache stats %+v, want the job's one golden run", st)
+	}
+	if res.Stats.Golden != private.Stats() {
+		t.Errorf("result stats %+v do not describe the override cache %+v", res.Stats.Golden, private.Stats())
+	}
+	if st := s.GoldenCache().Stats(); st.Entries != 0 {
+		t.Errorf("override job leaked into the session cache: %+v", st)
+	}
+}

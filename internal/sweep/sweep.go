@@ -22,6 +22,7 @@
 package sweep
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"runtime"
@@ -340,6 +341,15 @@ type Options struct {
 	// cache so hit rates are still reported.
 	Cache *eval.GoldenCache
 
+	// Params, when non-nil, memoizes prepared operating points (bench
+	// construction, characteristic measurement, model fits) across
+	// RunSweep calls — a sweep revisiting an operating point a previous
+	// sweep (or gate/circuit evaluation through the same session)
+	// already measured skips the whole preparation phase for it. When
+	// nil, RunSweep prepares privately; within one call each unique
+	// operating point is prepared only once either way.
+	Params *eval.ParamCache
+
 	// Progress, when non-nil, is invoked after each completed step.
 	// Calls are serialized; steps may complete in any order.
 	Progress func(Progress)
@@ -359,6 +369,13 @@ type opPoint struct {
 	params nor.Params
 	models eval.Models
 	golden *eval.BenchSource
+}
+
+// adopt copies a prepared (possibly cache-shared) operating point into
+// the sweep-local slot.
+func (pt *opPoint) adopt(op *eval.OperatingPoint) {
+	pt.models = op.Models
+	pt.golden = op.Golden
 }
 
 // circuitKey identifies one circuit operating point.
@@ -470,6 +487,13 @@ func circuitToSeedResult(cr eval.CircuitSeedResult) eval.SeedResult {
 // the pool stops picking up new work and the error of the earliest
 // failed step (grid-major, seed-minor) is returned.
 func RunSweep(spec Spec, opt *Options) (*Report, error) {
+	return RunSweepContext(context.Background(), spec, opt)
+}
+
+// RunSweepContext is RunSweep with cancellation: once ctx is done no
+// new preparation or evaluation units are claimed, in-flight units stop
+// at their next stage boundary, and ctx.Err() is returned.
+func RunSweepContext(ctx context.Context, spec Spec, opt *Options) (*Report, error) {
 	var o Options
 	if opt != nil {
 		o = *opt
@@ -480,6 +504,9 @@ func RunSweep(spec Spec, opt *Options) (*Report, error) {
 	if o.Cache == nil {
 		o.Cache = eval.NewGoldenCache()
 	}
+	if o.Params == nil {
+		o.Params = eval.NewParamCache()
+	}
 	scenarios, err := Expand(spec)
 	if err != nil {
 		return nil, err
@@ -487,7 +514,7 @@ func RunSweep(spec Spec, opt *Options) (*Report, error) {
 	seeds := spec.SeedList()
 	start := time.Now()
 
-	points, err := preparePoints(scenarios, spec.expDMin(), o)
+	points, err := preparePoints(ctx, scenarios, spec.expDMin(), o)
 	if err != nil {
 		return nil, err
 	}
@@ -540,25 +567,28 @@ func RunSweep(spec Spec, opt *Options) (*Report, error) {
 			})
 		}
 	}
-	pool.Run(total, o.Workers, func(i int) error {
+	ctxErr := pool.RunContext(ctx, total, o.Workers, func(i int) error {
 		si := i / len(seeds)
 		sc := scenarios[si]
 		unitStart := time.Now()
 		if sc.Circuit != nil {
 			cp := cpoints[circuitKey{sc.Circuit.Name, sc.VDDScale, sc.LoadScale}]
 			var cres eval.CircuitSeedResult
-			cres, errs[i] = eval.EvaluateCircuitSeed(csources[si], sc.Circuit, cp.models, sc.Config, seeds[i%len(seeds)])
+			cres, errs[i] = eval.EvaluateCircuitSeedContext(ctx, csources[si], sc.Circuit, cp.models, sc.Config, seeds[i%len(seeds)])
 			parts[i] = circuitToSeedResult(cres)
 		} else {
-			parts[i], errs[i] = eval.EvaluateSeed(sources[si], points[opKey{sc.Gate, sc.VDDScale, sc.LoadScale}].models, sc.Config, seeds[i%len(seeds)])
+			parts[i], errs[i] = eval.EvaluateSeedContext(ctx, sources[si], points[opKey{sc.Gate, sc.VDDScale, sc.LoadScale}].models, sc.Config, seeds[i%len(seeds)])
 		}
 		scenarioNanos[si].Add(time.Since(unitStart).Nanoseconds())
 		return errs[i]
 	}, onDone)
 	for i, err := range errs {
-		if err != nil {
+		if err != nil && !(ctxErr != nil && eval.IsContextErr(err)) {
 			return nil, fmt.Errorf("sweep: scenario %d (%s): %w", i/len(seeds), scenarios[i/len(seeds)].Name(), err)
 		}
+	}
+	if ctxErr != nil {
+		return nil, ctxErr
 	}
 
 	rep := &Report{
@@ -577,13 +607,14 @@ func RunSweep(spec Spec, opt *Options) (*Report, error) {
 	return rep, nil
 }
 
-// preparePoints builds and measures each unique operating point (gate,
-// VDD scale, load scale) once — bench construction, characteristic
-// measurement and model fitting — on the shared worker budget. Circuit
-// scenarios contribute the operating points of their member gates, so
-// a circuit sharing a gate with the gate axis (or with another
-// circuit) measures and fits that gate only once.
-func preparePoints(scenarios []Scenario, expDMin float64, o Options) (map[opKey]*opPoint, error) {
+// preparePoints resolves each unique operating point (gate, VDD scale,
+// load scale) once — bench construction, characteristic measurement and
+// model fitting, served from the options' parametrization cache when an
+// earlier run already prepared the point — on the shared worker budget.
+// Circuit scenarios contribute the operating points of their member
+// gates, so a circuit sharing a gate with the gate axis (or with
+// another circuit) measures and fits that gate only once.
+func preparePoints(ctx context.Context, scenarios []Scenario, expDMin float64, o Options) (map[opKey]*opPoint, error) {
 	points := map[opKey]*opPoint{}
 	var order []opKey
 	add := func(gname string, sc Scenario) {
@@ -616,39 +647,39 @@ func preparePoints(scenarios []Scenario, expDMin float64, o Options) (map[opKey]
 			})
 		}
 	}
-	pool.Run(len(order), o.Workers, func(i int) error {
-		errs[i] = preparePoint(points[order[i]], expDMin)
+	ctxErr := pool.RunContext(ctx, len(order), o.Workers, func(i int) error {
+		errs[i] = preparePoint(ctx, points[order[i]], expDMin, o.Params)
 		return errs[i]
 	}, onDone)
 	for i, err := range errs {
-		if err != nil {
+		// Only collapse context-flavoured errors into this run's own
+		// cancellation; a live run must surface them as real failures
+		// (an unprepared point would otherwise flow into evaluation).
+		if err != nil && !(ctxErr != nil && eval.IsContextErr(err)) {
 			k := order[i]
 			return nil, fmt.Errorf("sweep: operating point %s vdd=%.2f load=%.2f: %w", k.gate, k.vddScale, k.loadScale, err)
 		}
 	}
+	if ctxErr != nil {
+		return nil, ctxErr
+	}
 	return points, nil
 }
 
-// preparePoint measures one operating point and parametrizes its models.
-func preparePoint(pt *opPoint, expDMin float64) error {
+// preparePoint resolves one operating point through the parametrization
+// cache: the measurement and fits run at most once per (gate, scaled
+// bench parameters, expDMin) — concurrent preparations of the same
+// point, and later sweeps through the same cache, share the result.
+func preparePoint(ctx context.Context, pt *opPoint, expDMin float64, cache *eval.ParamCache) error {
 	g, err := gate.Find(pt.key.gate)
 	if err != nil {
 		return err
 	}
-	bench, err := g.NewBench(pt.params)
+	op, err := cache.OperatingPoint(ctx, g, pt.params, expDMin)
 	if err != nil {
-		return fmt.Errorf("bench: %w", err)
+		return err
 	}
-	meas, err := bench.Measure()
-	if err != nil {
-		return fmt.Errorf("measure: %w", err)
-	}
-	models, err := g.BuildModels(meas, pt.params.Supply, expDMin)
-	if err != nil {
-		return fmt.Errorf("models: %w", err)
-	}
-	pt.models = models
-	pt.golden = eval.NewGateBenchSource(bench)
+	pt.adopt(op)
 	return nil
 }
 

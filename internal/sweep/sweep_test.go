@@ -2,6 +2,8 @@ package sweep
 
 import (
 	"bytes"
+	"context"
+	"errors"
 	"strings"
 	"testing"
 
@@ -333,5 +335,62 @@ func TestRunSweepWorstSeed(t *testing.T) {
 	}
 	if sc.GoldenEvents <= 0 {
 		t.Errorf("no golden events observed")
+	}
+}
+
+// TestRunSweepParamCacheReuse: two sweeps of the same spec through one
+// shared parametrization cache prepare each operating point exactly
+// once — the warm run re-fits nothing and still produces a
+// byte-identical report.
+func TestRunSweepParamCacheReuse(t *testing.T) {
+	if testing.Short() {
+		t.Skip("analog sweep in -short mode")
+	}
+	spec := testSpec(10)
+	params := eval.NewParamCache()
+	encode := func() string {
+		t.Helper()
+		// Each run gets a private golden cache (as a cold caller would),
+		// so the reports stay comparable; only the parametrization cache
+		// is shared across the calls.
+		rep, err := RunSweep(spec, &Options{Workers: 4, Params: params})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep.ClearTimings()
+		var buf bytes.Buffer
+		if err := rep.WriteJSON(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	cold := encode()
+	st := params.Stats()
+	points := st.Entries
+	if points == 0 || st.Misses != int64(points) {
+		t.Fatalf("cold run stats %+v, want one miss per operating point", st)
+	}
+	warm := encode()
+	st = params.Stats()
+	if st.Misses != int64(points) {
+		t.Errorf("warm run re-prepared: %d misses, want still %d", st.Misses, points)
+	}
+	if st.Hits < int64(points) {
+		t.Errorf("warm run hit %d times, want at least %d (one per operating point)", st.Hits, points)
+	}
+	if cold != warm {
+		t.Errorf("warm report differs from cold:\n--- cold ---\n%s\n--- warm ---\n%s", cold, warm)
+	}
+}
+
+// TestRunSweepContextCancelled: a cancelled context aborts the sweep
+// before (or during) its first phase and reports the cancellation, not
+// a unit failure.
+func TestRunSweepContextCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := RunSweepContext(ctx, testSpec(4), &Options{Workers: 2})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled sweep returned %v, want context.Canceled", err)
 	}
 }

@@ -1,0 +1,95 @@
+package hybriddelay
+
+// Cold-vs-warm Session cost of a repeated-operating-point workload.
+// Every evaluation pays a fixed per-call preparation cost — bench
+// construction, characteristic measurement, model fitting — before its
+// first unit; the Session's parametrization cache pays it once per
+// operating point and serves every later job from memory.
+// BenchmarkSessionWarm evaluates on one long-lived Session (preparation
+// served from cache) and reports speedup_x against the cold baseline
+// (a fresh Session per call, re-measuring every time), alongside
+// cold_ms and warm_ms. Both paths use a private golden cache per call,
+// so the speedup isolates the parametrization memoization. The numbers
+// land in BENCH_session.json in CI.
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"hybriddelay/internal/gen"
+)
+
+// sessionBenchJob returns the repeated-operating-point workload: the
+// default gate at the calibrated operating point, two small
+// configurations over two seeds. A fresh private golden cache per call
+// keeps golden-transient memoization out of the measurement.
+func sessionBenchJob() GateJob {
+	mk := func(mode gen.Mode, mu, sigma float64) TraceConfig {
+		return TraceConfig{Mu: mu, Sigma: sigma, Mode: mode, Inputs: 2,
+			Transitions: 12, Start: 200e-12}
+	}
+	return GateJob{
+		Gate:    "nor2",
+		Configs: []TraceConfig{mk(gen.Local, 200e-12, 100e-12), mk(gen.Global, 500e-12, 250e-12)},
+		Seeds:   []int64{1, 2},
+		Cache:   NewGoldenCache(),
+	}
+}
+
+// evaluateSessionJob runs the workload once on the given session.
+func evaluateSessionJob(b *testing.B, s *Session) {
+	b.Helper()
+	job := sessionBenchJob()
+	if _, err := s.Evaluate(context.Background(), job); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// coldSessionBaseline measures one cold call (fresh Session, full
+// preparation) once per process.
+var coldSessionBaseline struct {
+	once sync.Once
+	secs float64
+}
+
+func coldSessionSecs(b *testing.B) float64 {
+	b.Helper()
+	coldSessionBaseline.once.Do(func() {
+		start := time.Now()
+		evaluateSessionJob(b, NewSession(SessionOptions{Workers: 2}))
+		coldSessionBaseline.secs = time.Since(start).Seconds()
+	})
+	return coldSessionBaseline.secs
+}
+
+// BenchmarkSessionCold pays the full preparation chain every iteration
+// — the pre-Session per-call fixed cost.
+func BenchmarkSessionCold(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		evaluateSessionJob(b, NewSession(SessionOptions{Workers: 2}))
+	}
+}
+
+// BenchmarkSessionWarm serves the preparation from the long-lived
+// Session's parametrization cache and reports the cold/warm speedup.
+func BenchmarkSessionWarm(b *testing.B) {
+	cold := coldSessionSecs(b)
+	s := NewSession(SessionOptions{Workers: 2})
+	evaluateSessionJob(b, s) // warm the parametrization cache
+	b.ResetTimer()
+	start := time.Now()
+	for i := 0; i < b.N; i++ {
+		evaluateSessionJob(b, s)
+	}
+	warm := time.Since(start).Seconds() / float64(b.N)
+	b.ReportMetric(cold*1e3, "cold_ms")
+	b.ReportMetric(warm*1e3, "warm_ms")
+	if warm > 0 {
+		b.ReportMetric(cold/warm, "speedup_x")
+	}
+	if st := s.ParamCache().Stats(); st.Misses != 1 {
+		b.Fatalf("warm session re-prepared: param stats %+v", st)
+	}
+}
