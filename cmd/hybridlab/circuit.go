@@ -30,6 +30,7 @@ type circuitOptions struct {
 	fast        bool
 	out         string
 	csv         bool
+	store       string
 
 	stdout io.Writer // overridable for tests; nil = os.Stdout
 	stderr io.Writer // overridable for tests; nil = os.Stderr
@@ -57,6 +58,7 @@ func runCircuitCmd(args []string) error {
 	fs.BoolVar(&o.fast, "fast", false, "coarser integrator step for quick exploration")
 	fs.StringVar(&o.out, "out", "", "report output path (default stdout)")
 	fs.BoolVar(&o.csv, "csv", false, "emit the report as CSV instead of a table")
+	fs.StringVar(&o.store, "store", "", "persistent golden-store directory (created if missing; warm-starts repeat runs)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -91,8 +93,17 @@ func (o circuitOptions) run() error {
 		nl.Name, len(nl.Instances), len(nl.Inputs), len(nl.Recorded()))
 	fmt.Fprintf(stderr, "measuring and parametrizing gates...\n")
 
+	st, finishStore, err := openStore(o.store, stderr)
+	if err != nil {
+		return err
+	}
+	defer finishStore()
 	start := time.Now()
-	s := session.New(session.Options{Workers: o.parallel})
+	sopt := session.Options{Workers: o.parallel}
+	if st != nil {
+		sopt.Store = st
+	}
+	s := session.New(sopt)
 	jres, err := s.Evaluate(context.Background(), session.CircuitJob{
 		Netlist: nl, Params: &p, Config: cfg, Seeds: seeds,
 		ExpDMin:  20 * waveform.Pico,

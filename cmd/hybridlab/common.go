@@ -14,6 +14,7 @@ import (
 	"hybriddelay/internal/gate"
 	"hybriddelay/internal/netlist"
 	"hybriddelay/internal/session"
+	"hybriddelay/internal/store"
 )
 
 // subMain runs a subcommand body with the uniform error prefix and
@@ -77,6 +78,33 @@ func findNetlist(name, path string) (*netlist.Netlist, error) {
 		return netlist.Parse(f)
 	}
 	return netlist.Builtin(name)
+}
+
+// openStore opens the persistent golden store named by a -store flag
+// and returns it with a finish function that flushes pending writes,
+// reports the store's traffic on stderr and closes it. An empty dir
+// means no persistence: a nil store and a no-op finish. The caller
+// must only mount the store into session options when it is non-nil.
+func openStore(dir string, stderr io.Writer) (*store.Store, func(), error) {
+	if dir == "" {
+		return nil, func() {}, nil
+	}
+	st, err := store.Open(dir)
+	if err != nil {
+		return nil, nil, fmt.Errorf("golden store: %w", err)
+	}
+	finish := func() {
+		if err := st.Flush(); err != nil {
+			fmt.Fprintf(stderr, "golden store: flush: %v\n", err)
+		}
+		s := st.Stats()
+		fmt.Fprintf(stderr, "golden store %s: %d disk hits, %d misses, %d corrupt, %d writes (%d failed)\n",
+			dir, s.Hits, s.Misses, s.Corrupt, s.Writes, s.WriteErrors)
+		if err := st.Close(); err != nil {
+			fmt.Fprintf(stderr, "golden store: close: %v\n", err)
+		}
+	}
+	return st, finish, nil
 }
 
 // sessionProgress renders the session's unified progress stream as

@@ -380,14 +380,21 @@ func runFig7(opt options) error {
 	if units := len(configs) * len(seeds); workers > units {
 		workers = units // the engine never spawns more workers than units
 	}
+	st, finishStore, err := openStore(opt.store, os.Stderr)
+	if err != nil {
+		return err
+	}
+	defer finishStore()
 	job := session.GateJob{
 		Gate: g.Name(), Params: &p,
 		Configs: configs, Seeds: seeds,
 		ExpDMin: 20e-12,
 		// No golden cache: every (config, seed) unit in a single fig7
 		// run is unique, so memoization could never hit within one CLI
-		// invocation — it would only hold every trace in memory.
-		NoCache: true,
+		// invocation — it would only hold every trace in memory. With a
+		// -store directory the cache stays on as the read-through front
+		// of the persistent tier, so repeat runs warm-start from disk.
+		NoCache: opt.store == "",
 	}
 	if !opt.csv {
 		// Progress goes to stderr so redirected stdout stays clean.
@@ -396,7 +403,11 @@ func runFig7(opt options) error {
 		}
 	}
 	start := time.Now()
-	s := session.New(session.Options{Workers: workers})
+	sopt := session.Options{Workers: workers}
+	if st != nil {
+		sopt.Store = st
+	}
+	s := session.New(sopt)
 	jres, err := s.Evaluate(context.Background(), job)
 	if !opt.csv {
 		fmt.Fprintln(os.Stderr)

@@ -56,6 +56,7 @@ type options struct {
 	seeds    string
 	parallel int
 	gate     string
+	store    string // golden-store directory; "" = no persistence
 
 	out io.Writer // experiment output; nil = os.Stdout (tests capture it)
 }
@@ -170,6 +171,7 @@ func main() {
 	fs.StringVar(&opt.seeds, "seeds", "", "explicit comma-separated seed list (overrides -reps/-seed)")
 	fs.IntVar(&opt.parallel, "parallel", runtime.GOMAXPROCS(0), "evaluation workers (1 = serial)")
 	fs.StringVar(&opt.gate, "gate", gate.Default().Name(), "registered gate for fig7 (see -list-gates)")
+	fs.StringVar(&opt.store, "store", "", "persistent golden-store directory for fig7 (created if missing; warm-starts repeat runs)")
 	fs.BoolVar(&listGatesFlag, "list-gates", false, "list registered gates and exit")
 	if err := fs.Parse(os.Args[2:]); err != nil {
 		os.Exit(2)
@@ -228,9 +230,9 @@ func usage() {
 	for _, sc := range subcommands() {
 		fmt.Fprintf(os.Stderr, "  %-10s %s\n", sc.name, sc.desc)
 	}
-	fmt.Fprintln(os.Stderr, "\nflags: -csv -fast -reps N -trans N -seed N -seeds L -parallel N -gate G -list-gates")
+	fmt.Fprintln(os.Stderr, "\nflags: -csv -fast -reps N -trans N -seed N -seeds L -parallel N -gate G -store DIR -list-gates")
 	fmt.Fprintln(os.Stderr, "sweep flags: -gates L -vdd L -load L -modes L -mu L -sigma L -trans N")
-	fmt.Fprintln(os.Stderr, "             -reps N -seed N -seeds L -grid FILE -out FILE -csv -fast -parallel N")
+	fmt.Fprintln(os.Stderr, "             -reps N -seed N -seeds L -grid FILE -out FILE -csv -fast -parallel N -store DIR")
 	fmt.Fprintln(os.Stderr, "circuit flags: -name C | -netlist FILE, -mode M -mu P -sigma P -trans N")
-	fmt.Fprintln(os.Stderr, "               -reps N -seed N -seeds L -out FILE -csv -fast -parallel N")
+	fmt.Fprintln(os.Stderr, "               -reps N -seed N -seeds L -out FILE -csv -fast -parallel N -store DIR")
 }

@@ -33,6 +33,7 @@ type sweepOptions struct {
 	csv      bool
 	fast     bool
 	parallel int
+	store    string
 
 	stdout io.Writer // overridable for tests; nil = os.Stdout
 	stderr io.Writer // overridable for tests; nil = os.Stderr
@@ -60,6 +61,7 @@ func runSweepCmd(args []string) error {
 	fs.BoolVar(&o.csv, "csv", false, "emit the report as CSV instead of JSON")
 	fs.BoolVar(&o.fast, "fast", false, "coarser integrator step for quick exploration")
 	fs.IntVar(&o.parallel, "parallel", runtime.GOMAXPROCS(0), "evaluation workers (1 = serial)")
+	fs.StringVar(&o.store, "store", "", "persistent golden-store directory (created if missing; warm-starts repeat runs)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -82,8 +84,17 @@ func (o sweepOptions) run() error {
 	fmt.Fprintf(stderr, "sweep: %d scenarios, %d seeds each, %d workers\n",
 		len(scenarios), len(spec.SeedList()), o.parallel)
 
+	st, finishStore, err := openStore(o.store, stderr)
+	if err != nil {
+		return err
+	}
+	defer finishStore()
 	start := time.Now()
-	s := session.New(session.Options{Workers: o.parallel})
+	sopt := session.Options{Workers: o.parallel}
+	if st != nil {
+		sopt.Store = st
+	}
+	s := session.New(sopt)
 	res, err := s.Evaluate(context.Background(), session.SweepJob{
 		Spec:     spec,
 		Progress: sessionProgress(stderr, "evaluating units"),

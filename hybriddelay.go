@@ -88,6 +88,7 @@ import (
 	"hybriddelay/internal/netlist"
 	"hybriddelay/internal/nor"
 	"hybriddelay/internal/session"
+	"hybriddelay/internal/store"
 	"hybriddelay/internal/sweep"
 	"hybriddelay/internal/trace"
 	"hybriddelay/internal/waveform"
@@ -257,6 +258,23 @@ type SessionOptions = session.Options
 // NewSession builds a long-lived evaluation engine. The zero options
 // value selects GOMAXPROCS workers and fresh private caches.
 func NewSession(opt SessionOptions) *Session { return session.New(opt) }
+
+// GoldenStore is the persistent, content-addressed on-disk golden
+// store: the tier below the in-memory GoldenCache. Mount one into a
+// Session via SessionOptions.Store; in-memory misses then read through
+// to disk and freshly computed goldens are written behind without
+// blocking evaluation. Close (or Flush) before process exit to drain
+// pending writes.
+type GoldenStore = store.Store
+
+// GoldenStoreStats counts a store's disk traffic.
+type GoldenStoreStats = store.Stats
+
+// OpenGoldenStore opens (creating if missing) a persistent golden
+// store rooted at dir. The directory carries a format-version stamp;
+// opening a directory written by an incompatible version fails rather
+// than serving stale bytes.
+func OpenGoldenStore(dir string) (*GoldenStore, error) { return store.Open(dir) }
 
 // Job is a workload value accepted by Session.Evaluate: a GateJob,
 // CircuitJob or SweepJob.

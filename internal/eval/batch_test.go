@@ -1,0 +1,184 @@
+package eval
+
+import (
+	"reflect"
+	"testing"
+
+	"hybriddelay/internal/gate"
+	"hybriddelay/internal/gen"
+	"hybriddelay/internal/netlist"
+	"hybriddelay/internal/nor"
+	"hybriddelay/internal/waveform"
+)
+
+func TestBatchSize(t *testing.T) {
+	cases := []struct {
+		batch, total, workers, want int
+	}{
+		{1, 100, 4, 1},  // explicit sizes pass through
+		{7, 100, 4, 7},  //
+		{0, 100, 4, 13}, // auto: ~two claims per worker, rounded up
+		{0, 8, 4, 1},    // auto never exceeds one claim's worth of need
+		{0, 1, 8, 1},    // never below one
+		{0, 16, 1, 8},   // serial still batches for lease amortization
+		{3, 2, 8, 3},    // oversize explicit batches are allowed
+	}
+	for _, c := range cases {
+		if got := batchSize(c.batch, c.total, c.workers); got != c.want {
+			t.Errorf("batchSize(%d, %d, %d) = %d, want %d", c.batch, c.total, c.workers, got, c.want)
+		}
+	}
+}
+
+// TestLeaseDelegation: leases pin one bench while keeping the
+// computation identical, and the cache stays in front of a leased
+// source so batched units still hit it.
+func TestLeaseDelegation(t *testing.T) {
+	inner := &countingSource{}
+	cache := NewGoldenCache()
+	src := CachedSource{Gate: "nor2", Bench: nor.DefaultParams(), Cache: cache, Src: inner}
+
+	leased, release, err := src.Lease()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer release()
+	req := GoldenRequest{Config: testConfig(8), Seed: 1, Until: 1e-9}
+	if _, err := leased.Golden(req); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := leased.Golden(req); err != nil {
+		t.Fatal(err)
+	}
+	if inner.count() != 1 {
+		t.Errorf("inner computed %d times under a lease, want 1 (cache in front)", inner.count())
+	}
+	if st := cache.Stats(); st.Hits != 1 || st.Misses != 1 {
+		t.Errorf("cache stats = %+v, want 1 hit / 1 miss", st)
+	}
+}
+
+// TestBenchSourceLeaseBitIdentical: a leased pooled bench returns the
+// same trace as the shared path, and release returns the bench for the
+// next lease instead of leaking pool slots.
+func TestBenchSourceLeaseBitIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("analog golden runs in -short mode")
+	}
+	b := evalBench(t)
+	src := NewBenchSource(b)
+	cfg := testConfig(6)
+	inputs, err := gen.Traces(cfg, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := GoldenRequest{
+		Config: cfg, Seed: 3, Inputs: inputs,
+		Until: gen.Horizon(inputs, 600*waveform.Pico),
+	}
+	want, err := src.Golden(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		leased, release, err := src.Lease()
+		if err != nil {
+			t.Fatalf("lease %d: %v", i, err)
+		}
+		got, err := leased.Golden(req)
+		release()
+		if err != nil {
+			t.Fatalf("lease %d: %v", i, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("lease %d: trace differs from shared path", i)
+		}
+	}
+}
+
+// TestEvaluateParallelBatchBitIdentical: the acceptance property of
+// batched claiming — every batch size (disabled, small, auto,
+// oversized) produces Area maps bit-identical to the serial reference
+// (run under -race in CI).
+func TestEvaluateParallelBatchBitIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("analog golden runs in -short mode")
+	}
+	b := evalBench(t)
+	m := cheapModels(t)
+	cfg := testConfig(24)
+	seeds := []int64{1, 2, 3, 4, 5}
+
+	serial, err := Evaluate(b, m, cfg, seeds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, batch := range []int{1, 2, 0, 9} {
+		res, err := EvaluateParallel(b, m, cfg, seeds, &Options{Workers: 4, Batch: batch})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.GoldenEv != serial.GoldenEv {
+			t.Errorf("batch=%d: golden events %d != serial %d", batch, res.GoldenEv, serial.GoldenEv)
+		}
+		for _, name := range ModelNames {
+			if res.Area[name] != serial.Area[name] {
+				t.Errorf("batch=%d: Area[%s] = %g != serial %g", batch, name, res.Area[name], serial.Area[name])
+			}
+			if res.Normalized[name] != serial.Normalized[name] {
+				t.Errorf("batch=%d: Normalized[%s] = %g != serial %g",
+					batch, name, res.Normalized[name], serial.Normalized[name])
+			}
+		}
+	}
+}
+
+// TestEvaluateCircuitBatchBitIdentical: batched circuit evaluation over
+// the c17 benchmark netlist matches the unbatched reference exactly on
+// every recorded net.
+func TestEvaluateCircuitBatchBitIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("analog golden runs in -short mode")
+	}
+	nl := netlist.C17("c17")
+	m := cheapModels(t)
+	nand, ok := gate.Lookup("nand2")
+	if !ok {
+		t.Fatal("nand2 not registered")
+	}
+	m.Gate = nand // the Table-I delay params stand in; only determinism matters here
+	ms := netlist.ModelSet{"nand2": m}
+	p := evalBench(t).P
+	cfg := testConfig(8)
+	cfg.Inputs = len(nl.Inputs)
+	seeds := []int64{1, 2}
+
+	serial, err := EvaluateCircuit(nl, p, ms, cfg, seeds, &Options{Workers: 1, Batch: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, batch := range []int{0, 3} {
+		res, err := EvaluateCircuit(nl, p, ms, cfg, seeds, &Options{Workers: 4, Batch: batch})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, net := range serial.Nets {
+			if res.GoldenEv[net] != serial.GoldenEv[net] {
+				t.Errorf("batch=%d: golden events[%s] = %d != %d",
+					batch, net, res.GoldenEv[net], serial.GoldenEv[net])
+			}
+			for _, model := range ModelNames {
+				if res.Area[net][model] != serial.Area[net][model] {
+					t.Errorf("batch=%d: Area[%s][%s] = %g != %g",
+						batch, net, model, res.Area[net][model], serial.Area[net][model])
+				}
+			}
+		}
+		for _, model := range ModelNames {
+			if res.TotalNormalized[model] != serial.TotalNormalized[model] {
+				t.Errorf("batch=%d: TotalNormalized[%s] = %g != %g",
+					batch, model, res.TotalNormalized[model], serial.TotalNormalized[model])
+			}
+		}
+	}
+}

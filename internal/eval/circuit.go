@@ -49,26 +49,59 @@ func NewCircuitBenchSource(b *netlist.Bench) *CircuitBenchSource {
 	return &CircuitBenchSource{nl: b.Netlist(), p: b.Params(), free: []*netlist.Bench{b}}
 }
 
-// GoldenNets implements CircuitGoldenSource on a private bench.
-func (s *CircuitBenchSource) GoldenNets(req GoldenRequest) (map[string]trace.Trace, error) {
+func (s *CircuitBenchSource) acquire() (*netlist.Bench, error) {
 	s.mu.Lock()
-	var b *netlist.Bench
 	if n := len(s.free); n > 0 {
-		b = s.free[n-1]
+		b := s.free[n-1]
 		s.free = s.free[:n-1]
 		s.mu.Unlock()
-	} else {
-		s.mu.Unlock()
-		var err error
-		if b, err = netlist.NewBench(s.nl, s.p); err != nil {
-			return nil, err
-		}
+		return b, nil
 	}
-	out, err := b.Golden(req.Inputs, req.Until)
+	s.mu.Unlock()
+	return netlist.NewBench(s.nl, s.p)
+}
+
+func (s *CircuitBenchSource) release(b *netlist.Bench) {
 	s.mu.Lock()
 	s.free = append(s.free, b)
 	s.mu.Unlock()
+}
+
+// GoldenNets implements CircuitGoldenSource on a private bench.
+func (s *CircuitBenchSource) GoldenNets(req GoldenRequest) (map[string]trace.Trace, error) {
+	b, err := s.acquire()
+	if err != nil {
+		return nil, err
+	}
+	out, err := b.Golden(req.Inputs, req.Until)
+	s.release(b)
 	return out, err
+}
+
+// CircuitLeaser is the circuit counterpart of Leaser: sources that can
+// pin one composed bench to a single goroutine for a batch of
+// consecutive units.
+type CircuitLeaser interface {
+	LeaseCircuit() (CircuitGoldenSource, func(), error)
+}
+
+// leasedCircuitBench is a CircuitBenchSource lease: one pinned bench.
+type leasedCircuitBench struct {
+	b *netlist.Bench
+}
+
+// GoldenNets implements CircuitGoldenSource on the pinned bench.
+func (l leasedCircuitBench) GoldenNets(req GoldenRequest) (map[string]trace.Trace, error) {
+	return l.b.Golden(req.Inputs, req.Until)
+}
+
+// LeaseCircuit implements CircuitLeaser by pinning one pooled bench.
+func (s *CircuitBenchSource) LeaseCircuit() (CircuitGoldenSource, func(), error) {
+	b, err := s.acquire()
+	if err != nil {
+		return nil, nil, err
+	}
+	return leasedCircuitBench{b: b}, func() { s.release(b) }, nil
 }
 
 // CachedCircuitSource composes a GoldenCache over an inner circuit
@@ -92,6 +125,22 @@ func (s CachedCircuitSource) GoldenNets(req GoldenRequest) (map[string]trace.Tra
 	out, _, err := s.Cache.GetOrComputeSet(CircuitKey(s.Key, s.Bench, req.Config, req.Seed),
 		func() (map[string]trace.Trace, error) { return s.Src.GoldenNets(req) })
 	return out, err
+}
+
+// LeaseCircuit implements CircuitLeaser by leasing the inner source
+// when it supports leasing; the cache stays in front.
+func (s CachedCircuitSource) LeaseCircuit() (CircuitGoldenSource, func(), error) {
+	l, ok := s.Src.(CircuitLeaser)
+	if !ok {
+		return s, func() {}, nil
+	}
+	inner, release, err := l.LeaseCircuit()
+	if err != nil {
+		return nil, nil, err
+	}
+	leased := s
+	leased.Src = inner
+	return leased, release, nil
 }
 
 // applyInstanceModel runs one instance's inputs through the named delay
@@ -299,17 +348,49 @@ func EvaluateCircuitContext(ctx context.Context, nl *netlist.Netlist, p nor.Para
 	}
 	parts := make([]CircuitSeedResult, len(seeds))
 	errs := make([]error, len(seeds))
-	var onDone func(i, completed int, err error)
-	if o.Progress != nil {
-		onDone = func(i, completed int, err error) {
-			o.Progress(Progress{Config: cfg, Seed: seeds[i],
-				Completed: completed, Total: len(seeds), Err: err})
+	var progressMu sync.Mutex
+	completed := 0
+	unitDone := func(i int, err error) {
+		if o.Progress == nil {
+			return
 		}
+		progressMu.Lock()
+		completed++
+		o.Progress(Progress{Config: cfg, Seed: seeds[i],
+			Completed: completed, Total: len(seeds), Err: err})
+		progressMu.Unlock()
 	}
-	ctxErr := pool.RunContext(ctx, len(seeds), o.Workers, func(i int) error {
-		parts[i], errs[i] = EvaluateCircuitSeedContext(ctx, golden, nl, ms, cfg, seeds[i])
-		return errs[i]
-	}, onDone)
+	// Batched claiming, mirroring Runner.RunContext: one leased bench
+	// serves a run of consecutive seeds; results stay index-addressed,
+	// so batching cannot change the merge or the winning error.
+	batch := batchSize(o.Batch, len(seeds), o.Workers)
+	nBatches := (len(seeds) + batch - 1) / batch
+	ctxErr := pool.RunContext(ctx, nBatches, o.Workers, func(bi int) error {
+		lo := bi * batch
+		hi := lo + batch
+		if hi > len(seeds) {
+			hi = len(seeds)
+		}
+		src := golden
+		if l, ok := src.(CircuitLeaser); ok {
+			leased, release, err := l.LeaseCircuit()
+			if err == nil {
+				src = leased
+				defer release()
+			}
+		}
+		for i := lo; i < hi; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			parts[i], errs[i] = EvaluateCircuitSeedContext(ctx, src, nl, ms, cfg, seeds[i])
+			unitDone(i, errs[i])
+			if errs[i] != nil {
+				return errs[i]
+			}
+		}
+		return nil
+	}, nil)
 	for _, err := range errs {
 		if err != nil && !(ctxErr != nil && IsContextErr(err)) {
 			return empty, err

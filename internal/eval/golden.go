@@ -91,6 +91,36 @@ func (s *BenchSource) Golden(req GoldenRequest) (trace.Trace, error) {
 	return out, err
 }
 
+// Leaser is implemented by golden sources that can lease a dedicated
+// single-goroutine view for a run of consecutive units (batched
+// transients). The leased source must only be used by one goroutine and
+// must be released with the returned function when the batch is done.
+// Leasing amortizes the per-unit free-list round trip and keeps one
+// warm bench (and its solver workspace) pinned to the worker for the
+// whole batch; the computed results are identical to the unleased path.
+type Leaser interface {
+	Lease() (GoldenSource, func(), error)
+}
+
+// leasedBench is a BenchSource lease: one pinned bench, no locking.
+type leasedBench struct {
+	b gate.Bench
+}
+
+// Golden implements GoldenSource on the pinned bench.
+func (l leasedBench) Golden(req GoldenRequest) (trace.Trace, error) {
+	return l.b.Golden(req.Inputs, req.Until)
+}
+
+// Lease implements Leaser by pinning one pooled bench until release.
+func (s *BenchSource) Lease() (GoldenSource, func(), error) {
+	b, err := s.acquire()
+	if err != nil {
+		return nil, nil, err
+	}
+	return leasedBench{b: b}, func() { s.release(b) }, nil
+}
+
 // GoldenKey is the content key of one golden run: the gate name, the
 // bench parameters and the (config, seed) pair the inputs derive from.
 // All fields are comparable value types, so keys can index a map
@@ -133,11 +163,37 @@ type setEntry struct {
 // field) live in separate tables of the same cache, so one cache can
 // back a whole mixed gate-and-circuit sweep.
 type GoldenCache struct {
-	mu     sync.Mutex
-	table  map[GoldenKey]*goldenEntry
-	sets   map[GoldenKey]*setEntry
-	hits   int64
-	misses int64
+	mu       sync.Mutex
+	table    map[GoldenKey]*goldenEntry
+	sets     map[GoldenKey]*setEntry
+	store    PersistentStore
+	hits     int64
+	misses   int64
+	diskHits int64
+}
+
+// PersistentStore is the on-disk tier a GoldenCache can mount below its
+// in-memory tables (see internal/store for the content-addressed
+// implementation). Load/LoadSet return ok=false on a clean miss;
+// corrupt or unreadable entries are also reported as misses (the cache
+// recomputes and overwrites them). Implementations must be safe for
+// concurrent use. Store errors never fail a lookup — the cache treats
+// the tier as strictly best-effort.
+type PersistentStore interface {
+	Load(key GoldenKey) (trace.Trace, bool, error)
+	Save(key GoldenKey, tr trace.Trace) error
+	LoadSet(key GoldenKey) (map[string]trace.Trace, bool, error)
+	SaveSet(key GoldenKey, set map[string]trace.Trace) error
+}
+
+// SetStore mounts a persistent read-through/write-behind tier below the
+// in-memory cache: misses consult the store before computing, and
+// freshly computed traces are saved back. Mount the store before
+// handing the cache to workers; nil unmounts.
+func (c *GoldenCache) SetStore(p PersistentStore) {
+	c.mu.Lock()
+	c.store = p
+	c.mu.Unlock()
 }
 
 // NewGoldenCache returns an empty golden-trace cache.
@@ -147,9 +203,10 @@ func NewGoldenCache() *GoldenCache {
 
 // CacheStats reports cache effectiveness counters.
 type CacheStats struct {
-	Hits    int64 // lookups served from a cached or in-flight entry
-	Misses  int64 // lookups that had to compute
-	Entries int   // completed entries currently stored
+	Hits     int64 // lookups served from a cached or in-flight entry
+	Misses   int64 // lookups not served from memory
+	DiskHits int64 // memory misses served from the persistent store tier
+	Entries  int   // completed entries currently stored
 }
 
 // Stats returns a snapshot of the cache counters. Entries counts
@@ -172,7 +229,7 @@ func (c *GoldenCache) Stats() CacheStats {
 		default:
 		}
 	}
-	return CacheStats{Hits: c.hits, Misses: c.misses, Entries: n}
+	return CacheStats{Hits: c.hits, Misses: c.misses, DiskHits: c.diskHits, Entries: n}
 }
 
 // GetOrCompute returns the cached trace for key, or runs compute exactly
@@ -206,13 +263,30 @@ func (c *GoldenCache) GetOrComputeTracked(key GoldenKey, compute func() (trace.T
 	e := &goldenEntry{ready: make(chan struct{})}
 	c.table[key] = e
 	c.misses++
+	store := c.store
 	c.mu.Unlock()
 
+	// Read-through: a populated persistent store serves the miss without
+	// any transient solve. Store errors degrade to a computed miss.
+	if store != nil {
+		if tr, ok, err := store.Load(key); err == nil && ok {
+			e.out = tr
+			close(e.ready)
+			c.mu.Lock()
+			c.diskHits++
+			c.mu.Unlock()
+			return e.out, true, nil
+		}
+	}
 	e.out, e.err = compute()
 	if e.err != nil {
 		c.mu.Lock()
 		delete(c.table, key)
 		c.mu.Unlock()
+	} else if store != nil {
+		// Write-behind: spill the fresh trace so later processes can
+		// warm-start; failures are the store's problem, not this lookup's.
+		_ = store.Save(key, e.out)
 	}
 	close(e.ready)
 	return e.out, false, e.err
@@ -242,13 +316,26 @@ func (c *GoldenCache) GetOrComputeSet(key GoldenKey, compute func() (map[string]
 	e := &setEntry{ready: make(chan struct{})}
 	c.sets[key] = e
 	c.misses++
+	store := c.store
 	c.mu.Unlock()
 
+	if store != nil {
+		if set, ok, err := store.LoadSet(key); err == nil && ok {
+			e.out = set
+			close(e.ready)
+			c.mu.Lock()
+			c.diskHits++
+			c.mu.Unlock()
+			return e.out, true, nil
+		}
+	}
 	e.out, e.err = compute()
 	if e.err != nil {
 		c.mu.Lock()
 		delete(c.sets, key)
 		c.mu.Unlock()
+	} else if store != nil {
+		_ = store.SaveSet(key, e.out)
 	}
 	close(e.ready)
 	return e.out, false, e.err
@@ -270,4 +357,20 @@ func (s CachedSource) Golden(req GoldenRequest) (trace.Trace, error) {
 	return s.Cache.GetOrCompute(key, func() (trace.Trace, error) {
 		return s.Src.Golden(req)
 	})
+}
+
+// Lease implements Leaser by leasing the inner source when it supports
+// leasing; the cache stays in front, so leased units still hit it.
+func (s CachedSource) Lease() (GoldenSource, func(), error) {
+	l, ok := s.Src.(Leaser)
+	if !ok {
+		return s, func() {}, nil
+	}
+	inner, release, err := l.Lease()
+	if err != nil {
+		return nil, nil, err
+	}
+	leased := s
+	leased.Src = inner
+	return leased, release, nil
 }

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"math"
 	"runtime"
+	"sync"
 
 	"hybriddelay/internal/gate"
 	"hybriddelay/internal/gen"
@@ -131,6 +132,16 @@ type Options struct {
 	// Progress, when non-nil, is invoked after each completed unit.
 	// Calls are serialized; units may complete in any order.
 	Progress func(Progress)
+
+	// Batch sets how many consecutive units one worker claims per pool
+	// round. When the golden source supports leasing (see Leaser), each
+	// claim leases one bench for its whole batch, amortizing the
+	// free-list round trip and keeping a warm solver workspace pinned to
+	// the worker. Results are bit-identical for every batch size (the
+	// merge order is fixed by the unit index, not by scheduling). Zero
+	// selects an automatic size (about two claims per worker); one
+	// disables batching.
+	Batch int
 }
 
 // Runner fans evaluation units (config × seed) across a bounded worker
@@ -141,7 +152,22 @@ type Runner struct {
 	golden   GoldenSource
 	models   Models
 	workers  int
+	batch    int
 	progress func(Progress)
+}
+
+// batchSize resolves the configured batch size for a run of total
+// units: explicit sizes pass through, zero picks roughly two claims per
+// worker so the tail stays balanced.
+func batchSize(batch, total, workers int) int {
+	if batch > 0 {
+		return batch
+	}
+	b := (total + 2*workers - 1) / (2 * workers)
+	if b < 1 {
+		b = 1
+	}
+	return b
 }
 
 // NewGateRunner builds a runner evaluating the given models against any
@@ -160,7 +186,7 @@ func NewGateRunner(bench gate.Bench, m Models, opt *Options) *Runner {
 	if o.Cache != nil {
 		src = CachedSource{Gate: bench.Gate().Name(), Bench: bench.Params(), Cache: o.Cache, Src: src}
 	}
-	return &Runner{golden: src, models: m, workers: o.Workers, progress: o.Progress}
+	return &Runner{golden: src, models: m, workers: o.Workers, batch: o.Batch, progress: o.Progress}
 }
 
 // NewRunner builds a runner for the default NOR2 golden bench; see
@@ -183,7 +209,7 @@ func NewSourceRunner(src GoldenSource, m Models, opt *Options) *Runner {
 	if o.Workers <= 0 {
 		o.Workers = runtime.GOMAXPROCS(0)
 	}
-	return &Runner{golden: src, models: m, workers: o.Workers, progress: o.Progress}
+	return &Runner{golden: src, models: m, workers: o.Workers, batch: o.Batch, progress: o.Progress}
 }
 
 // Run evaluates every configuration over the given seeds and returns one
@@ -209,19 +235,55 @@ func (r *Runner) RunContext(ctx context.Context, configs []gen.Config, seeds []i
 	parts := make([]SeedResult, total)
 	errs := make([]error, total)
 
-	var onDone func(i, completed int, err error)
-	if r.progress != nil {
-		onDone = func(i, completed int, err error) {
-			r.progress(Progress{
-				Config: configs[i/len(seeds)], Seed: seeds[i%len(seeds)],
-				Completed: completed, Total: total, Err: err,
-			})
+	var progressMu sync.Mutex
+	completed := 0
+	unitDone := func(i int, err error) {
+		if r.progress == nil {
+			return
 		}
+		progressMu.Lock()
+		completed++
+		r.progress(Progress{
+			Config: configs[i/len(seeds)], Seed: seeds[i%len(seeds)],
+			Completed: completed, Total: total, Err: err,
+		})
+		progressMu.Unlock()
 	}
-	ctxErr := pool.RunContext(ctx, total, r.workers, func(i int) error {
-		parts[i], errs[i] = EvaluateSeedContext(ctx, r.golden, r.models, configs[i/len(seeds)], seeds[i%len(seeds)])
-		return errs[i]
-	}, onDone)
+	// Workers claim batches of consecutive units; a claim leases one
+	// bench (when the source supports it) for all of its units. The
+	// per-unit results and errors land in index-addressed slots, so
+	// batching cannot change what is merged or which error wins.
+	batch := batchSize(r.batch, total, r.workers)
+	nBatches := (total + batch - 1) / batch
+	ctxErr := pool.RunContext(ctx, nBatches, r.workers, func(bi int) error {
+		lo := bi * batch
+		hi := lo + batch
+		if hi > total {
+			hi = total
+		}
+		src := r.golden
+		if l, ok := src.(Leaser); ok {
+			leased, release, err := l.Lease()
+			if err == nil {
+				src = leased
+				defer release()
+			}
+			// A failed lease falls back to the shared source: if the
+			// bench constructor is broken, the unit's own golden run
+			// reproduces the error with full context.
+		}
+		for i := lo; i < hi; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			parts[i], errs[i] = EvaluateSeedContext(ctx, src, r.models, configs[i/len(seeds)], seeds[i%len(seeds)])
+			unitDone(i, errs[i])
+			if errs[i] != nil {
+				return errs[i]
+			}
+		}
+		return nil
+	}, nil)
 	for _, err := range errs {
 		// Context-flavoured unit errors are only collapsed into the
 		// run's own ctx.Err(); if this run is live they are real unit

@@ -120,11 +120,11 @@ func (b *NAND2Bench) Golden(inputs []trace.Trace, until float64) (trace.Trace, e
 		return trace.Trace{}, err
 	}
 	supply := b.B.P.Supply
-	res, err := b.B.Run(sigs[0], sigs[1], until, 0, supply.VDD, bps)
+	out, err := b.B.RunOutput(sigs[0], sigs[1], until, 0, supply.VDD, bps)
 	if err != nil {
 		return trace.Trace{}, fmt.Errorf("gate nand2: golden transient: %w", err)
 	}
-	return trace.Digitize(res.O, supply.Vth), nil
+	return trace.Digitize(out, supply.Vth), nil
 }
 
 // NAND2Model applies the duality-derived 2-input hybrid NAND channel.

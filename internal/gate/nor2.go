@@ -117,11 +117,11 @@ func (b *NOR2Bench) Golden(inputs []trace.Trace, until float64) (trace.Trace, er
 		return trace.Trace{}, err
 	}
 	supply := b.B.P.Supply
-	res, err := b.B.Run(sigs[0], sigs[1], until, supply.VDD, supply.VDD, bps)
+	out, err := b.B.RunOutput(sigs[0], sigs[1], until, supply.VDD, supply.VDD, bps)
 	if err != nil {
 		return trace.Trace{}, fmt.Errorf("gate nor2: golden transient: %w", err)
 	}
-	return trace.Digitize(res.O, supply.Vth), nil
+	return trace.Digitize(out, supply.Vth), nil
 }
 
 // NOR2Model applies the paper's closed-form 2-input hybrid NOR channel.

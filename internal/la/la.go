@@ -71,6 +71,7 @@ func (m *Matrix) String() string {
 type LU struct {
 	n    int
 	lu   []float64 // packed L (unit diagonal, below) and U (on/above diagonal)
+	buf  []float64 // owned backing storage for lu (FactorInto); FactorInPlace aliases the caller's matrix instead
 	piv  []int
 	sign int
 }
@@ -78,47 +79,211 @@ type LU struct {
 // Factor computes the LU factorization of the square matrix a.
 // The input matrix is not modified.
 func Factor(a *Matrix) (*LU, error) {
-	if a.Rows != a.Cols {
-		return nil, fmt.Errorf("la: cannot factor non-square %dx%d matrix", a.Rows, a.Cols)
-	}
-	n := a.Rows
-	f := &LU{n: n, lu: make([]float64, n*n), piv: make([]int, n), sign: 1}
-	copy(f.lu, a.Data)
-	for i := range f.piv {
-		f.piv[i] = i
-	}
-	for k := 0; k < n; k++ {
-		// Partial pivoting: find the largest magnitude in column k.
-		p := k
-		max := math.Abs(f.lu[k*n+k])
-		for i := k + 1; i < n; i++ {
-			if v := math.Abs(f.lu[i*n+k]); v > max {
-				max, p = v, i
-			}
-		}
-		if max == 0 {
-			return nil, ErrSingular
-		}
-		if p != k {
-			for j := 0; j < n; j++ {
-				f.lu[p*n+j], f.lu[k*n+j] = f.lu[k*n+j], f.lu[p*n+j]
-			}
-			f.piv[p], f.piv[k] = f.piv[k], f.piv[p]
-			f.sign = -f.sign
-		}
-		pivot := f.lu[k*n+k]
-		for i := k + 1; i < n; i++ {
-			l := f.lu[i*n+k] / pivot
-			f.lu[i*n+k] = l
-			if l == 0 {
-				continue
-			}
-			for j := k + 1; j < n; j++ {
-				f.lu[i*n+j] -= l * f.lu[k*n+j]
-			}
-		}
+	f := &LU{}
+	if err := f.FactorInto(a); err != nil {
+		return nil, err
 	}
 	return f, nil
+}
+
+// FactorInto computes the LU factorization of the square matrix a into
+// f, reusing f's packed-LU and pivot buffers when the size matches.
+// Repeated factorizations of same-sized systems (the MNA Newton loop)
+// therefore allocate nothing after the first call. The input matrix is
+// not modified. On error f is left invalid and must be refactored
+// before use.
+func (f *LU) FactorInto(a *Matrix) error {
+	if a.Rows != a.Cols {
+		return fmt.Errorf("la: cannot factor non-square %dx%d matrix", a.Rows, a.Cols)
+	}
+	n := a.Rows
+	if cap(f.buf) < n*n {
+		f.buf = make([]float64, n*n)
+	} else {
+		f.buf = f.buf[:n*n]
+	}
+	copy(f.buf, a.Data)
+	f.lu = f.buf
+	return f.factor(n)
+}
+
+// FactorInPlace factors the square matrix a directly in a's storage,
+// which the factorization then aliases: a is destroyed, and the
+// factorization is only valid until a's data is next modified. It is
+// the zero-copy variant for callers that rebuild a from scratch anyway
+// (the Newton loop re-stamps its Jacobian every iteration); pivoting
+// and elimination are identical to FactorInto, so the factors are
+// bit-for-bit the same. On error f is left invalid and a is clobbered.
+func (f *LU) FactorInPlace(a *Matrix) error {
+	if a.Rows != a.Cols {
+		return fmt.Errorf("la: cannot factor non-square %dx%d matrix", a.Rows, a.Cols)
+	}
+	f.lu = a.Data
+	return f.factor(a.Rows)
+}
+
+// FactorSolveInPlace factors a in place (with FactorInPlace semantics:
+// a is destroyed and the factorization aliases its storage) and solves
+// a*x = b in the same sweep, carrying the right-hand side through the
+// elimination. b is not modified; x and b must have length n and may
+// not alias. The result is bit-for-bit identical to FactorInPlace
+// followed by SolveInto: row swaps move the carried entries exactly as
+// the pivot permutation would, and each x[i] receives the forward-
+// substitution subtractions l*x[k] for k = 0..i-1 in the same
+// ascending order, each x[k] being final by the time it is used (rows
+// at or above the elimination front are never swapped again). Fusing
+// the passes saves a separate permute + forward-substitution walk per
+// solve, which matters in the Newton inner loop.
+func (f *LU) FactorSolveInPlace(a *Matrix, x, b []float64) error {
+	if a.Rows != a.Cols {
+		return fmt.Errorf("la: cannot factor non-square %dx%d matrix", a.Rows, a.Cols)
+	}
+	n := a.Rows
+	if len(b) != n || len(x) != n {
+		return fmt.Errorf("la: slice lengths (%d, %d) do not match system size %d", len(x), len(b), n)
+	}
+	f.lu = a.Data
+	if cap(f.piv) < n {
+		f.piv = make([]int, n)
+	} else {
+		f.piv = f.piv[:n]
+	}
+	f.n, f.sign = n, 1
+	lu, piv := f.lu, f.piv
+	for i := range piv {
+		piv[i] = i
+	}
+	copy(x, b)
+	// Pivot search fused into the elimination pass, exactly as factor().
+	p := 0
+	max := math.Abs(lu[0])
+	for i := 1; i < n; i++ {
+		if v := math.Abs(lu[i*n]); v > max {
+			max, p = v, i
+		}
+	}
+	for k := 0; k < n; k++ {
+		if max == 0 {
+			f.n = 0
+			return ErrSingular
+		}
+		if p != k {
+			rp, rk := lu[p*n:p*n+n], lu[k*n:k*n+n]
+			for j := range rk {
+				rp[j], rk[j] = rk[j], rp[j]
+			}
+			piv[p], piv[k] = piv[k], piv[p]
+			x[p], x[k] = x[k], x[p]
+			f.sign = -f.sign
+		}
+		pivot := lu[k*n+k]
+		rowK := lu[k*n+k+1 : k*n+n]
+		xk := x[k]
+		nextP, nextMax := k+1, 0.0
+		for i := k + 1; i < n; i++ {
+			rowI := lu[i*n+k : i*n+n]
+			l := rowI[0] / pivot
+			rowI[0] = l
+			if l != 0 {
+				tail := rowI[1:]
+				tail = tail[:len(rowK)]
+				for j, rk := range rowK {
+					tail[j] -= l * rk
+				}
+			}
+			// Unconditional, matching SolveInto's forward substitution
+			// (which does not skip zero multipliers).
+			x[i] -= l * xk
+			// rowI[1] is this row's entry in column k+1, now final.
+			if v := math.Abs(rowI[1]); v > nextMax {
+				nextMax, nextP = v, i
+			}
+		}
+		p, max = nextP, nextMax
+	}
+	// Back substitution, exactly SolveInto's final pass.
+	for i := n - 1; i >= 0; i-- {
+		s := x[i]
+		row := lu[i*n : i*n+n]
+		tail := row[i+1:]
+		xt := x[i+1:]
+		xt = xt[:len(tail)]
+		for j, rv := range tail {
+			s -= rv * xt[j]
+		}
+		d := row[i]
+		if d == 0 {
+			return ErrSingular
+		}
+		x[i] = s / d
+	}
+	return nil
+}
+
+// factor runs partial-pivot Gaussian elimination on the packed matrix
+// already placed in f.lu.
+func (f *LU) factor(n int) error {
+	if cap(f.piv) < n {
+		f.piv = make([]int, n)
+	} else {
+		f.piv = f.piv[:n]
+	}
+	f.n, f.sign = n, 1
+	lu, piv := f.lu, f.piv
+	for i := range piv {
+		piv[i] = i
+	}
+	// Partial pivoting: the largest magnitude in column k among rows
+	// k..n-1. The column-k scan for k = 0 seeds it; every later column's
+	// scan is fused into the elimination pass below, which walks exactly
+	// the candidate rows in the same order with the same strict ">"
+	// comparison (first maximum wins), so the pivot sequence is
+	// identical to a separate search.
+	p := 0
+	max := math.Abs(lu[0])
+	for i := 1; i < n; i++ {
+		if v := math.Abs(lu[i*n]); v > max {
+			max, p = v, i
+		}
+	}
+	for k := 0; k < n; k++ {
+		if max == 0 {
+			f.n = 0
+			return ErrSingular
+		}
+		if p != k {
+			rp, rk := lu[p*n:p*n+n], lu[k*n:k*n+n]
+			for j := range rk {
+				rp[j], rk[j] = rk[j], rp[j]
+			}
+			piv[p], piv[k] = piv[k], piv[p]
+			f.sign = -f.sign
+		}
+		pivot := lu[k*n+k]
+		// Slicing the row tails lets the compiler drop the bounds checks
+		// in the elimination kernel; the arithmetic (and its order) is
+		// exactly the classic in-place update.
+		rowK := lu[k*n+k+1 : k*n+n]
+		nextP, nextMax := k+1, 0.0
+		for i := k + 1; i < n; i++ {
+			rowI := lu[i*n+k : i*n+n]
+			l := rowI[0] / pivot
+			rowI[0] = l
+			if l != 0 {
+				tail := rowI[1:]
+				tail = tail[:len(rowK)]
+				for j, rk := range rowK {
+					tail[j] -= l * rk
+				}
+			}
+			// rowI[1] is this row's entry in column k+1, now final.
+			if v := math.Abs(rowI[1]); v > nextMax {
+				nextMax, nextP = v, i
+			}
+		}
+		p, max = nextP, nextMax
+	}
+	return nil
 }
 
 // Solve solves A*x = b using the factorization. b is not modified.
@@ -140,25 +305,32 @@ func (f *LU) SolveInto(x, b []float64) error {
 	if len(b) != n || len(x) != n {
 		return fmt.Errorf("la: slice lengths (%d, %d) do not match system size %d", len(x), len(b), n)
 	}
+	lu, piv := f.lu, f.piv
 	// Apply permutation.
-	for i := 0; i < n; i++ {
-		x[i] = b[f.piv[i]]
+	for i, p := range piv {
+		x[i] = b[p]
 	}
 	// Forward substitution (L has unit diagonal).
 	for i := 1; i < n; i++ {
 		s := x[i]
-		for j := 0; j < i; j++ {
-			s -= f.lu[i*n+j] * x[j]
+		row := lu[i*n : i*n+i]
+		xj := x[:len(row)]
+		for j, l := range row {
+			s -= l * xj[j]
 		}
 		x[i] = s
 	}
 	// Back substitution.
 	for i := n - 1; i >= 0; i-- {
 		s := x[i]
-		for j := i + 1; j < n; j++ {
-			s -= f.lu[i*n+j] * x[j]
+		row := lu[i*n : i*n+n]
+		tail := row[i+1:]
+		xt := x[i+1:]
+		xt = xt[:len(tail)]
+		for j, rv := range tail {
+			s -= rv * xt[j]
 		}
-		d := f.lu[i*n+i]
+		d := row[i]
 		if d == 0 {
 			return ErrSingular
 		}

@@ -122,6 +122,194 @@ func TestLUSolveRandomProperty(t *testing.T) {
 	}
 }
 
+// TestFactorIntoReuseBitIdentical: one LU workspace re-factored across
+// many random systems of varying size holds exactly the factors, pivots
+// and solutions a fresh Factor produces — reuse changes allocation,
+// never arithmetic.
+func TestFactorIntoReuseBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	var reused LU
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(8) // grows and shrinks across trials
+		a := NewMatrix(n, n)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				a.Set(i, j, rng.NormFloat64())
+			}
+			a.Add(i, i, float64(n))
+		}
+		b := make([]float64, n)
+		for i := range b {
+			b[i] = rng.NormFloat64()
+		}
+		if err := reused.FactorInto(a); err != nil {
+			t.Fatalf("trial %d: FactorInto: %v", trial, err)
+		}
+		fresh, err := Factor(a)
+		if err != nil {
+			t.Fatalf("trial %d: Factor: %v", trial, err)
+		}
+		if reused.n != fresh.n || reused.sign != fresh.sign {
+			t.Fatalf("trial %d: n/sign = %d/%d, want %d/%d",
+				trial, reused.n, reused.sign, fresh.n, fresh.sign)
+		}
+		for i := 0; i < n*n; i++ {
+			if reused.lu[i] != fresh.lu[i] {
+				t.Fatalf("trial %d: lu[%d] = %v, want %v", trial, i, reused.lu[i], fresh.lu[i])
+			}
+		}
+		for i := 0; i < n; i++ {
+			if reused.piv[i] != fresh.piv[i] {
+				t.Fatalf("trial %d: piv[%d] = %d, want %d", trial, i, reused.piv[i], fresh.piv[i])
+			}
+		}
+		gotX := make([]float64, n)
+		if err := reused.SolveInto(gotX, b); err != nil {
+			t.Fatalf("trial %d: SolveInto: %v", trial, err)
+		}
+		wantX, err := fresh.Solve(b)
+		if err != nil {
+			t.Fatalf("trial %d: Solve: %v", trial, err)
+		}
+		for i := range wantX {
+			if gotX[i] != wantX[i] {
+				t.Fatalf("trial %d: x[%d] = %v, want %v", trial, i, gotX[i], wantX[i])
+			}
+		}
+	}
+}
+
+// TestFactorSolveInPlaceBitIdentical: the zero-copy and fused
+// factor+solve variants produce exactly the factors, pivots and
+// solutions of the copying FactorInto + SolveInto path. Matrices mix
+// dense and MNA-like sparse patterns (zeros below the diagonal force
+// both row swaps and zero multipliers, the paths that could plausibly
+// diverge).
+func TestFactorSolveInPlaceBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	var ref, inPlace, fused LU
+	for trial := 0; trial < 400; trial++ {
+		n := 1 + rng.Intn(8)
+		a := NewMatrix(n, n)
+		sparse := trial%2 == 1
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if sparse && i != j && rng.Float64() < 0.5 {
+					continue // leave zero
+				}
+				a.Set(i, j, rng.NormFloat64())
+			}
+			a.Add(i, i, float64(n))
+		}
+		b := make([]float64, n)
+		for i := range b {
+			b[i] = rng.NormFloat64()
+		}
+		if err := ref.FactorInto(a); err != nil {
+			t.Fatalf("trial %d: FactorInto: %v", trial, err)
+		}
+		wantX := make([]float64, n)
+		if err := ref.SolveInto(wantX, b); err != nil {
+			t.Fatalf("trial %d: SolveInto: %v", trial, err)
+		}
+
+		m1 := a.Clone()
+		if err := inPlace.FactorInPlace(m1); err != nil {
+			t.Fatalf("trial %d: FactorInPlace: %v", trial, err)
+		}
+		m2 := a.Clone()
+		gotX := make([]float64, n)
+		if err := fused.FactorSolveInPlace(m2, gotX, b); err != nil {
+			t.Fatalf("trial %d: FactorSolveInPlace: %v", trial, err)
+		}
+
+		for _, f := range []*LU{&inPlace, &fused} {
+			if f.n != ref.n || f.sign != ref.sign {
+				t.Fatalf("trial %d: n/sign = %d/%d, want %d/%d", trial, f.n, f.sign, ref.n, ref.sign)
+			}
+			for i := 0; i < n*n; i++ {
+				if f.lu[i] != ref.lu[i] {
+					t.Fatalf("trial %d: lu[%d] = %v, want %v", trial, i, f.lu[i], ref.lu[i])
+				}
+			}
+			for i := 0; i < n; i++ {
+				if f.piv[i] != ref.piv[i] {
+					t.Fatalf("trial %d: piv[%d] = %d, want %d", trial, i, f.piv[i], ref.piv[i])
+				}
+			}
+		}
+		x1 := make([]float64, n)
+		if err := inPlace.SolveInto(x1, b); err != nil {
+			t.Fatalf("trial %d: SolveInto after FactorInPlace: %v", trial, err)
+		}
+		for i := range wantX {
+			if x1[i] != wantX[i] {
+				t.Fatalf("trial %d: in-place x[%d] = %v, want %v", trial, i, x1[i], wantX[i])
+			}
+			if gotX[i] != wantX[i] {
+				t.Fatalf("trial %d: fused x[%d] = %v, want %v", trial, i, gotX[i], wantX[i])
+			}
+		}
+	}
+}
+
+// TestFactorSolveInPlaceSingular: the fused path reports singularity
+// and invalidates the workspace like the two-step path does.
+func TestFactorSolveInPlaceSingular(t *testing.T) {
+	bad := NewMatrix(2, 2)
+	bad.Set(0, 0, 1)
+	bad.Set(0, 1, 2)
+	bad.Set(1, 0, 2)
+	bad.Set(1, 1, 4)
+	var f LU
+	x := make([]float64, 2)
+	if err := f.FactorSolveInPlace(bad, x, []float64{1, 2}); err == nil {
+		t.Fatal("expected singular-matrix error")
+	}
+	if _, err := f.Solve([]float64{1, 2}); err == nil {
+		t.Error("Solve succeeded on an invalidated factorization")
+	}
+	if err := f.FactorSolveInPlace(NewMatrix(2, 3), x, []float64{1, 2}); err == nil {
+		t.Error("expected error for non-square matrix")
+	}
+	if err := f.FactorSolveInPlace(NewMatrix(2, 2), x[:1], []float64{1, 2}); err == nil {
+		t.Error("expected error for mismatched x length")
+	}
+}
+
+// TestFactorIntoSingularInvalidates: a failed re-factorization leaves
+// the workspace unusable rather than silently serving stale factors.
+func TestFactorIntoSingularInvalidates(t *testing.T) {
+	good := NewMatrix(2, 2)
+	good.Set(0, 0, 2)
+	good.Set(1, 1, 3)
+	var f LU
+	if err := f.FactorInto(good); err != nil {
+		t.Fatal(err)
+	}
+	bad := NewMatrix(2, 2)
+	bad.Set(0, 0, 1)
+	bad.Set(0, 1, 2)
+	bad.Set(1, 0, 2)
+	bad.Set(1, 1, 4)
+	if err := f.FactorInto(bad); err == nil {
+		t.Fatal("expected singular-matrix error")
+	}
+	if _, err := f.Solve([]float64{1, 2}); err == nil {
+		t.Error("Solve succeeded on an invalidated factorization")
+	}
+	if err := f.FactorInto(good); err != nil {
+		t.Fatalf("re-factor after failure: %v", err)
+	}
+	x, err := f.Solve([]float64{2, 3})
+	if err != nil || x[0] != 1 || x[1] != 1 {
+		t.Errorf("recovered solve = %v, %v; want [1 1]", x, err)
+	}
+	if err := f.FactorInto(NewMatrix(2, 3)); err == nil {
+		t.Error("expected error for non-square FactorInto")
+	}
+}
+
 func TestSolveIntoValidatesLengths(t *testing.T) {
 	a := NewMatrix(2, 2)
 	a.Set(0, 0, 1)

@@ -33,6 +33,7 @@ type Bench struct {
 	p  nor.Params
 
 	circuit   *spice.Circuit
+	solver    *spice.Solver
 	srcs      []*spice.VSource // one per primary input, in netlist order
 	nodes     map[string]spice.NodeID
 	init      map[spice.NodeID]float64
@@ -99,6 +100,13 @@ func NewBench(nl *Netlist, p nor.Params) (*Bench, error) {
 		return nil, fmt.Errorf("netlist %s: composed circuit: %w", nl.label(), err)
 	}
 	b.circuit = c
+	// One persistent solver per bench: every Golden run reuses the same
+	// MNA workspace, with bit-identical results to the per-call solver.
+	sv, err := spice.NewSolver(c)
+	if err != nil {
+		return nil, fmt.Errorf("netlist %s: %w", nl.label(), err)
+	}
+	b.solver = sv
 	return b, nil
 }
 
@@ -135,7 +143,7 @@ func (b *Bench) Golden(inputs []trace.Trace, until float64) (map[string]trace.Tr
 	for i, src := range b.srcs {
 		src.Signal = sigs[i]
 	}
-	res, err := spice.Transient(b.circuit, spice.TransientOptions{
+	res, err := b.solver.Transient(spice.TransientOptions{
 		TStart:            0,
 		TStop:             until,
 		MaxStep:           b.p.MaxStep,

@@ -16,6 +16,7 @@ type NANDBench struct {
 	P Params // device models are reused; T1..T4 keep their Fig. 1 roles via duality
 
 	circuit *spice.Circuit
+	solver  *spice.Solver
 	nodeA   spice.NodeID
 	nodeB   spice.NodeID
 	nodeM   spice.NodeID
@@ -69,14 +70,23 @@ func NewNAND(p Params) (*NANDBench, error) {
 	StampNAND2(c, "", p, vdd, b.nodeA, b.nodeB, b.nodeM, b.nodeO)
 
 	b.circuit = c
+	// One persistent solver per bench, as in the NOR bench: the MNA
+	// workspace (matrix, RHS, LU) is reused across every Run.
+	sv, err := spice.NewSolver(c)
+	if err != nil {
+		return nil, err
+	}
+	b.solver = sv
 	return b, nil
 }
 
-// Run drives the NAND bench with the given signals over [0, tStop].
-func (b *NANDBench) Run(sigA, sigB waveform.Signal, tStop float64, vM0, vO0 float64, breakpoints []float64) (*Result, error) {
+// transient runs one solver transient with the bench's step policy,
+// recording the given nodes; record selection does not change the
+// computed samples (see Bench.transient).
+func (b *NANDBench) transient(sigA, sigB waveform.Signal, tStop float64, vM0, vO0 float64, breakpoints []float64, record []spice.NodeID) (*spice.TransientResult, error) {
 	b.srcA.Signal = sigA
 	b.srcB.Signal = sigB
-	res, err := spice.Transient(b.circuit, spice.TransientOptions{
+	return b.solver.Transient(spice.TransientOptions{
 		TStart:      0,
 		TStop:       tStop,
 		MaxStep:     b.P.MaxStep,
@@ -87,8 +97,14 @@ func (b *NANDBench) Run(sigA, sigB waveform.Signal, tStop float64, vM0, vO0 floa
 			b.nodeM: vM0,
 			b.nodeO: vO0,
 		},
-		Record: []spice.NodeID{b.nodeA, b.nodeB, b.nodeM, b.nodeO},
+		Record: record,
 	})
+}
+
+// Run drives the NAND bench with the given signals over [0, tStop].
+func (b *NANDBench) Run(sigA, sigB waveform.Signal, tStop float64, vM0, vO0 float64, breakpoints []float64) (*Result, error) {
+	res, err := b.transient(sigA, sigB, tStop, vM0, vO0, breakpoints,
+		[]spice.NodeID{b.nodeA, b.nodeB, b.nodeM, b.nodeO})
 	if err != nil {
 		return nil, err
 	}
@@ -109,6 +125,17 @@ func (b *NANDBench) Run(sigA, sigB waveform.Signal, tStop float64, vM0, vO0 floa
 		return nil, err
 	}
 	return &Result{A: wa, B: wb, N: wm, O: wo, Supply: b.P.Supply}, nil
+}
+
+// RunOutput is Run restricted to the output node: the identical
+// transient, capturing only V(O). Hot entry point for golden runs,
+// which digitize nothing but the output (see Bench.RunOutput).
+func (b *NANDBench) RunOutput(sigA, sigB waveform.Signal, tStop float64, vM0, vO0 float64, breakpoints []float64) (*waveform.Waveform, error) {
+	res, err := b.transient(sigA, sigB, tStop, vM0, vO0, breakpoints, []spice.NodeID{b.nodeO})
+	if err != nil {
+		return nil, err
+	}
+	return res.Waveform(b.nodeO)
 }
 
 // FallingDelay measures the falling-output NAND MIS delay

@@ -17,6 +17,7 @@ type NOR3Bench struct {
 	P Params // T1/T2 model the stack devices, T3/T4 the pull-downs
 
 	circuit               *spice.Circuit
+	solver                *spice.Solver
 	nodeA, nodeB, nodeC   spice.NodeID
 	nodeN1, nodeN2, nodeO spice.NodeID
 	srcA, srcB, srcC      *spice.VSource
@@ -47,6 +48,13 @@ func NewNOR3(p Params) (*NOR3Bench, error) {
 	StampNOR3(c, "", p, vdd, b.nodeA, b.nodeB, b.nodeC, b.nodeN1, b.nodeN2, b.nodeO)
 
 	b.circuit = c
+	// One persistent solver per bench, as in the NOR2 bench: the MNA
+	// workspace (matrix, RHS, LU) is reused across every Run.
+	sv, err := spice.NewSolver(c)
+	if err != nil {
+		return nil, err
+	}
+	b.solver = sv
 	return b, nil
 }
 
@@ -75,7 +83,7 @@ func (b *NOR3Bench) Run(sigA, sigB, sigC waveform.Signal, tStop, vN1, vN2, vO fl
 	b.srcA.Signal = sigA
 	b.srcB.Signal = sigB
 	b.srcC.Signal = sigC
-	res, err := spice.Transient(b.circuit, spice.TransientOptions{
+	res, err := b.solver.Transient(spice.TransientOptions{
 		TStart:      0,
 		TStop:       tStop,
 		MaxStep:     b.P.MaxStep,

@@ -61,6 +61,16 @@ type Options struct {
 	// Params, when non-nil, seeds the session with an existing
 	// parametrization cache. Nil creates a private cache.
 	Params *eval.ParamCache
+
+	// Store, when non-nil, mounts a persistent on-disk tier (e.g.
+	// *store.Store) below the session's golden cache: in-memory misses
+	// are served from disk when a prior process already solved them, and
+	// freshly computed traces spill to disk in the background, so
+	// fig7/sweep/circuit runs warm-start across process restarts. The
+	// store is attached to the session's golden cache, including a
+	// shared cache passed via Golden. The caller keeps ownership and
+	// must Close the store after the session's last use.
+	Store eval.PersistentStore
 }
 
 // Session is the long-lived evaluation engine: one value owns the
@@ -87,6 +97,9 @@ func New(opt Options) *Session {
 	}
 	if s.params == nil {
 		s.params = eval.NewParamCache()
+	}
+	if opt.Store != nil {
+		s.golden.SetStore(opt.Store)
 	}
 	return s
 }

@@ -2,10 +2,8 @@ package spice
 
 import (
 	"fmt"
-	"math"
 	"sort"
 
-	"hybriddelay/internal/la"
 	"hybriddelay/internal/waveform"
 )
 
@@ -15,6 +13,18 @@ type NewtonOptions struct {
 	RelTol  float64 // relative tolerance; default 1e-6
 	MaxIter int     // default 100
 	Damping float64 // max Newton update per iteration [V]; default 0.5
+
+	// ModifiedNewton reuses the most recent LU factorization across
+	// Newton iterations and transient steps, solving the residual form
+	// J_stale·Δ = RHS - G·v and refactoring only when the iteration
+	// stops contracting. The converged solution agrees with full Newton
+	// within tolerance but is NOT bit-identical, so this is opt-in and
+	// never used on the golden path.
+	ModifiedNewton bool
+	// StallRatio is the per-iteration contraction a stale-Jacobian
+	// update must achieve (maxDelta <= StallRatio * previous maxDelta)
+	// before the solver refactors; default 0.5.
+	StallRatio float64
 }
 
 func (o *NewtonOptions) defaults() {
@@ -30,134 +40,24 @@ func (o *NewtonOptions) defaults() {
 	if o.Damping <= 0 {
 		o.Damping = 0.5
 	}
-}
-
-// solveNewton iterates the MNA system at a fixed time/step until the
-// update norm is below tolerance. v is used as the starting iterate and
-// holds the solution on success.
-func solveNewton(c *Circuit, ctx *StampContext, v []float64, opt NewtonOptions) error {
-	opt.defaults()
-	n := c.unknowns()
-	if ctx.G == nil || ctx.G.Rows != n {
-		ctx.G = la.NewMatrix(n, n)
+	if o.StallRatio <= 0 {
+		o.StallRatio = 0.5
 	}
-	if ctx.RHS == nil || len(ctx.RHS) != n {
-		ctx.RHS = make([]float64, n)
-	}
-	xNew := make([]float64, n)
-	for iter := 0; iter < opt.MaxIter; iter++ {
-		ctx.G.Zero()
-		for i := range ctx.RHS {
-			ctx.RHS[i] = 0
-		}
-		ctx.V = v
-		for _, d := range c.devices {
-			d.Stamp(ctx)
-		}
-		f, err := la.Factor(ctx.G)
-		if err != nil {
-			return fmt.Errorf("spice: MNA matrix singular at t=%g: %w", ctx.Time, err)
-		}
-		if err := f.SolveInto(xNew, ctx.RHS); err != nil {
-			return fmt.Errorf("spice: solve failed at t=%g: %w", ctx.Time, err)
-		}
-		// Damped update with convergence check on node voltages.
-		maxDelta := 0.0
-		for i := 0; i < n; i++ {
-			d := xNew[i] - v[i]
-			if i < c.NumNodes()-1 { // voltage unknowns only for damping
-				if d > opt.Damping {
-					d = opt.Damping
-				} else if d < -opt.Damping {
-					d = -opt.Damping
-				}
-			}
-			v[i] += d
-			if i < c.NumNodes()-1 {
-				if a := math.Abs(d); a > maxDelta {
-					maxDelta = a
-				}
-			}
-		}
-		if maxDelta <= opt.AbsTol+opt.RelTol*la.NormInf(v[:c.NumNodes()-1]) {
-			return nil
-		}
-	}
-	return fmt.Errorf("spice: Newton did not converge at t=%g", ctx.Time)
 }
 
 // OperatingPoint computes the DC solution at time t (signals evaluated at
 // t, capacitors open). The returned slice holds the MNA unknowns: node
 // voltages (ground excluded) followed by voltage-source branch currents.
+//
+// This is the per-call reference path: it validates the circuit and
+// builds a fresh solver workspace every time. Callers that solve the
+// same circuit repeatedly should hold a Solver instead.
 func OperatingPoint(c *Circuit, t float64, opt NewtonOptions) ([]float64, error) {
-	if err := c.Validate(); err != nil {
+	s, err := NewSolver(c)
+	if err != nil {
 		return nil, err
 	}
-	v := make([]float64, c.unknowns())
-	ctx := &StampContext{Time: t, DC: true, circuit: c}
-	if err := solveNewton(c, ctx, v, opt); err == nil {
-		return v, nil
-	}
-	// Gmin homotopy: solve with shrinking shunts to ground, carrying the
-	// solution from stage to stage, then polish without the shunts.
-	for i := range v {
-		v[i] = 0
-	}
-	for _, gmin := range []float64{1e-3, 1e-6, 1e-9, 1e-12} {
-		ctx := &StampContext{Time: t, DC: true, circuit: c}
-		if err := solveWithGmin(c, ctx, v, opt, gmin); err != nil {
-			return nil, fmt.Errorf("spice: operating point gmin stage %g failed: %w", gmin, err)
-		}
-	}
-	ctx = &StampContext{Time: t, DC: true, circuit: c}
-	if err := solveNewton(c, ctx, v, opt); err != nil {
-		return nil, err
-	}
-	return v, nil
-}
-
-// solveWithGmin performs a Newton solve with an extra conductance gmin
-// from every node to ground, used as a homotopy stage.
-func solveWithGmin(c *Circuit, ctx *StampContext, v []float64, opt NewtonOptions, gmin float64) error {
-	opt.defaults()
-	n := c.unknowns()
-	ctx.G = la.NewMatrix(n, n)
-	ctx.RHS = make([]float64, n)
-	xNew := make([]float64, n)
-	for iter := 0; iter < opt.MaxIter; iter++ {
-		ctx.G.Zero()
-		for i := range ctx.RHS {
-			ctx.RHS[i] = 0
-		}
-		ctx.V = v
-		for _, d := range c.devices {
-			d.Stamp(ctx)
-		}
-		for i := 0; i < c.NumNodes()-1; i++ {
-			ctx.G.Add(i, i, gmin)
-		}
-		f, err := la.Factor(ctx.G)
-		if err != nil {
-			return err
-		}
-		if err := f.SolveInto(xNew, ctx.RHS); err != nil {
-			return err
-		}
-		maxDelta := 0.0
-		for i := 0; i < n; i++ {
-			d := xNew[i] - v[i]
-			v[i] += d
-			if i < c.NumNodes()-1 {
-				if a := math.Abs(d); a > maxDelta {
-					maxDelta = a
-				}
-			}
-		}
-		if maxDelta <= opt.AbsTol+opt.RelTol*la.NormInf(v[:c.NumNodes()-1]) {
-			return nil
-		}
-	}
-	return fmt.Errorf("spice: gmin stage did not converge")
+	return s.OperatingPoint(t, opt)
 }
 
 // TransientOptions configures transient analysis.
@@ -174,12 +74,18 @@ type TransientOptions struct {
 	// Method selects the integration scheme; default Trapezoidal with a
 	// backward-Euler start after every breakpoint.
 	Method IntegrationMethod
-	// Breakpoints are times at which the step size is reset (input edges).
+	// Breakpoints are times at which the step size is reset (input
+	// edges). Entries must be finite; duplicates (within the stepper's
+	// arrival tolerance) and entries outside (TStart, TStop) are
+	// discarded, so a repeated edge time cannot force a second step-size
+	// reset or a pointless backward-Euler restart.
 	Breakpoints []float64
 	// InitialConditions, if non-nil, sets node voltages at TStart directly
 	// (UIC); otherwise a DC operating point at TStart is computed.
 	InitialConditions map[NodeID]float64
-	// Record lists the nodes whose waveforms are captured; nil = all nodes.
+	// Record lists the nodes whose waveforms are captured; nil = all
+	// nodes. Recording Ground is allowed and yields the constant 0 V
+	// reference; any other node not in the circuit is rejected.
 	Record []NodeID
 	Newton NewtonOptions
 }
@@ -211,156 +117,15 @@ func (r *TransientResult) NodeIDs() []NodeID {
 }
 
 // Transient runs an adaptive-step transient analysis.
+//
+// This is the per-call reference path: it validates the circuit and
+// builds a fresh solver workspace every time. Callers that run many
+// transients on the same circuit should hold a Solver, whose results
+// are bit-identical.
 func Transient(c *Circuit, opt TransientOptions) (*TransientResult, error) {
-	if err := c.Validate(); err != nil {
+	s, err := NewSolver(c)
+	if err != nil {
 		return nil, err
 	}
-	if opt.TStop <= opt.TStart {
-		return nil, fmt.Errorf("spice: invalid transient window [%g, %g]", opt.TStart, opt.TStop)
-	}
-	span := opt.TStop - opt.TStart
-	if opt.MaxStep <= 0 {
-		opt.MaxStep = span / 50
-	}
-	if opt.MinStep <= 0 {
-		opt.MinStep = opt.MaxStep * 1e-9
-	}
-	if opt.LTETol <= 0 {
-		opt.LTETol = 1e-4
-	}
-
-	// Initial state.
-	var v []float64
-	if opt.InitialConditions != nil {
-		v = make([]float64, c.unknowns())
-		for n, val := range opt.InitialConditions {
-			if i := nodeVar(n); i >= 0 {
-				v[i] = val
-			}
-		}
-		// Nodes held by voltage sources take the source value at TStart.
-		for _, vs := range c.vsources {
-			val := vs.Signal(opt.TStart)
-			ip, im := nodeVar(vs.plus), nodeVar(vs.minus)
-			if ip >= 0 && im < 0 {
-				v[ip] = val
-			} else if im >= 0 && ip < 0 {
-				v[im] = -val
-			}
-		}
-	} else {
-		op, err := OperatingPoint(c, opt.TStart, opt.Newton)
-		if err != nil {
-			return nil, fmt.Errorf("spice: operating point failed: %w", err)
-		}
-		v = op
-	}
-	for _, d := range c.devices {
-		if s, ok := d.(Stateful); ok {
-			s.Init(v)
-		}
-	}
-
-	// Breakpoint schedule.
-	bps := append([]float64(nil), opt.Breakpoints...)
-	bps = append(bps, opt.TStop)
-	sort.Float64s(bps)
-
-	record := opt.Record
-	if record == nil {
-		for i := 1; i < c.NumNodes(); i++ {
-			record = append(record, NodeID(i))
-		}
-	}
-	res := &TransientResult{
-		nodes: map[NodeID][]float64{},
-		names: map[NodeID]string{},
-	}
-	for _, n := range record {
-		res.nodes[n] = nil
-		res.names[n] = c.NodeName(n)
-	}
-	capture := func(t float64, sol []float64) {
-		res.Times = append(res.Times, t)
-		for _, n := range record {
-			val := 0.0
-			if i := nodeVar(n); i >= 0 {
-				val = sol[i]
-			}
-			res.nodes[n] = append(res.nodes[n], val)
-		}
-	}
-	capture(opt.TStart, v)
-
-	t := opt.TStart
-	h := opt.MaxStep / 16
-	vPrev := append([]float64(nil), v...)
-	justBroke := true // start conservatively with BE
-	nextBp := 0
-	for t < opt.TStop-1e-24 {
-		for nextBp < len(bps) && bps[nextBp] <= t+1e-24 {
-			nextBp++
-		}
-		// Clamp the step to the next breakpoint.
-		hTry := math.Min(h, opt.MaxStep)
-		if nextBp < len(bps) && t+hTry > bps[nextBp] {
-			hTry = bps[nextBp] - t
-		}
-		if hTry < opt.MinStep {
-			hTry = opt.MinStep
-		}
-		method := opt.Method
-		if justBroke {
-			method = BackwardEuler
-		}
-
-		// Solve the step.
-		ctx := &StampContext{Time: t + hTry, Dt: hTry, Method: method, circuit: c}
-		copy(v, vPrev)
-		err := solveNewton(c, ctx, v, opt.Newton)
-		if err != nil {
-			if hTry <= opt.MinStep*1.0001 {
-				return nil, fmt.Errorf("spice: step failed at minimum step size t=%g: %w", t, err)
-			}
-			h = hTry / 4
-			continue
-		}
-		// Simple LTE proxy: largest node-voltage change this step; reject
-		// steps that move any node too fast to resolve the waveforms.
-		maxDv := 0.0
-		for i := 0; i < c.NumNodes()-1; i++ {
-			if d := math.Abs(v[i] - vPrev[i]); d > maxDv {
-				maxDv = d
-			}
-		}
-		limit := 40 * opt.LTETol
-		if maxDv > limit && hTry > opt.MinStep*1.0001 {
-			h = hTry / 2
-			continue
-		}
-
-		// Accept.
-		ctx.V = v
-		for _, d := range c.devices {
-			if s, ok := d.(Stateful); ok {
-				s.Commit(ctx)
-			}
-		}
-		t += hTry
-		copy(vPrev, v)
-		capture(t, v)
-		justBroke = false
-		if nextBp < len(bps) && math.Abs(t-bps[nextBp]) <= 1e-24+1e-12*math.Abs(t) {
-			justBroke = true
-			h = opt.MaxStep / 64
-			continue
-		}
-		// Grow the step gently when the solution is smooth.
-		if maxDv < limit/4 {
-			h = hTry * 1.5
-		} else {
-			h = hTry
-		}
-	}
-	return res, nil
+	return s.Transient(opt)
 }

@@ -29,6 +29,19 @@ type StampContext struct {
 	DC     bool              // true during operating-point analysis
 
 	circuit *Circuit
+
+	// srcVals, when non-nil, holds every voltage source's signal value at
+	// Time, indexed by branch ordinal. The solver fills it once per
+	// Newton solve so that source signals (closures with binary searches
+	// behind them) are not re-evaluated on every iteration. Signals are
+	// pure functions of time, so the hoisted value is identical.
+	srcVals []float64
+
+	// capFresh is true on the first Newton iteration of a solve: cap
+	// companion models recompute their (Dt, Method, state)-dependent
+	// geq/ieq then and replay the cached values on later iterations,
+	// which stamp at the same Dt/Method/state by construction.
+	capFresh bool
 }
 
 // nodeV returns the node voltage in the current iterate (0 for ground).
@@ -121,47 +134,72 @@ func (r *Resistor) Stamp(ctx *StampContext) {
 type capState struct {
 	vPrev float64 // branch voltage at the last accepted step
 	iPrev float64 // branch current at the last accepted step
+
+	// Companion-model cache: geq and ieq depend only on (c, Dt, Method)
+	// and the committed state, all of which are fixed for the duration
+	// of one Newton solve. The solver marks the first iteration of every
+	// solve (StampContext.capFresh) and the divisions are done once;
+	// later iterations re-accumulate the identical cached values, so the
+	// matrix sums are bit-for-bit unchanged.
+	geq float64
+	ieq float64
 }
 
-// stamp adds the companion model of a linear capacitance c across (a, b)
-// and returns nothing; the branch current implied by the iterate is
-// geq*v - ieq.
-func (s *capState) stamp(ctx *StampContext, a, b NodeID, c float64) {
+// stampIdx adds the companion model of a linear capacitance c across
+// the node variables (ia, ib) (already mapped; negative = ground); the
+// branch current implied by the iterate is geq*v - ieq. It addresses
+// the matrix rows directly rather than going through the generic
+// addG/stampConductance helpers: cap stamps are the bulk of the Newton
+// inner loop's scattered accumulations, and hoisting the row base and
+// ground checks is worth ~a third of the stamping time. Per-cell
+// accumulation order matches the helper sequence exactly — only writes
+// to distinct cells (independent float64 sums) are reordered.
+func (s *capState) stampIdx(ctx *StampContext, ia, ib int, c float64) {
 	if ctx.DC {
 		return // open circuit at DC
 	}
-	var geq, ieq float64
-	switch ctx.Method {
-	case BackwardEuler:
-		geq = c / ctx.Dt
-		ieq = geq * s.vPrev
-	default: // Trapezoidal
-		geq = 2 * c / ctx.Dt
-		ieq = geq*s.vPrev + s.iPrev
+	if ctx.capFresh {
+		switch ctx.Method {
+		case BackwardEuler:
+			s.geq = c / ctx.Dt
+			s.ieq = s.geq * s.vPrev
+		default: // Trapezoidal
+			s.geq = 2 * c / ctx.Dt
+			s.ieq = s.geq*s.vPrev + s.iPrev
+		}
 	}
-	ctx.stampConductance(a, b, geq)
-	// Companion current source ieq from b to a (it opposes the
-	// conductance so that i = geq*v - ieq).
-	ctx.stampCurrent(b, a, ieq)
+	geq, ieq := s.geq, s.ieq
+	data, nc := ctx.G.Data, ctx.G.Cols
+	rhs := ctx.RHS
+	if ia >= 0 {
+		row := data[ia*nc : ia*nc+nc]
+		row[ia] += geq
+		if ib >= 0 {
+			row[ib] -= geq
+		}
+		rhs[ia] += ieq
+	}
+	if ib >= 0 {
+		row := data[ib*nc : ib*nc+nc]
+		row[ib] += geq
+		if ia >= 0 {
+			row[ia] -= geq
+		}
+		rhs[ib] -= ieq
+	}
 }
 
-// commit records the accepted branch voltage/current.
-func (s *capState) commit(ctx *StampContext, a, b NodeID, c float64) {
+// commit records the accepted branch voltage/current. A transient
+// commit always follows a converged Newton solve at the same (Dt,
+// Method, state), so the cached companion values from stampIdx are
+// exactly what a recomputation would produce.
+func (s *capState) commit(ctx *StampContext, a, b NodeID) {
 	v := ctx.nodeV(a) - ctx.nodeV(b)
 	if ctx.DC || ctx.Dt == 0 {
 		s.vPrev, s.iPrev = v, 0
 		return
 	}
-	var geq, ieq float64
-	switch ctx.Method {
-	case BackwardEuler:
-		geq = c / ctx.Dt
-		ieq = geq * s.vPrev
-	default:
-		geq = 2 * c / ctx.Dt
-		ieq = geq*s.vPrev + s.iPrev
-	}
-	s.iPrev = geq*v - ieq
+	s.iPrev = s.geq*v - s.ieq
 	s.vPrev = v
 }
 
@@ -183,7 +221,9 @@ func (c *Capacitor) Name() string { return c.name }
 func (c *Capacitor) Nodes() []NodeID { return []NodeID{c.a, c.b} }
 
 // Stamp implements Device.
-func (c *Capacitor) Stamp(ctx *StampContext) { c.state.stamp(ctx, c.a, c.b, c.C) }
+func (c *Capacitor) Stamp(ctx *StampContext) {
+	c.state.stampIdx(ctx, nodeVar(c.a), nodeVar(c.b), c.C)
+}
 
 // Init implements Stateful.
 func (c *Capacitor) Init(v []float64) {
@@ -198,7 +238,7 @@ func (c *Capacitor) Init(v []float64) {
 }
 
 // Commit implements Stateful.
-func (c *Capacitor) Commit(ctx *StampContext) { c.state.commit(ctx, c.a, c.b, c.C) }
+func (c *Capacitor) Commit(ctx *StampContext) { c.state.commit(ctx, c.a, c.b) }
 
 // ---------------------------------------------------------------------
 // Voltage source
@@ -228,7 +268,11 @@ func (v *VSource) Stamp(ctx *StampContext) {
 	// Branch row: V(plus) - V(minus) = signal(t).
 	ctx.addG(ib, ip, 1)
 	ctx.addG(ib, im, -1)
-	ctx.addRHS(ib, v.Signal(ctx.Time))
+	if ctx.srcVals != nil {
+		ctx.addRHS(ib, ctx.srcVals[v.branch])
+	} else {
+		ctx.addRHS(ib, v.Signal(ctx.Time))
+	}
 }
 
 // Current returns the branch current of the source in a solution vector.

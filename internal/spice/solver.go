@@ -1,0 +1,497 @@
+package spice
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"hybriddelay/internal/la"
+)
+
+// Solver owns the reusable workspace for MNA analyses on one circuit:
+// one StampContext, the Jacobian G, the RHS vector, the Newton iterate
+// buffers and the LU factorization workspace. The circuit topology is
+// fixed per bench, so the system size never changes and every transient
+// step and Newton iteration can run in the same buffers — a fresh
+// per-call solver re-allocates all of this on every step.
+//
+// The circuit is validated once at construction; the topology must not
+// change afterwards. A Solver is not safe for concurrent use — build
+// one per goroutine (benches already are per-goroutine).
+//
+// All default-path results are bit-identical to the package-level
+// Transient/OperatingPoint reference: buffer reuse changes where
+// numbers live, never the arithmetic performed on them.
+type Solver struct {
+	c   *Circuit
+	ctx StampContext
+
+	xNew    []float64 // next Newton iterate
+	rtmp    []float64 // residual buffer for modified-Newton solves
+	v       []float64 // transient solution vector
+	vPrev   []float64 // last accepted transient solution
+	srcVals []float64 // hoisted per-solve source values, by branch
+
+	lu     la.LU
+	haveLU bool // lu factors a recent Jacobian (modified Newton only)
+
+	stats SolverStats
+}
+
+// SolverStats counts the work a Solver has performed since creation.
+type SolverStats struct {
+	Steps          int64 // accepted transient steps
+	Rejected       int64 // rejected (re-tried) transient steps
+	Iterations     int64 // Newton iterations
+	Factorizations int64 // LU factorizations
+	Reused         int64 // iterations solved on a reused (stale) LU
+}
+
+// NewSolver validates the circuit and returns a solver bound to it.
+func NewSolver(c *Circuit) (*Solver, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	s := &Solver{c: c}
+	s.ctx.circuit = c
+	return s, nil
+}
+
+// Stats returns the cumulative work counters.
+func (s *Solver) Stats() SolverStats { return s.stats }
+
+// ensure sizes the workspace for the circuit's current system size.
+func (s *Solver) ensure() {
+	n := s.c.unknowns()
+	if s.ctx.G == nil || s.ctx.G.Rows != n {
+		s.ctx.G = la.NewMatrix(n, n)
+	}
+	if len(s.ctx.RHS) != n {
+		s.ctx.RHS = make([]float64, n)
+	}
+	if len(s.xNew) != n {
+		s.xNew = make([]float64, n)
+	}
+	if len(s.rtmp) != n {
+		s.rtmp = make([]float64, n)
+	}
+	if len(s.v) != n {
+		s.v = make([]float64, n)
+	}
+	if len(s.vPrev) != n {
+		s.vPrev = make([]float64, n)
+	}
+	if len(s.srcVals) != len(s.c.vsources) {
+		s.srcVals = make([]float64, len(s.c.vsources))
+	}
+}
+
+// residual computes r = rhs - G·v, the KCL residual of the companion
+// system at the current iterate.
+func residual(r []float64, g *la.Matrix, v, rhs []float64) {
+	n := g.Rows
+	for i := 0; i < n; i++ {
+		row := g.Data[i*n : i*n+n]
+		sum := 0.0
+		for j, gij := range row {
+			sum += gij * v[j]
+		}
+		r[i] = rhs[i] - sum
+	}
+}
+
+// newton iterates the MNA system at the solver's current context until
+// the update norm is below tolerance. v is the starting iterate and
+// holds the solution on success. gmin, when positive, adds a shunt
+// conductance from every node to ground (homotopy stage); gminStage
+// additionally selects the undamped iteration and error wording of the
+// historical gmin solver, so stage behaviour is bit-identical to the
+// per-call reference.
+//
+// The default path factors the fresh Jacobian every iteration and
+// solves G·x = RHS directly — exactly the reference iteration. With
+// opt.ModifiedNewton set, the solver instead reuses the most recent LU
+// (possibly from a previous step) on the residual form
+// J_stale·Δ = RHS - G·v and refactors only when the iteration stalls;
+// the converged solution then agrees within tolerance but is NOT
+// bit-identical, so modified Newton is opt-in and off on the golden
+// path.
+func (s *Solver) newton(v []float64, opt NewtonOptions, gmin float64, gminStage bool) error {
+	opt.defaults()
+	s.ensure()
+	c := s.c
+	n := c.unknowns()
+	nv := c.NumNodes() - 1
+	ctx := &s.ctx
+	modified := opt.ModifiedNewton && !gminStage
+	// Hoist the source evaluation: every iteration of this solve stamps
+	// at the same ctx.Time.
+	for i, vs := range c.vsources {
+		s.srcVals[i] = vs.Signal(ctx.Time)
+	}
+	ctx.srcVals = s.srcVals
+	xNew := s.xNew
+	prevDelta := math.Inf(1)
+	for iter := 0; iter < opt.MaxIter; iter++ {
+		ctx.capFresh = iter == 0
+		ctx.G.Zero()
+		rhs := ctx.RHS
+		for i := range rhs {
+			rhs[i] = 0
+		}
+		ctx.V = v
+		for _, d := range c.devices {
+			d.Stamp(ctx)
+		}
+		if gmin > 0 {
+			for i := 0; i < nv; i++ {
+				ctx.G.Add(i, i, gmin)
+			}
+		}
+		reused := false
+		if modified && s.haveLU {
+			residual(s.rtmp, ctx.G, v, rhs)
+			if s.lu.SolveInto(xNew, s.rtmp) == nil {
+				reused = true
+				s.stats.Reused++
+				for i := 0; i < n; i++ {
+					xNew[i] += v[i]
+				}
+			} else {
+				s.haveLU = false
+			}
+		}
+		if !reused {
+			// Default path: fused factor+solve on the Jacobian in place —
+			// G is re-stamped from zero next iteration anyway, and carrying
+			// the RHS through the elimination folds the permute and forward
+			// substitution into the factorization sweep (bit-identical, see
+			// la.FactorSolveInPlace). Modified Newton must keep its LU alive
+			// across re-stamps (and steps), so it pays for the copying
+			// FactorInto plus a separate solve.
+			if modified {
+				if err := s.lu.FactorInto(ctx.G); err != nil {
+					s.haveLU = false
+					if gminStage {
+						return err
+					}
+					return fmt.Errorf("spice: MNA matrix singular at t=%g: %w", ctx.Time, err)
+				}
+				s.stats.Factorizations++
+				s.haveLU = true
+				if err := s.lu.SolveInto(xNew, rhs); err != nil {
+					s.haveLU = false
+					if gminStage {
+						return err
+					}
+					return fmt.Errorf("spice: solve failed at t=%g: %w", ctx.Time, err)
+				}
+			} else {
+				if err := s.lu.FactorSolveInPlace(ctx.G, xNew, rhs); err != nil {
+					s.haveLU = false
+					if gminStage {
+						return err
+					}
+					return fmt.Errorf("spice: MNA matrix singular at t=%g: %w", ctx.Time, err)
+				}
+				s.stats.Factorizations++
+				s.haveLU = false
+			}
+		}
+		s.stats.Iterations++
+		// Damped update with convergence check on node voltages. The
+		// infinity norm of the updated voltages is accumulated in the same
+		// pass (a max over the identical values — order-independent), so
+		// the convergence test below needs no extra vector walk.
+		maxDelta := 0.0
+		maxV := 0.0
+		for i := 0; i < n; i++ {
+			d := xNew[i] - v[i]
+			if !gminStage && i < nv { // voltage unknowns only for damping
+				if d > opt.Damping {
+					d = opt.Damping
+				} else if d < -opt.Damping {
+					d = -opt.Damping
+				}
+			}
+			v[i] += d
+			if i < nv {
+				if a := math.Abs(d); a > maxDelta {
+					maxDelta = a
+				}
+				if a := math.Abs(v[i]); a > maxV {
+					maxV = a
+				}
+			}
+		}
+		if reused && !(maxDelta <= opt.StallRatio*prevDelta) {
+			// The stale-Jacobian update stopped contracting: refactor on
+			// the next iteration.
+			s.haveLU = false
+		}
+		prevDelta = maxDelta
+		if maxDelta <= opt.AbsTol+opt.RelTol*maxV {
+			return nil
+		}
+	}
+	if gminStage {
+		return fmt.Errorf("spice: gmin stage did not converge")
+	}
+	return fmt.Errorf("spice: Newton did not converge at t=%g", ctx.Time)
+}
+
+// gminStages is the shrinking-shunt homotopy schedule used when the
+// plain operating-point solve fails.
+var gminStages = [...]float64{1e-3, 1e-6, 1e-9, 1e-12}
+
+// OperatingPoint computes the DC solution at time t (signals evaluated
+// at t, capacitors open) in the solver's reused workspace. The returned
+// slice is freshly allocated and owned by the caller; it holds the MNA
+// unknowns: node voltages (ground excluded) followed by voltage-source
+// branch currents.
+func (s *Solver) OperatingPoint(t float64, opt NewtonOptions) ([]float64, error) {
+	s.ensure()
+	s.haveLU = false // a stale transient Jacobian is useless at DC
+	v := make([]float64, s.c.unknowns())
+	s.ctx.Time, s.ctx.Dt, s.ctx.Method, s.ctx.DC = t, 0, Trapezoidal, true
+	if err := s.newton(v, opt, 0, false); err == nil {
+		return v, nil
+	}
+	// Gmin homotopy: solve with shrinking shunts to ground, carrying the
+	// solution from stage to stage, then polish without the shunts.
+	for i := range v {
+		v[i] = 0
+	}
+	for _, gmin := range gminStages {
+		if err := s.newton(v, opt, gmin, true); err != nil {
+			return nil, fmt.Errorf("spice: operating point gmin stage %g failed: %w", gmin, err)
+		}
+	}
+	if err := s.newton(v, opt, 0, false); err != nil {
+		return nil, err
+	}
+	return v, nil
+}
+
+// normalizeBreakpoints validates and canonicalizes the breakpoint
+// schedule for a transient over (tstart, tstop]: non-finite entries are
+// rejected; entries outside the window are dropped (they could only
+// force spurious step clamping near the edges); the survivors are
+// sorted and deduplicated within the same tolerance the stepper uses to
+// detect breakpoint arrival, so one input edge never triggers two
+// step-size resets or a wasted backward-Euler restart. tstop itself is
+// appended as the final breakpoint.
+func normalizeBreakpoints(bps []float64, tstart, tstop float64) ([]float64, error) {
+	out := make([]float64, 0, len(bps)+1)
+	for _, b := range bps {
+		if math.IsNaN(b) || math.IsInf(b, 0) {
+			return nil, fmt.Errorf("spice: non-finite breakpoint %g", b)
+		}
+		// The stepper would skip anything this close to (or before) the
+		// start, and never reach anything at or past tstop.
+		if b <= tstart+1e-24 || b >= tstop {
+			continue
+		}
+		out = append(out, b)
+	}
+	sort.Float64s(out)
+	dst := out[:0]
+	for _, b := range out {
+		if n := len(dst); n > 0 && b-dst[n-1] <= 1e-24+1e-12*math.Abs(b) {
+			continue
+		}
+		dst = append(dst, b)
+	}
+	return append(dst, tstop), nil
+}
+
+// Transient runs an adaptive-step transient analysis in the solver's
+// reused workspace. Results are bit-identical to the package-level
+// Transient reference.
+func (s *Solver) Transient(opt TransientOptions) (*TransientResult, error) {
+	c := s.c
+	if opt.TStop <= opt.TStart {
+		return nil, fmt.Errorf("spice: invalid transient window [%g, %g]", opt.TStart, opt.TStop)
+	}
+	span := opt.TStop - opt.TStart
+	if opt.MaxStep <= 0 {
+		opt.MaxStep = span / 50
+	}
+	if opt.MinStep <= 0 {
+		opt.MinStep = opt.MaxStep * 1e-9
+	}
+	if opt.LTETol <= 0 {
+		opt.LTETol = 1e-4
+	}
+
+	record := opt.Record
+	if record == nil {
+		for i := 1; i < c.NumNodes(); i++ {
+			record = append(record, NodeID(i))
+		}
+	}
+	for _, n := range record {
+		// Ground is allowed (recorded as the constant 0 V reference);
+		// anything else outside the circuit is a caller bug that used to
+		// be recorded silently as zeros (negative IDs) or panic later.
+		if int(n) < 0 || int(n) >= c.NumNodes() {
+			return nil, fmt.Errorf("spice: transient: cannot record unknown node %d", int(n))
+		}
+	}
+
+	// Breakpoint schedule.
+	bps, err := normalizeBreakpoints(opt.Breakpoints, opt.TStart, opt.TStop)
+	if err != nil {
+		return nil, err
+	}
+
+	// Initial state.
+	s.ensure()
+	s.haveLU = false
+	v := s.v
+	if opt.InitialConditions != nil {
+		for i := range v {
+			v[i] = 0
+		}
+		for n, val := range opt.InitialConditions {
+			if i := nodeVar(n); i >= 0 {
+				v[i] = val
+			}
+		}
+		// Nodes held by voltage sources take the source value at TStart.
+		for _, vs := range c.vsources {
+			val := vs.Signal(opt.TStart)
+			ip, im := nodeVar(vs.plus), nodeVar(vs.minus)
+			if ip >= 0 && im < 0 {
+				v[ip] = val
+			} else if im >= 0 && ip < 0 {
+				v[im] = -val
+			}
+		}
+	} else {
+		op, err := s.OperatingPoint(opt.TStart, opt.Newton)
+		if err != nil {
+			return nil, fmt.Errorf("spice: operating point failed: %w", err)
+		}
+		copy(v, op)
+	}
+	for _, d := range c.devices {
+		if st, ok := d.(Stateful); ok {
+			st.Init(v)
+		}
+	}
+
+	// Size the capture buffers for the common case — mostly MaxStep-sized
+	// accepted steps plus a short backward-Euler recovery per breakpoint.
+	estCap := 2 + int(span/opt.MaxStep) + 16*len(bps)
+	if estCap > 1<<20 {
+		estCap = 1 << 20
+	}
+	res := &TransientResult{
+		Times: make([]float64, 0, estCap),
+		nodes: map[NodeID][]float64{},
+		names: map[NodeID]string{},
+	}
+	// Capture into index-addressed columns — a map assignment per node
+	// per accepted step is pure hashing overhead on the hot path; the
+	// columns are handed to the result map once, after the loop.
+	cols := make([][]float64, len(record))
+	recVars := make([]int, len(record))
+	for ci, n := range record {
+		cols[ci] = make([]float64, 0, estCap)
+		recVars[ci] = nodeVar(n)
+		res.names[n] = c.NodeName(n)
+	}
+	capture := func(t float64, sol []float64) {
+		res.Times = append(res.Times, t)
+		for ci, vi := range recVars {
+			val := 0.0
+			if vi >= 0 {
+				val = sol[vi]
+			}
+			cols[ci] = append(cols[ci], val)
+		}
+	}
+	capture(opt.TStart, v)
+
+	t := opt.TStart
+	h := opt.MaxStep / 16
+	vPrev := s.vPrev
+	copy(vPrev, v)
+	justBroke := true // start conservatively with BE
+	nextBp := 0
+	ctx := &s.ctx
+	ctx.DC = false
+	for t < opt.TStop-1e-24 {
+		for nextBp < len(bps) && bps[nextBp] <= t+1e-24 {
+			nextBp++
+		}
+		// Clamp the step to the next breakpoint.
+		hTry := math.Min(h, opt.MaxStep)
+		if nextBp < len(bps) && t+hTry > bps[nextBp] {
+			hTry = bps[nextBp] - t
+		}
+		if hTry < opt.MinStep {
+			hTry = opt.MinStep
+		}
+		method := opt.Method
+		if justBroke {
+			method = BackwardEuler
+		}
+
+		// Solve the step.
+		ctx.Time, ctx.Dt, ctx.Method = t+hTry, hTry, method
+		copy(v, vPrev)
+		err := s.newton(v, opt.Newton, 0, false)
+		if err != nil {
+			if hTry <= opt.MinStep*1.0001 {
+				return nil, fmt.Errorf("spice: step failed at minimum step size t=%g: %w", t, err)
+			}
+			h = hTry / 4
+			s.stats.Rejected++
+			continue
+		}
+		// Simple LTE proxy: largest node-voltage change this step; reject
+		// steps that move any node too fast to resolve the waveforms.
+		maxDv := 0.0
+		for i := 0; i < c.NumNodes()-1; i++ {
+			if d := math.Abs(v[i] - vPrev[i]); d > maxDv {
+				maxDv = d
+			}
+		}
+		limit := 40 * opt.LTETol
+		if maxDv > limit && hTry > opt.MinStep*1.0001 {
+			h = hTry / 2
+			s.stats.Rejected++
+			continue
+		}
+
+		// Accept.
+		ctx.V = v
+		for _, d := range c.devices {
+			if st, ok := d.(Stateful); ok {
+				st.Commit(ctx)
+			}
+		}
+		t += hTry
+		copy(vPrev, v)
+		capture(t, v)
+		s.stats.Steps++
+		justBroke = false
+		if nextBp < len(bps) && math.Abs(t-bps[nextBp]) <= 1e-24+1e-12*math.Abs(t) {
+			justBroke = true
+			h = opt.MaxStep / 64
+			continue
+		}
+		// Grow the step gently when the solution is smooth.
+		if maxDv < limit/4 {
+			h = hTry * 1.5
+		} else {
+			h = hTry
+		}
+	}
+	for ci, n := range record {
+		res.nodes[n] = cols[ci]
+	}
+	return res, nil
+}

@@ -1,0 +1,61 @@
+package spice
+
+import "testing"
+
+// BenchmarkSolverNewton measures one Newton solve in a warm workspace —
+// the transient inner loop. The allocation count here is guarded by CI:
+// the whole point of the Solver is that this path does not allocate.
+func BenchmarkSolverNewton(b *testing.B) {
+	c, _ := inverterCircuit()
+	s, err := NewSolver(c)
+	if err != nil {
+		b.Fatal(err)
+	}
+	op, err := s.OperatingPoint(0, NewtonOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	s.ctx.Time, s.ctx.Dt, s.ctx.Method, s.ctx.DC = 10e-12, 10e-12, Trapezoidal, false
+	v := make([]float64, len(op))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		copy(v, op)
+		if err := s.newton(v, NewtonOptions{}, 0, false); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSolverTransient runs the inverter edge in one persistent
+// solver — the per-unit cost a warm bench pays.
+func BenchmarkSolverTransient(b *testing.B) {
+	c, _ := inverterCircuit()
+	s, err := NewSolver(c)
+	if err != nil {
+		b.Fatal(err)
+	}
+	opt := inverterOptions()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Transient(opt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSolverTransientFresh is the pre-Solver reference: a fresh
+// workspace per transient, for the cold/warm comparison in CI's
+// BENCH_solver.json.
+func BenchmarkSolverTransientFresh(b *testing.B) {
+	c, _ := inverterCircuit()
+	opt := inverterOptions()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Transient(c, opt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

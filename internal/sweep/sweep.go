@@ -26,7 +26,7 @@ import (
 	"fmt"
 	"math"
 	"runtime"
-
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -439,6 +439,23 @@ func (s trackedSource) Golden(req eval.GoldenRequest) (trace.Trace, error) {
 	return out, err
 }
 
+// Lease implements eval.Leaser by leasing the underlying bench pool
+// when it supports leasing, so batched sweep units pin one warm bench;
+// tracking and the shared cache stay in front.
+func (s trackedSource) Lease() (eval.GoldenSource, func(), error) {
+	l, ok := s.src.(eval.Leaser)
+	if !ok {
+		return s, func() {}, nil
+	}
+	inner, release, err := l.Lease()
+	if err != nil {
+		return nil, nil, err
+	}
+	leased := s
+	leased.src = inner
+	return leased, release, nil
+}
+
 // trackedCircuitSource is the circuit counterpart of trackedSource:
 // composed golden trace sets looked up in the shared cache under the
 // netlist content key, with per-scenario hit attribution.
@@ -463,6 +480,21 @@ func (s trackedCircuitSource) GoldenNets(req eval.GoldenRequest) (map[string]tra
 		}
 	}
 	return out, err
+}
+
+// LeaseCircuit implements eval.CircuitLeaser; see trackedSource.Lease.
+func (s trackedCircuitSource) LeaseCircuit() (eval.CircuitGoldenSource, func(), error) {
+	l, ok := s.src.(eval.CircuitLeaser)
+	if !ok {
+		return s, func() {}, nil
+	}
+	inner, release, err := l.LeaseCircuit()
+	if err != nil {
+		return nil, nil, err
+	}
+	leased := s
+	leased.src = inner
+	return leased, release, nil
 }
 
 // circuitToSeedResult folds a per-net circuit unit result into the flat
@@ -558,30 +590,92 @@ func RunSweepContext(ctx context.Context, spec Spec, opt *Options) (*Report, err
 		}
 	}
 
-	var onDone func(i, completed int, err error)
-	if o.Progress != nil {
-		onDone = func(i, completed int, err error) {
-			o.Progress(Progress{
-				Phase: PhaseEval, Scenario: i / len(seeds), Seed: seeds[i%len(seeds)],
-				Completed: completed, Total: total, Err: err,
-			})
+	var progressMu sync.Mutex
+	completed := 0
+	unitDone := func(i int, err error) {
+		if o.Progress == nil {
+			return
 		}
+		progressMu.Lock()
+		completed++
+		o.Progress(Progress{
+			Phase: PhaseEval, Scenario: i / len(seeds), Seed: seeds[i%len(seeds)],
+			Completed: completed, Total: total, Err: err,
+		})
+		progressMu.Unlock()
 	}
-	ctxErr := pool.RunContext(ctx, total, o.Workers, func(i int) error {
-		si := i / len(seeds)
-		sc := scenarios[si]
-		unitStart := time.Now()
-		if sc.Circuit != nil {
-			cp := cpoints[circuitKey{sc.Circuit.Name, sc.VDDScale, sc.LoadScale}]
-			var cres eval.CircuitSeedResult
-			cres, errs[i] = eval.EvaluateCircuitSeedContext(ctx, csources[si], sc.Circuit, cp.models, sc.Config, seeds[i%len(seeds)])
-			parts[i] = circuitToSeedResult(cres)
-		} else {
-			parts[i], errs[i] = eval.EvaluateSeedContext(ctx, sources[si], points[opKey{sc.Gate, sc.VDDScale, sc.LoadScale}].models, sc.Config, seeds[i%len(seeds)])
+	// Workers claim batches of consecutive units; within a batch, runs
+	// of units sharing a scenario lease one bench (see eval.Leaser), so
+	// the seed-minor schedule keeps a warm solver workspace pinned per
+	// scenario. Results stay index-addressed, so batching cannot change
+	// the merge or the winning error.
+	batch := (total + 2*o.Workers - 1) / (2 * o.Workers)
+	if batch < 1 {
+		batch = 1
+	}
+	nBatches := (total + batch - 1) / batch
+	ctxErr := pool.RunContext(ctx, nBatches, o.Workers, func(bi int) error {
+		lo := bi * batch
+		hi := lo + batch
+		if hi > total {
+			hi = total
 		}
-		scenarioNanos[si].Add(time.Since(unitStart).Nanoseconds())
-		return errs[i]
-	}, onDone)
+		var (
+			leaseSi      = -1
+			leaseRelease func()
+			leaseSrc     eval.GoldenSource
+			leaseCSrc    eval.CircuitGoldenSource
+		)
+		defer func() {
+			if leaseRelease != nil {
+				leaseRelease()
+			}
+		}()
+		for i := lo; i < hi; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			si := i / len(seeds)
+			sc := scenarios[si]
+			if si != leaseSi {
+				if leaseRelease != nil {
+					leaseRelease()
+					leaseRelease = nil
+				}
+				leaseSi = si
+				if sc.Circuit != nil {
+					leaseCSrc = csources[si]
+					if l, ok := leaseCSrc.(eval.CircuitLeaser); ok {
+						if leased, release, err := l.LeaseCircuit(); err == nil {
+							leaseCSrc, leaseRelease = leased, release
+						}
+					}
+				} else {
+					leaseSrc = sources[si]
+					if l, ok := leaseSrc.(eval.Leaser); ok {
+						if leased, release, err := l.Lease(); err == nil {
+							leaseSrc, leaseRelease = leased, release
+						}
+					}
+				}
+			}
+			unitStart := time.Now()
+			if sc.Circuit != nil {
+				cp := cpoints[circuitKey{sc.Circuit.Name, sc.VDDScale, sc.LoadScale}]
+				var cres eval.CircuitSeedResult
+				cres, errs[i] = eval.EvaluateCircuitSeedContext(ctx, leaseCSrc, sc.Circuit, cp.models, sc.Config, seeds[i%len(seeds)])
+				parts[i] = circuitToSeedResult(cres)
+			} else {
+				parts[i], errs[i] = eval.EvaluateSeedContext(ctx, leaseSrc, points[opKey{sc.Gate, sc.VDDScale, sc.LoadScale}].models, sc.Config, seeds[i%len(seeds)])
+			}
+			scenarioNanos[si].Add(time.Since(unitStart).Nanoseconds())
+			unitDone(i, errs[i])
+			if errs[i] != nil {
+				return errs[i]
+			}
+		}
+		return nil
+	}, nil)
 	for i, err := range errs {
 		if err != nil && !(ctxErr != nil && eval.IsContextErr(err)) {
 			return nil, fmt.Errorf("sweep: scenario %d (%s): %w", i/len(seeds), scenarios[i/len(seeds)].Name(), err)

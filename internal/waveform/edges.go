@@ -75,46 +75,58 @@ func Edges(transitions []Transition, trise, vLow, vHigh float64) (Signal, error)
 	if len(ts) == 0 {
 		return Constant(vLow), nil
 	}
-	initLow := ts[0].Rising
+	// Precompute the per-edge geometry once: the solver samples the signal
+	// on every Newton solve, so the returned closure is hot. settled[i+1]
+	// is the level after transition i (settled[0] the idle level); an
+	// inline binary search replaces sort.Search's indirect predicate
+	// calls. The edge arithmetic itself is unchanged.
+	times := make([]float64, len(ts))
+	settled := make([]float64, len(ts)+1)
+	if ts[0].Rising {
+		settled[0] = vLow
+	} else {
+		settled[0] = vHigh
+	}
+	for i, tr := range ts {
+		times[i] = tr.Time
+		if tr.Rising {
+			settled[i+1] = vHigh
+		} else {
+			settled[i+1] = vLow
+		}
+	}
+	half := trise / 2
 	return func(t float64) float64 {
-		// Find the last transition with Time <= t + trise/2 relevant to t.
-		// Value is determined by the most recent edge whose ramp covers t,
-		// or by the settled level otherwise.
-		idx := sort.Search(len(ts), func(i int) bool { return ts[i].Time > t })
-		// Candidate edges: idx-1 (may still be ramping or settled) and idx
-		// (its ramp may have started already since edges are centred).
-		level := func(before int) float64 {
-			// settled level after transition index `before` (-1 = initial).
-			high := !initLow
-			if before >= 0 {
-				high = ts[before].Rising
+		// Find the first transition with Time > t. Value is determined by
+		// the most recent edge whose ramp covers t, or by the settled
+		// level otherwise; candidate edges are idx-1 (may still be
+		// ramping or settled) and idx (its ramp may have started already
+		// since edges are centred).
+		lo, hi := 0, len(times)
+		for lo < hi {
+			mid := int(uint(lo+hi) >> 1)
+			if times[mid] > t {
+				hi = mid
+			} else {
+				lo = mid + 1
 			}
-			if high {
-				return vHigh
+		}
+		idx := lo
+		if idx < len(times) {
+			if start := times[idx] - half; t >= start {
+				from, to := settled[idx], settled[idx+1]
+				x := (t - start) / trise
+				return from + (to-from)*0.5*(1-math.Cos(math.Pi*x))
 			}
-			return vLow
 		}
-		eval := func(i int) (float64, bool) {
-			if i < 0 || i >= len(ts) {
-				return 0, false
+		if idx > 0 {
+			if start := times[idx-1] - half; t <= times[idx-1]+half {
+				from, to := settled[idx-1], settled[idx]
+				x := (t - start) / trise
+				return from + (to-from)*0.5*(1-math.Cos(math.Pi*x))
 			}
-			start := ts[i].Time - trise/2
-			end := ts[i].Time + trise/2
-			if t < start || t > end {
-				return 0, false
-			}
-			from := level(i - 1)
-			to := level(i)
-			x := (t - start) / trise
-			return from + (to-from)*0.5*(1-math.Cos(math.Pi*x)), true
 		}
-		if v, ok := eval(idx); ok {
-			return v
-		}
-		if v, ok := eval(idx - 1); ok {
-			return v
-		}
-		return level(idx - 1)
+		return settled[idx]
 	}, nil
 }
 

@@ -235,6 +235,55 @@ func TestFacadeSessionSurface(t *testing.T) {
 	_ = netlist.ModelSet{} // facade alias target stays importable
 }
 
+// TestFacadeGoldenStoreRoundTrip: a Session with a persistent store
+// mounted through the facade warm-starts a later Session from disk —
+// the second run's result is bit-identical and its golden traces come
+// from the store, not fresh transient solves.
+func TestFacadeGoldenStoreRoundTrip(t *testing.T) {
+	if testing.Short() {
+		t.Skip("analog property in -short mode")
+	}
+	dir := t.TempDir()
+	cfg := propertyConfigs(2)[0]
+	p := fastFacadeParams()
+	job := GateJob{Gate: "nor2", Params: &p,
+		Configs: []TraceConfig{cfg}, Seeds: []int64{1}, Workers: 2}
+
+	st, err := OpenGoldenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold := NewSession(SessionOptions{Workers: 2, Store: st})
+	want, err := cold.Evaluate(context.Background(), job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	st2, err := OpenGoldenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	warm := NewSession(SessionOptions{Workers: 2, Store: st2})
+	got, err := warm.Evaluate(context.Background(), job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.Gate, want.Gate) {
+		t.Errorf("store-warmed run diverged:\n got %+v\nwant %+v", got.Gate, want.Gate)
+	}
+	var stats GoldenStoreStats = st2.Stats()
+	if stats.Hits == 0 {
+		t.Errorf("warm run hit the disk store 0 times (stats %+v)", stats)
+	}
+	if stats.Misses != 0 || stats.Writes != 0 {
+		t.Errorf("warm run was not fully served from disk: %+v", stats)
+	}
+}
+
 // TestFacadeReexportExercise keeps the thin re-export wrappers covered:
 // constructing each aliased engine piece through the facade must stay
 // working even though the heavy paths are tested against the internals.
