@@ -12,6 +12,7 @@ import (
 	"hybriddelay/internal/gen"
 	"hybriddelay/internal/netlist"
 	"hybriddelay/internal/session"
+	"hybriddelay/internal/spice"
 	"hybriddelay/internal/waveform"
 )
 
@@ -31,6 +32,7 @@ type circuitOptions struct {
 	out         string
 	csv         bool
 	store       string
+	solver      string
 
 	stdout io.Writer // overridable for tests; nil = os.Stdout
 	stderr io.Writer // overridable for tests; nil = os.Stderr
@@ -59,6 +61,7 @@ func runCircuitCmd(args []string) error {
 	fs.StringVar(&o.out, "out", "", "report output path (default stdout)")
 	fs.BoolVar(&o.csv, "csv", false, "emit the report as CSV instead of a table")
 	fs.StringVar(&o.store, "store", "", "persistent golden-store directory (created if missing; warm-starts repeat runs)")
+	solverFlagVar(fs, &o.solver)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -87,7 +90,12 @@ func (o circuitOptions) run() error {
 		Transitions: o.trans,
 		Start:       200 * waveform.Pico,
 	}
+	solver, err := spice.ParseSolverMode(o.solver)
+	if err != nil {
+		return err
+	}
 	p := benchParams(options{fast: o.fast})
+	p.Solver = solver
 
 	fmt.Fprintf(stderr, "circuit %s: %d instances, %d primary inputs, %d recorded nets\n",
 		nl.Name, len(nl.Instances), len(nl.Inputs), len(nl.Recorded()))
@@ -116,6 +124,7 @@ func (o circuitOptions) run() error {
 	fmt.Fprintf(stderr, "circuit %s: %d seeds in %.1fs (cache: %d hits / %d misses / %d entries)\n",
 		nl.Name, len(seeds), time.Since(start).Seconds(),
 		jres.Stats.Golden.Hits, jres.Stats.Golden.Misses, jres.Stats.Golden.Entries)
+	reportSolver(stderr, jres.Stats.Solver)
 
 	w, closeReport, err := openReport(o.out, stdout)
 	if err != nil {

@@ -67,6 +67,38 @@ func TestRunCircuitCmdCSVAndOut(t *testing.T) {
 	}
 }
 
+// TestRunCircuitCmdSparseSolver: -solver sparse-fast produces the same
+// report shape, and the stderr traffic report proves the sparse kernel
+// actually carried the transients.
+func TestRunCircuitCmdSparseSolver(t *testing.T) {
+	if testing.Short() {
+		t.Skip("composed analog transients in -short mode")
+	}
+	var stdout, stderr bytes.Buffer
+	o := circuitOptions{
+		name: "nor-invchain", mode: "local", mu: 200, sigma: 100,
+		trans: 8, reps: 1, seed: 1, parallel: 2, fast: true,
+		solver: "sparse-fast",
+		stdout: &stdout, stderr: &stderr,
+	}
+	if err := o.run(); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"circuit nor-invchain", "TOTAL"} {
+		if !strings.Contains(stdout.String(), want) {
+			t.Errorf("sparse circuit output missing %q:\n%s", want, stdout.String())
+		}
+	}
+	if !strings.Contains(stderr.String(), "sparse factorizations") {
+		t.Errorf("stderr has no sparse solver traffic report:\n%s", stderr.String())
+	}
+
+	o.solver = "warp-drive"
+	if err := o.run(); err == nil || !strings.Contains(err.Error(), "unknown solver mode") {
+		t.Errorf("bad -solver error = %v", err)
+	}
+}
+
 // TestRunCircuitCmdNetlistFile: -netlist files parse through the
 // shared validation, so an unknown gate fails with the registry's
 // uniform error listing the registered names.

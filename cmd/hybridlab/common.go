@@ -14,6 +14,7 @@ import (
 	"hybriddelay/internal/gate"
 	"hybriddelay/internal/netlist"
 	"hybriddelay/internal/session"
+	"hybriddelay/internal/spice"
 	"hybriddelay/internal/store"
 )
 
@@ -105,6 +106,29 @@ func openStore(dir string, stderr io.Writer) (*store.Store, func(), error) {
 		}
 	}
 	return st, finish, nil
+}
+
+// solverFlagVar registers the shared -solver flag on a flag set, so
+// every analog subcommand documents the same two spellings.
+func solverFlagVar(fs *flag.FlagSet, dst *string) {
+	fs.StringVar(dst, "solver", spice.DenseExact.String(),
+		"linear-solver strategy: dense-exact (bit-identical reference) or sparse-fast (structurally sparse, numerically equivalent)")
+}
+
+// reportSolver prints the MNA solver traffic of a finished job on
+// stderr — how much linear algebra the delay evaluation actually ran,
+// and how much of it the sparse path saved. Nothing is printed for a
+// job that ran no transients.
+func reportSolver(stderr io.Writer, st spice.SolverStats) {
+	if st.Steps == 0 && st.Iterations == 0 {
+		return
+	}
+	fmt.Fprintf(stderr, "solver: %d steps (%d rejected), %d Newton iterations, %d factorizations (%d reused LU)\n",
+		st.Steps, st.Rejected, st.Iterations, st.Factorizations, st.Reused)
+	if st.SparseFactorizations > 0 || st.LinearReuses > 0 || st.SparseFallbacks > 0 {
+		fmt.Fprintf(stderr, "solver: sparse path: %d sparse factorizations, %d dense fallbacks, %d linear restamps skipped\n",
+			st.SparseFactorizations, st.SparseFallbacks, st.LinearReuses)
+	}
 }
 
 // sessionProgress renders the session's unified progress stream as

@@ -358,7 +358,12 @@ func runFig7(opt options) error {
 	if err != nil {
 		return err
 	}
+	solver, err := opt.solverMode()
+	if err != nil {
+		return err
+	}
 	p := benchParams(opt)
+	p.Solver = solver
 	seeds, err := opt.seedList()
 	if err != nil {
 		return err
@@ -415,6 +420,7 @@ func runFig7(opt options) error {
 	if err != nil {
 		return err
 	}
+	reportSolver(os.Stderr, jres.Stats.Solver)
 	results := jres.Gate
 	if g.Name() != gate.Default().Name() {
 		// The default gate keeps the historical output byte-for-byte; other

@@ -30,6 +30,9 @@
 //	-seeds L    explicit comma-separated seed list (overrides -reps/-seed)
 //	-parallel N evaluation workers for fig7 (default GOMAXPROCS; 1 = serial)
 //	-gate G     registered gate for fig7 (default nor2; see -list-gates)
+//	-solver M   linear-solver strategy for fig7: dense-exact (default,
+//	            bit-identical reference) or sparse-fast (structurally
+//	            sparse kernel, numerically equivalent, faster)
 //
 // `hybridlab -list-gates` prints the registered gate names.
 package main
@@ -44,6 +47,7 @@ import (
 	"strings"
 
 	"hybriddelay/internal/gate"
+	"hybriddelay/internal/spice"
 )
 
 // options carries the common CLI flags.
@@ -57,6 +61,7 @@ type options struct {
 	parallel int
 	gate     string
 	store    string // golden-store directory; "" = no persistence
+	solver   string // linear-solver strategy for fig7 (dense-exact, sparse-fast)
 
 	out io.Writer // experiment output; nil = os.Stdout (tests capture it)
 }
@@ -73,6 +78,11 @@ func (o options) w() io.Writer {
 // an unknown name errors with the registered names.
 func (o options) gateSpec() (gate.Gate, error) {
 	return findGate(o.gate)
+}
+
+// solverMode resolves the -solver flag against the spice registry.
+func (o options) solverMode() (spice.SolverMode, error) {
+	return spice.ParseSolverMode(o.solver)
 }
 
 // seedList resolves the evaluation seeds: an explicit -seeds list when
@@ -172,6 +182,7 @@ func main() {
 	fs.IntVar(&opt.parallel, "parallel", runtime.GOMAXPROCS(0), "evaluation workers (1 = serial)")
 	fs.StringVar(&opt.gate, "gate", gate.Default().Name(), "registered gate for fig7 (see -list-gates)")
 	fs.StringVar(&opt.store, "store", "", "persistent golden-store directory for fig7 (created if missing; warm-starts repeat runs)")
+	solverFlagVar(fs, &opt.solver)
 	fs.BoolVar(&listGatesFlag, "list-gates", false, "list registered gates and exit")
 	if err := fs.Parse(os.Args[2:]); err != nil {
 		os.Exit(2)
@@ -230,9 +241,9 @@ func usage() {
 	for _, sc := range subcommands() {
 		fmt.Fprintf(os.Stderr, "  %-10s %s\n", sc.name, sc.desc)
 	}
-	fmt.Fprintln(os.Stderr, "\nflags: -csv -fast -reps N -trans N -seed N -seeds L -parallel N -gate G -store DIR -list-gates")
+	fmt.Fprintln(os.Stderr, "\nflags: -csv -fast -reps N -trans N -seed N -seeds L -parallel N -gate G -store DIR -solver M -list-gates")
 	fmt.Fprintln(os.Stderr, "sweep flags: -gates L -vdd L -load L -modes L -mu L -sigma L -trans N")
-	fmt.Fprintln(os.Stderr, "             -reps N -seed N -seeds L -grid FILE -out FILE -csv -fast -parallel N -store DIR")
+	fmt.Fprintln(os.Stderr, "             -reps N -seed N -seeds L -grid FILE -out FILE -csv -fast -parallel N -store DIR -solver M")
 	fmt.Fprintln(os.Stderr, "circuit flags: -name C | -netlist FILE, -mode M -mu P -sigma P -trans N")
-	fmt.Fprintln(os.Stderr, "               -reps N -seed N -seeds L -out FILE -csv -fast -parallel N -store DIR")
+	fmt.Fprintln(os.Stderr, "               -reps N -seed N -seeds L -out FILE -csv -fast -parallel N -store DIR -solver M")
 }

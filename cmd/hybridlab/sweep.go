@@ -12,6 +12,7 @@ import (
 
 	"hybriddelay/internal/gen"
 	"hybriddelay/internal/session"
+	"hybriddelay/internal/spice"
 	"hybriddelay/internal/sweep"
 	"hybriddelay/internal/waveform"
 )
@@ -34,6 +35,7 @@ type sweepOptions struct {
 	fast     bool
 	parallel int
 	store    string
+	solver   string
 
 	stdout io.Writer // overridable for tests; nil = os.Stdout
 	stderr io.Writer // overridable for tests; nil = os.Stderr
@@ -62,6 +64,7 @@ func runSweepCmd(args []string) error {
 	fs.BoolVar(&o.fast, "fast", false, "coarser integrator step for quick exploration")
 	fs.IntVar(&o.parallel, "parallel", runtime.GOMAXPROCS(0), "evaluation workers (1 = serial)")
 	fs.StringVar(&o.store, "store", "", "persistent golden-store directory (created if missing; warm-starts repeat runs)")
+	solverFlagVar(fs, &o.solver)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -73,6 +76,21 @@ func (o sweepOptions) run() error {
 	spec, err := o.spec()
 	if err != nil {
 		return err
+	}
+	solver, err := spice.ParseSolverMode(o.solver)
+	if err != nil {
+		return err
+	}
+	if solver != spice.DenseExact {
+		// The flag overrides the spec's solver strategy (grid files keep
+		// everything else); the key change makes the whole grid miss the
+		// dense cache tier, as it must.
+		p := benchParams(options{fast: o.fast})
+		if spec.Bench != nil {
+			p = *spec.Bench
+		}
+		p.Solver = solver
+		spec.Bench = &p
 	}
 	// Expansion is a microsecond cross product; running it once up
 	// front surfaces spec errors (and the grid size) before any analog
@@ -107,6 +125,7 @@ func (o sweepOptions) run() error {
 		rep.TotalUnits, time.Since(start).Seconds(),
 		rep.Cache.Hits, rep.Cache.Misses, rep.Cache.Entries,
 		res.Stats.Params.Misses, res.Stats.Params.Hits)
+	reportSolver(stderr, res.Stats.Solver)
 
 	w, closeReport, err := openReport(o.out, stdout)
 	if err != nil {

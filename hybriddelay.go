@@ -88,6 +88,7 @@ import (
 	"hybriddelay/internal/netlist"
 	"hybriddelay/internal/nor"
 	"hybriddelay/internal/session"
+	"hybriddelay/internal/spice"
 	"hybriddelay/internal/store"
 	"hybriddelay/internal/sweep"
 	"hybriddelay/internal/trace"
@@ -313,8 +314,33 @@ type SessionStats = session.Stats
 type Progress = session.Progress
 
 // CacheStats reports golden-trace cache effectiveness counters
-// (hits, misses, completed entries).
+// (hits, misses, completed entries, evictions).
 type CacheStats = eval.CacheStats
+
+// SolverMode selects the linear-solver strategy of the analog
+// transients behind an evaluation: SolverDenseExact is the
+// bit-identical golden reference, SolverSparseFast the opt-in
+// structurally sparse kernel (numerically equivalent — delays agree to
+// well under a picosecond — but not bit-identical). Set it per
+// operating point via BenchParams.Solver or session-wide via
+// SessionOptions.Solver; the mode is part of every cache and store
+// key, so the two paths never alias.
+type SolverMode = spice.SolverMode
+
+// The two linear-solver strategies.
+const (
+	SolverDenseExact = spice.DenseExact
+	SolverSparseFast = spice.SparseFast
+)
+
+// ParseSolverMode parses a solver-mode flag value ("dense-exact" /
+// "dense", "sparse-fast" / "sparse").
+func ParseSolverMode(s string) (SolverMode, error) { return spice.ParseSolverMode(s) }
+
+// SolverStats counts the MNA solver work behind an evaluation — steps,
+// Newton iterations, factorizations, and the sparse path's savings.
+// Every session Result carries one in Stats.Solver.
+type SolverStats = spice.SolverStats
 
 // ParamCache memoizes prepared operating points — the Gate.NewBench →
 // Measure → BuildModels chain — per (gate, bench parameters, expDMin)

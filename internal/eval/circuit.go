@@ -13,6 +13,7 @@ import (
 	"hybriddelay/internal/netlist"
 	"hybriddelay/internal/nor"
 	"hybriddelay/internal/pool"
+	"hybriddelay/internal/spice"
 	"hybriddelay/internal/trace"
 	"hybriddelay/internal/waveform"
 )
@@ -65,6 +66,19 @@ func (s *CircuitBenchSource) release(b *netlist.Bench) {
 	s.mu.Lock()
 	s.free = append(s.free, b)
 	s.mu.Unlock()
+}
+
+// SolverStats aggregates the solver counters of the pooled composed
+// benches; only idle (released) instances are counted, so take the
+// snapshot between jobs (cf. BenchSource.SolverStats).
+func (s *CircuitBenchSource) SolverStats() spice.SolverStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var st spice.SolverStats
+	for _, b := range s.free {
+		st.Add(b.SolverStats())
+	}
+	return st
 }
 
 // GoldenNets implements CircuitGoldenSource on a private bench.
@@ -255,6 +269,10 @@ type CircuitResult struct {
 	TotalNormalized map[string]float64
 	// GoldenEv maps net -> golden transitions over all seeds.
 	GoldenEv map[string]int
+	// Solver aggregates the MNA solver counters of the run's composed
+	// bench pool (filled by EvaluateCircuitContext; zero when the merge
+	// was assembled from parts directly).
+	Solver spice.SolverStats
 }
 
 // normalizeBy divides per-model areas by the inertial baseline, NaN
@@ -342,7 +360,8 @@ func EvaluateCircuitContext(ctx context.Context, nl *netlist.Netlist, p nor.Para
 	if err != nil {
 		return empty, err
 	}
-	golden := CircuitGoldenSource(NewCircuitBenchSource(bench))
+	benchPool := NewCircuitBenchSource(bench)
+	golden := CircuitGoldenSource(benchPool)
 	if o.Cache != nil {
 		golden = CachedCircuitSource{Key: nl.ContentKey(), Bench: p, Cache: o.Cache, Src: golden}
 	}
@@ -399,5 +418,7 @@ func EvaluateCircuitContext(ctx context.Context, nl *netlist.Netlist, p nor.Para
 	if ctxErr != nil {
 		return empty, ctxErr
 	}
-	return MergeCircuitSeedResults(nl, cfg, parts), nil
+	res := MergeCircuitSeedResults(nl, cfg, parts)
+	res.Solver = benchPool.SolverStats()
+	return res, nil
 }

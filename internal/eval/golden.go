@@ -1,11 +1,13 @@
 package eval
 
 import (
+	"container/list"
 	"sync"
 
 	"hybriddelay/internal/gate"
 	"hybriddelay/internal/gen"
 	"hybriddelay/internal/nor"
+	"hybriddelay/internal/spice"
 	"hybriddelay/internal/trace"
 )
 
@@ -79,6 +81,29 @@ func (s *BenchSource) release(b gate.Bench) {
 	s.mu.Unlock()
 }
 
+// SolverStatser is implemented by benches and golden sources that can
+// report cumulative MNA solver counters (factorizations, Newton
+// iterations, sparse-mode traffic) for the traffic reports.
+type SolverStatser interface {
+	SolverStats() spice.SolverStats
+}
+
+// SolverStats aggregates the solver counters of the pooled bench
+// instances. Only idle (released) instances are counted; between jobs
+// the pool is fully idle, so a job-end snapshot sees every transient
+// the source ever ran.
+func (s *BenchSource) SolverStats() spice.SolverStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var st spice.SolverStats
+	for _, b := range s.free {
+		if ss, ok := b.(SolverStatser); ok {
+			st.Add(ss.SolverStats())
+		}
+	}
+	return st
+}
+
 // Golden implements GoldenSource by running the analog transient on a
 // private bench instance.
 func (s *BenchSource) Golden(req GoldenRequest) (trace.Trace, error) {
@@ -136,10 +161,14 @@ type GoldenKey struct {
 
 // goldenEntry is one cache slot; ready is closed once out/err are set,
 // so concurrent requests for the same key wait instead of recomputing.
+// cost and elem are set when the completed entry is admitted to the
+// LRU ring; in-flight and failed entries never join it.
 type goldenEntry struct {
 	ready chan struct{}
 	out   trace.Trace
 	err   error
+	cost  int64
+	elem  *list.Element
 }
 
 // setEntry is one multi-trace cache slot (a composed circuit run
@@ -149,6 +178,32 @@ type setEntry struct {
 	ready chan struct{}
 	out   map[string]trace.Trace
 	err   error
+	cost  int64
+	elem  *list.Element
+}
+
+// lruRef locates one completed entry from the LRU ring: its key and
+// which of the two tables (single traces vs circuit trace sets) it
+// lives in.
+type lruRef struct {
+	key GoldenKey
+	set bool
+}
+
+// traceCost is the eviction cost of one digitized trace: its stored
+// transitions, plus one so even an empty trace has positive weight.
+func traceCost(tr trace.Trace) int64 { return int64(1 + len(tr.Events)) }
+
+// setCost sums the member traces of a circuit trace set.
+func setCost(set map[string]trace.Trace) int64 {
+	var c int64
+	for _, tr := range set {
+		c += traceCost(tr)
+	}
+	if c == 0 {
+		c = 1
+	}
+	return c
 }
 
 // GoldenCache memoizes digitized golden traces by GoldenKey. It is safe
@@ -162,14 +217,24 @@ type setEntry struct {
 // sets (GetOrComputeSet, keyed by a netlist content key in the Gate
 // field) live in separate tables of the same cache, so one cache can
 // back a whole mixed gate-and-circuit sweep.
+//
+// Memory can be bounded with SetLimit: completed entries then form a
+// cost-based LRU (cost = stored transitions) and the coldest entries
+// are evicted once the budget is exceeded. In-flight computations are
+// never evicted, and waiters already holding an entry keep their result
+// even if it is evicted underneath them.
 type GoldenCache struct {
-	mu       sync.Mutex
-	table    map[GoldenKey]*goldenEntry
-	sets     map[GoldenKey]*setEntry
-	store    PersistentStore
-	hits     int64
-	misses   int64
-	diskHits int64
+	mu        sync.Mutex
+	table     map[GoldenKey]*goldenEntry
+	sets      map[GoldenKey]*setEntry
+	store     PersistentStore
+	limit     int64 // cost budget; 0 = unbounded
+	cost      int64 // total cost of completed entries
+	lru       *list.List
+	hits      int64
+	misses    int64
+	diskHits  int64
+	evictions int64
 }
 
 // PersistentStore is the on-disk tier a GoldenCache can mount below its
@@ -198,15 +263,65 @@ func (c *GoldenCache) SetStore(p PersistentStore) {
 
 // NewGoldenCache returns an empty golden-trace cache.
 func NewGoldenCache() *GoldenCache {
-	return &GoldenCache{table: map[GoldenKey]*goldenEntry{}, sets: map[GoldenKey]*setEntry{}}
+	return &GoldenCache{table: map[GoldenKey]*goldenEntry{}, sets: map[GoldenKey]*setEntry{}, lru: list.New()}
+}
+
+// SetLimit bounds the cache's memory: budget is the total cost the
+// completed entries may hold, where one entry costs its stored
+// transitions (a circuit trace set sums its member traces). Exceeding
+// the budget evicts least-recently-used entries; a zero (or negative)
+// budget removes the bound. Shrinking below the current total evicts
+// immediately. An entry larger than the whole budget is admitted and
+// then evicted right away — callers still get their result, the cache
+// just refuses to retain it.
+func (c *GoldenCache) SetLimit(budget int64) {
+	c.mu.Lock()
+	c.limit = budget
+	c.evictOverLocked()
+	c.mu.Unlock()
+}
+
+// admitLocked registers a completed entry in the LRU ring and trims
+// over-budget cold entries. Caller holds mu.
+func (c *GoldenCache) admitLocked(ref lruRef, cost int64) *list.Element {
+	elem := c.lru.PushFront(ref)
+	c.cost += cost
+	c.evictOverLocked()
+	return elem
+}
+
+// evictOverLocked drops entries from the cold end of the LRU ring until
+// the cost budget is met. Caller holds mu.
+func (c *GoldenCache) evictOverLocked() {
+	for c.limit > 0 && c.cost > c.limit {
+		back := c.lru.Back()
+		if back == nil {
+			return
+		}
+		ref := back.Value.(lruRef)
+		c.lru.Remove(back)
+		if ref.set {
+			if e, ok := c.sets[ref.key]; ok {
+				c.cost -= e.cost
+				delete(c.sets, ref.key)
+			}
+		} else {
+			if e, ok := c.table[ref.key]; ok {
+				c.cost -= e.cost
+				delete(c.table, ref.key)
+			}
+		}
+		c.evictions++
+	}
 }
 
 // CacheStats reports cache effectiveness counters.
 type CacheStats struct {
-	Hits     int64 // lookups served from a cached or in-flight entry
-	Misses   int64 // lookups not served from memory
-	DiskHits int64 // memory misses served from the persistent store tier
-	Entries  int   // completed entries currently stored
+	Hits      int64 // lookups served from a cached or in-flight entry
+	Misses    int64 // lookups not served from memory
+	DiskHits  int64 // memory misses served from the persistent store tier
+	Evictions int64 // completed entries dropped by the memory bound
+	Entries   int   // completed entries currently stored
 }
 
 // Stats returns a snapshot of the cache counters. Entries counts
@@ -229,7 +344,7 @@ func (c *GoldenCache) Stats() CacheStats {
 		default:
 		}
 	}
-	return CacheStats{Hits: c.hits, Misses: c.misses, DiskHits: c.diskHits, Entries: n}
+	return CacheStats{Hits: c.hits, Misses: c.misses, DiskHits: c.diskHits, Evictions: c.evictions, Entries: n}
 }
 
 // GetOrCompute returns the cached trace for key, or runs compute exactly
@@ -255,6 +370,9 @@ func (c *GoldenCache) GetOrComputeTracked(key GoldenKey, compute func() (trace.T
 		if e.err == nil {
 			c.mu.Lock()
 			c.hits++
+			if cur, ok := c.table[key]; ok && cur == e && e.elem != nil {
+				c.lru.MoveToFront(e.elem)
+			}
 			c.mu.Unlock()
 			return e.out, true, nil
 		}
@@ -274,6 +392,8 @@ func (c *GoldenCache) GetOrComputeTracked(key GoldenKey, compute func() (trace.T
 			close(e.ready)
 			c.mu.Lock()
 			c.diskHits++
+			e.cost = traceCost(e.out)
+			e.elem = c.admitLocked(lruRef{key: key}, e.cost)
 			c.mu.Unlock()
 			return e.out, true, nil
 		}
@@ -289,6 +409,12 @@ func (c *GoldenCache) GetOrComputeTracked(key GoldenKey, compute func() (trace.T
 		_ = store.Save(key, e.out)
 	}
 	close(e.ready)
+	if e.err == nil {
+		c.mu.Lock()
+		e.cost = traceCost(e.out)
+		e.elem = c.admitLocked(lruRef{key: key}, e.cost)
+		c.mu.Unlock()
+	}
 	return e.out, false, e.err
 }
 
@@ -308,6 +434,9 @@ func (c *GoldenCache) GetOrComputeSet(key GoldenKey, compute func() (map[string]
 		if e.err == nil {
 			c.mu.Lock()
 			c.hits++
+			if cur, ok := c.sets[key]; ok && cur == e && e.elem != nil {
+				c.lru.MoveToFront(e.elem)
+			}
 			c.mu.Unlock()
 			return e.out, true, nil
 		}
@@ -325,6 +454,8 @@ func (c *GoldenCache) GetOrComputeSet(key GoldenKey, compute func() (map[string]
 			close(e.ready)
 			c.mu.Lock()
 			c.diskHits++
+			e.cost = setCost(e.out)
+			e.elem = c.admitLocked(lruRef{key: key, set: true}, e.cost)
 			c.mu.Unlock()
 			return e.out, true, nil
 		}
@@ -338,6 +469,12 @@ func (c *GoldenCache) GetOrComputeSet(key GoldenKey, compute func() (map[string]
 		_ = store.SaveSet(key, e.out)
 	}
 	close(e.ready)
+	if e.err == nil {
+		c.mu.Lock()
+		e.cost = setCost(e.out)
+		e.elem = c.admitLocked(lruRef{key: key, set: true}, e.cost)
+		c.mu.Unlock()
+	}
 	return e.out, false, e.err
 }
 

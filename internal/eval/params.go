@@ -1,12 +1,14 @@
 package eval
 
 import (
+	"container/list"
 	"context"
 	"fmt"
 	"sync"
 
 	"hybriddelay/internal/gate"
 	"hybriddelay/internal/nor"
+	"hybriddelay/internal/spice"
 )
 
 // This file adds the second memoization layer of the evaluation engine:
@@ -47,10 +49,13 @@ type OperatingPoint struct {
 
 // paramEntry is one cache slot; ready is closed once pt/err are set, so
 // concurrent requests for the same key wait instead of re-measuring.
+// elem is set when the completed entry joins the LRU ring; in-flight
+// and failed entries never join it.
 type paramEntry struct {
 	ready chan struct{}
 	pt    *OperatingPoint
 	err   error
+	elem  *list.Element
 }
 
 // ParamCache memoizes prepared operating points by ParamKey. It is safe
@@ -60,23 +65,59 @@ type paramEntry struct {
 // later call retries. One cache may back any mix of workloads — the
 // sweep engine's operating-point preparation, circuit model sets and
 // single-gate evaluations all key by (gate, bench params, expDMin).
+//
+// Memory can be bounded with SetLimit: completed operating points then
+// form an LRU (each point weighs one — a point's dominant cost, its
+// bench pool and model set, is roughly uniform across keys) and the
+// coldest points are evicted once the bound is exceeded. In-flight
+// preparations are never evicted, and callers already holding a point
+// keep it even if it is evicted underneath them.
 type ParamCache struct {
-	mu     sync.Mutex
-	table  map[ParamKey]*paramEntry
-	hits   int64
-	misses int64
+	mu        sync.Mutex
+	table     map[ParamKey]*paramEntry
+	limit     int // max completed operating points; 0 = unbounded
+	lru       *list.List
+	hits      int64
+	misses    int64
+	evictions int64
 }
 
 // NewParamCache returns an empty parametrization cache.
 func NewParamCache() *ParamCache {
-	return &ParamCache{table: map[ParamKey]*paramEntry{}}
+	return &ParamCache{table: map[ParamKey]*paramEntry{}, lru: list.New()}
+}
+
+// SetLimit bounds the number of retained operating points; zero (or
+// negative) removes the bound. Shrinking evicts immediately, coldest
+// first.
+func (c *ParamCache) SetLimit(n int) {
+	c.mu.Lock()
+	c.limit = n
+	c.evictOverLocked()
+	c.mu.Unlock()
+}
+
+// evictOverLocked drops operating points from the cold end of the LRU
+// ring until the bound is met. Caller holds mu.
+func (c *ParamCache) evictOverLocked() {
+	for c.limit > 0 && c.lru.Len() > c.limit {
+		back := c.lru.Back()
+		if back == nil {
+			return
+		}
+		key := back.Value.(ParamKey)
+		c.lru.Remove(back)
+		delete(c.table, key)
+		c.evictions++
+	}
 }
 
 // ParamStats reports parametrization-cache effectiveness counters.
 type ParamStats struct {
-	Hits    int64 // lookups served from a cached or in-flight operating point
-	Misses  int64 // lookups that had to measure and fit
-	Entries int   // completed operating points currently stored
+	Hits      int64 // lookups served from a cached or in-flight operating point
+	Misses    int64 // lookups that had to measure and fit
+	Evictions int64 // completed operating points dropped by the memory bound
+	Entries   int   // completed operating points currently stored
 }
 
 // Stats returns a snapshot of the cache counters.
@@ -91,7 +132,31 @@ func (c *ParamCache) Stats() ParamStats {
 		default:
 		}
 	}
-	return ParamStats{Hits: c.hits, Misses: c.misses, Entries: n}
+	return ParamStats{Hits: c.hits, Misses: c.misses, Evictions: c.evictions, Entries: n}
+}
+
+// SolverStats aggregates the MNA solver counters of every completed
+// operating point's bench pool — the measurement transients that
+// prepared each point plus every golden run its pool served since.
+// Points evicted by the memory bound leave the aggregate.
+func (c *ParamCache) SolverStats() spice.SolverStats {
+	c.mu.Lock()
+	pts := make([]*OperatingPoint, 0, len(c.table))
+	for _, e := range c.table {
+		select {
+		case <-e.ready:
+			if e.err == nil {
+				pts = append(pts, e.pt)
+			}
+		default:
+		}
+	}
+	c.mu.Unlock()
+	var st spice.SolverStats
+	for _, pt := range pts {
+		st.Add(pt.Golden.SolverStats())
+	}
+	return st
 }
 
 // OperatingPoint returns the prepared operating point for (g, p,
@@ -118,6 +183,9 @@ func (c *ParamCache) OperatingPoint(ctx context.Context, g gate.Gate, p nor.Para
 			if e.err == nil {
 				c.mu.Lock()
 				c.hits++
+				if cur, ok := c.table[key]; ok && cur == e && e.elem != nil {
+					c.lru.MoveToFront(e.elem)
+				}
 				c.mu.Unlock()
 				return e.pt, nil
 			}
@@ -144,6 +212,12 @@ func (c *ParamCache) OperatingPoint(ctx context.Context, g gate.Gate, p nor.Para
 			c.mu.Unlock()
 		}
 		close(e.ready)
+		if e.err == nil {
+			c.mu.Lock()
+			e.elem = c.lru.PushFront(key)
+			c.evictOverLocked()
+			c.mu.Unlock()
+		}
 		return e.pt, e.err
 	}
 }

@@ -95,6 +95,10 @@ func (b *NAND2Bench) Gate() Gate { return NAND2 }
 // Params implements Bench.
 func (b *NAND2Bench) Params() nor.Params { return b.B.P }
 
+// SolverStats exposes the underlying bench's cumulative MNA solver
+// counters for traffic reporting.
+func (b *NAND2Bench) SolverStats() spice.SolverStats { return b.B.SolverStats() }
+
 // Measure implements Bench: the six characteristic NAND delays
 // (worst-case V_M = VDD for the falling experiments) plus the SIS arc
 // mapping.

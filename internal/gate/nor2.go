@@ -93,6 +93,10 @@ func (b *NOR2Bench) Gate() Gate { return NOR2 }
 // Params implements Bench.
 func (b *NOR2Bench) Params() nor.Params { return b.B.P }
 
+// SolverStats exposes the underlying bench's cumulative MNA solver
+// counters for traffic reporting.
+func (b *NOR2Bench) SolverStats() spice.SolverStats { return b.B.SolverStats() }
+
 // Measure implements Bench: the six characteristic delays (worst-case
 // V_N = GND for the rising experiments, as in the paper) plus the SIS
 // arc mapping derived from them.

@@ -104,6 +104,10 @@ func (b *NOR3Bench) Gate() Gate { return NOR3 }
 // Params implements Bench.
 func (b *NOR3Bench) Params() nor.Params { return b.B.P }
 
+// SolverStats exposes the underlying bench's cumulative MNA solver
+// counters for traffic reporting.
+func (b *NOR3Bench) SolverStats() spice.SolverStats { return b.B.SolverStats() }
+
 // Measure implements Bench. The pair characteristic probes pins A and B
 // with pin C parked far away (rising far later in the falling
 // experiments, falling far earlier in the rising ones, so the measured

@@ -1,6 +1,7 @@
 package la
 
 import (
+	"errors"
 	"math"
 	"math/rand"
 	"testing"
@@ -377,5 +378,42 @@ func TestLUPermutationProperty(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
 		t.Error(err)
+	}
+}
+
+// TestLUOneByOne pins the degenerate n=1 system on every dense entry
+// point: factor-then-solve, the fused in-place path, and the exactly
+// singular 1x1 zero matrix.
+func TestLUOneByOne(t *testing.T) {
+	a := NewMatrix(1, 1)
+	a.Set(0, 0, 4)
+	x, err := SolveDense(a, []float64{12})
+	if err != nil {
+		t.Fatalf("SolveDense: %v", err)
+	}
+	if x[0] != 3 {
+		t.Fatalf("SolveDense x = %g, want 3", x[0])
+	}
+	f, err := Factor(a)
+	if err != nil {
+		t.Fatalf("Factor: %v", err)
+	}
+	if d := f.Det(); d != 4 {
+		t.Fatalf("Det = %g, want 4", d)
+	}
+	var lu LU
+	y := make([]float64, 1)
+	if err := lu.FactorSolveInPlace(a.Clone(), y, []float64{12}); err != nil {
+		t.Fatalf("FactorSolveInPlace: %v", err)
+	}
+	if y[0] != 3 {
+		t.Fatalf("FactorSolveInPlace x = %g, want 3", y[0])
+	}
+	z := NewMatrix(1, 1)
+	if _, err := Factor(z); !errors.Is(err, ErrSingular) {
+		t.Fatalf("Factor(zero 1x1) error = %v, want ErrSingular", err)
+	}
+	if err := lu.FactorSolveInPlace(z, y, []float64{1}); !errors.Is(err, ErrSingular) {
+		t.Fatalf("FactorSolveInPlace(zero 1x1) error = %v, want ErrSingular", err)
 	}
 }

@@ -122,6 +122,10 @@ func (b *Bench) Circuit() *spice.Circuit { return b.circuit }
 // Recorded returns the recorded net names in report order.
 func (b *Bench) Recorded() []string { return append([]string(nil), b.recorded...) }
 
+// SolverStats returns the persistent solver's cumulative counters over
+// every composed transient this bench has run.
+func (b *Bench) SolverStats() spice.SolverStats { return b.solver.Stats() }
+
 // Clone returns an independent bench over the same netlist and
 // parameters; clones may run transients concurrently.
 func (b *Bench) Clone() (*Bench, error) { return NewBench(b.nl, b.p) }
@@ -149,6 +153,7 @@ func (b *Bench) Golden(inputs []trace.Trace, until float64) (map[string]trace.Tr
 		MaxStep:           b.p.MaxStep,
 		LTETol:            b.p.LTETol,
 		Method:            b.p.Method,
+		Solver:            b.p.Solver,
 		Breakpoints:       bps,
 		InitialConditions: b.init,
 		Record:            b.recordIDs,

@@ -80,6 +80,10 @@ func NewNAND(p Params) (*NANDBench, error) {
 	return b, nil
 }
 
+// SolverStats returns the persistent solver's cumulative counters over
+// every transient this bench has run.
+func (b *NANDBench) SolverStats() spice.SolverStats { return b.solver.Stats() }
+
 // transient runs one solver transient with the bench's step policy,
 // recording the given nodes; record selection does not change the
 // computed samples (see Bench.transient).
@@ -92,6 +96,7 @@ func (b *NANDBench) transient(sigA, sigB waveform.Signal, tStop float64, vM0, vO
 		MaxStep:     b.P.MaxStep,
 		LTETol:      b.P.LTETol,
 		Method:      b.P.Method,
+		Solver:      b.P.Solver,
 		Breakpoints: append([]float64(nil), breakpoints...),
 		InitialConditions: map[spice.NodeID]float64{
 			b.nodeM: vM0,

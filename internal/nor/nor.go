@@ -39,6 +39,13 @@ type Params struct {
 	MaxStep float64                 // max integrator step [s]
 	LTETol  float64                 // step-control voltage tolerance [V]
 	Method  spice.IntegrationMethod // charge integration scheme (default trapezoidal)
+
+	// Solver selects the linear-solver strategy of the golden
+	// transients (default spice.DenseExact, the bit-identical path).
+	// It is part of the parametrization, so golden traces and fitted
+	// operating points computed under different solver modes never
+	// share cache or store entries.
+	Solver spice.SolverMode
 }
 
 // DefaultParams returns the calibrated testbench configuration.
@@ -196,6 +203,7 @@ func (b *Bench) transient(sigA, sigB waveform.Signal, tStop float64, vN0, vO0 fl
 		MaxStep:     b.P.MaxStep,
 		LTETol:      b.P.LTETol,
 		Method:      b.P.Method,
+		Solver:      b.P.Solver,
 		Breakpoints: append([]float64(nil), breakpoints...),
 		InitialConditions: map[spice.NodeID]float64{
 			b.nodeN: vN0,
@@ -418,6 +426,10 @@ func (b *Bench) RisingSweep(deltas []float64, vN0 float64) ([]SweepPoint, error)
 // Circuit exposes the underlying netlist (used by the evaluation pipeline
 // to run long random traces through the same golden bench).
 func (b *Bench) Circuit() *spice.Circuit { return b.circuit }
+
+// SolverStats returns the persistent solver's cumulative counters over
+// every transient this bench has run.
+func (b *Bench) SolverStats() spice.SolverStats { return b.solver.Stats() }
 
 // Nodes returns the IDs of (A, B, N, O).
 func (b *Bench) Nodes() (a, bb, n, o spice.NodeID) {

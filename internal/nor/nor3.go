@@ -58,6 +58,10 @@ func NewNOR3(p Params) (*NOR3Bench, error) {
 	return b, nil
 }
 
+// SolverStats returns the persistent solver's cumulative counters over
+// every transient this bench has run.
+func (b *NOR3Bench) SolverStats() spice.SolverStats { return b.solver.Stats() }
+
 // StampNOR3 writes the 3-input NOR devices into c between existing
 // nodes: the three-deep pMOS stack VDD -> N1 -> N2 -> O, the three
 // parallel nMOS pull-downs and the load capacitors. Shared by the
@@ -89,6 +93,7 @@ func (b *NOR3Bench) Run(sigA, sigB, sigC waveform.Signal, tStop, vN1, vN2, vO fl
 		MaxStep:     b.P.MaxStep,
 		LTETol:      b.P.LTETol,
 		Method:      b.P.Method,
+		Solver:      b.P.Solver,
 		Breakpoints: bps,
 		InitialConditions: map[spice.NodeID]float64{
 			b.nodeN1: vN1,

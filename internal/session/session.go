@@ -37,6 +37,7 @@ import (
 	"hybriddelay/internal/gen"
 	"hybriddelay/internal/netlist"
 	"hybriddelay/internal/nor"
+	"hybriddelay/internal/spice"
 	"hybriddelay/internal/sweep"
 	"hybriddelay/internal/waveform"
 )
@@ -52,6 +53,25 @@ type Options struct {
 	// negative selects runtime.GOMAXPROCS(0); individual jobs may
 	// override per submission.
 	Workers int
+
+	// Solver selects the session's default MNA solver mode
+	// (spice.DenseExact or spice.SparseFast). It applies to jobs that do
+	// not supply bench parameters of their own; explicit job parameters
+	// carry their own Solver field. The mode is part of every cache and
+	// store key, so mixed-mode sessions never share golden traces or
+	// operating points across modes.
+	Solver spice.SolverMode
+
+	// GoldenBudget, when positive, bounds the golden cache's memory: the
+	// total eviction cost (stored trace transitions) completed entries
+	// may hold before cost-based LRU eviction kicks in. Zero keeps the
+	// cache unbounded. Applied to a shared cache passed via Golden too.
+	GoldenBudget int64
+
+	// ParamLimit, when positive, bounds the number of operating points
+	// the parametrization cache retains (LRU). Zero keeps it unbounded.
+	// Applied to a shared cache passed via Params too.
+	ParamLimit int
 
 	// Golden, when non-nil, seeds the session with an existing
 	// golden-trace cache (e.g. to share one cache between sessions).
@@ -82,13 +102,14 @@ type Options struct {
 // its own bounded pool.
 type Session struct {
 	workers int
+	solver  spice.SolverMode
 	golden  *eval.GoldenCache
 	params  *eval.ParamCache
 }
 
 // New builds a Session. opt zero value selects all defaults.
 func New(opt Options) *Session {
-	s := &Session{workers: opt.Workers, golden: opt.Golden, params: opt.Params}
+	s := &Session{workers: opt.Workers, solver: opt.Solver, golden: opt.Golden, params: opt.Params}
 	if s.workers <= 0 {
 		s.workers = runtime.GOMAXPROCS(0)
 	}
@@ -100,6 +121,12 @@ func New(opt Options) *Session {
 	}
 	if opt.Store != nil {
 		s.golden.SetStore(opt.Store)
+	}
+	if opt.GoldenBudget > 0 {
+		s.golden.SetLimit(opt.GoldenBudget)
+	}
+	if opt.ParamLimit > 0 {
+		s.params.SetLimit(opt.ParamLimit)
 	}
 	return s
 }
@@ -259,6 +286,13 @@ type Stats struct {
 	Golden      eval.CacheStats // snapshot of the golden cache the job used
 	Params      eval.ParamStats // parametrization cache snapshot
 	WallSeconds float64         // job wall time
+	// Solver aggregates the MNA solver traffic visible at job end: the
+	// job's own bench pools plus the cumulative counters of every
+	// operating point in the session's parametrization cache (their
+	// measurement transients and all golden runs they served). Like the
+	// cache snapshots, this is a cache-lifetime picture, not a per-job
+	// delta.
+	Solver spice.SolverStats
 }
 
 // Result is the uniform outcome of Session.Evaluate: exactly one of
@@ -308,6 +342,7 @@ func (s *Session) Evaluate(ctx context.Context, job Job) (*Result, error) {
 		return nil, err
 	}
 	res.Stats.Params = s.params.Stats()
+	res.Stats.Solver.Add(s.params.SolverStats())
 	res.Stats.WallSeconds = time.Since(start).Seconds()
 	return res, nil
 }
@@ -340,12 +375,16 @@ func expDMinOr(v float64) float64 {
 	return DefaultExpDMin
 }
 
-// paramsOr resolves a job's bench parameters.
-func paramsOr(p *nor.Params) nor.Params {
+// paramsOr resolves a job's bench parameters: explicit parameters are
+// used as-is (their Solver field included); nil selects the calibrated
+// defaults under the session's default solver mode.
+func (s *Session) paramsOr(p *nor.Params) nor.Params {
 	if p != nil {
 		return *p
 	}
-	return nor.DefaultParams()
+	d := nor.DefaultParams()
+	d.Solver = s.solver
+	return d
 }
 
 // gateProgress adapts the eval runner's progress events onto the
@@ -367,9 +406,10 @@ func gateProgress(kind Kind, fn func(Progress)) func(eval.Progress) {
 // and fans the (config, seed) units across the job's worker budget.
 func (s *Session) evaluateGate(ctx context.Context, j GateJob) (*Result, error) {
 	var (
-		models gate.Models
-		src    eval.GoldenSource
-		params nor.Params
+		models  gate.Models
+		src     eval.GoldenSource
+		params  nor.Params
+		ownPool *eval.BenchSource // job-private pool outside the param cache
 	)
 	switch {
 	case j.Models != nil:
@@ -379,15 +419,16 @@ func (s *Session) evaluateGate(ctx context.Context, j GateJob) (*Result, error) 
 		}
 		if j.Bench != nil {
 			params = j.Bench.Params()
-			src = eval.NewGateBenchSource(j.Bench)
+			ownPool = eval.NewGateBenchSource(j.Bench)
 		} else {
-			params = paramsOr(j.Params)
+			params = s.paramsOr(j.Params)
 			bench, err := models.Gate.NewBench(params)
 			if err != nil {
 				return nil, fmt.Errorf("session: gate %s: bench: %w", models.Gate.Name(), err)
 			}
-			src = eval.NewGateBenchSource(bench)
+			ownPool = eval.NewGateBenchSource(bench)
 		}
+		src = ownPool
 	case j.Bench != nil:
 		// A bench without models: prepare the bench's own operating
 		// point through the cache (the bench still seeds nothing — the
@@ -402,7 +443,7 @@ func (s *Session) evaluateGate(ctx context.Context, j GateJob) (*Result, error) 
 		if err != nil {
 			return nil, fmt.Errorf("session: %w", err)
 		}
-		params = paramsOr(j.Params)
+		params = s.paramsOr(j.Params)
 		op, err := s.params.OperatingPoint(ctx, g, params, expDMinOr(j.ExpDMin))
 		if err != nil {
 			return nil, err
@@ -424,6 +465,11 @@ func (s *Session) evaluateGate(ctx context.Context, j GateJob) (*Result, error) 
 	res := &Result{Kind: KindGate, Gate: rows, Models: &models}
 	if cache != nil {
 		res.Stats.Golden = cache.Stats()
+	}
+	if ownPool != nil {
+		// A job-private pool is not part of the parametrization cache's
+		// aggregate, so its traffic is added here.
+		res.Stats.Solver = ownPool.SolverStats()
 	}
 	return res, nil
 }
@@ -461,7 +507,7 @@ func (s *Session) evaluateCircuit(ctx context.Context, j CircuitJob) (*Result, e
 	if err := j.Netlist.Validate(); err != nil {
 		return nil, err
 	}
-	p := paramsOr(j.Params)
+	p := s.paramsOr(j.Params)
 	ms := j.Models
 	if ms == nil {
 		var err error
@@ -482,6 +528,9 @@ func (s *Session) evaluateCircuit(ctx context.Context, j CircuitJob) (*Result, e
 	if cache != nil {
 		out.Stats.Golden = cache.Stats()
 	}
+	// The run's composed-bench pool is job-private; the shared-cache
+	// aggregate is added by Evaluate.
+	out.Stats.Solver = res.Solver
 	return out, nil
 }
 
@@ -493,6 +542,12 @@ func (s *Session) evaluateSweep(ctx context.Context, j SweepJob) (*Result, error
 	cache := j.Cache
 	if cache == nil {
 		cache = s.golden
+	}
+	if j.Spec.Bench == nil {
+		// A spec without explicit bench parameters inherits the session's
+		// default solver mode, like the other job flavours.
+		p := s.paramsOr(nil)
+		j.Spec.Bench = &p
 	}
 	var progress func(sweep.Progress)
 	if j.Progress != nil {

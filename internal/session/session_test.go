@@ -13,7 +13,9 @@ import (
 	"hybriddelay/internal/gen"
 	"hybriddelay/internal/netlist"
 	"hybriddelay/internal/nor"
+	"hybriddelay/internal/spice"
 	"hybriddelay/internal/sweep"
+	"hybriddelay/internal/trace"
 	"hybriddelay/internal/waveform"
 )
 
@@ -388,8 +390,15 @@ func TestSessionAccessorsAndDefaults(t *testing.T) {
 		t.Error("expDMinOr resolution wrong")
 	}
 	p := fastParams()
-	if paramsOr(&p) != p || paramsOr(nil) != nor.DefaultParams() {
+	if s.paramsOr(&p) != p || s.paramsOr(nil) != nor.DefaultParams() {
 		t.Error("paramsOr resolution wrong")
+	}
+	sparse := New(Options{Solver: spice.SparseFast})
+	if got := sparse.paramsOr(nil).Solver; got != spice.SparseFast {
+		t.Errorf("paramsOr(nil) on a sparse session has Solver %v, want sparse-fast", got)
+	}
+	if got := sparse.paramsOr(&p).Solver; got != spice.DenseExact {
+		t.Errorf("explicit params must keep their own Solver, got %v", got)
 	}
 	kinds := []struct {
 		job  Job
@@ -452,5 +461,87 @@ func TestSessionGoldenCacheControls(t *testing.T) {
 	}
 	if st := s.GoldenCache().Stats(); st.Entries != 0 {
 		t.Errorf("override job leaked into the session cache: %+v", st)
+	}
+}
+
+// TestSessionSolverStatsSurface: a job's Result must carry the MNA
+// solver traffic of the transients it triggered — the operating-point
+// measurement plus the golden runs.
+func TestSessionSolverStatsSurface(t *testing.T) {
+	if testing.Short() {
+		t.Skip("analog evaluation in -short mode")
+	}
+	p := fastParams()
+	s := New(Options{Workers: 2})
+	res, err := s.Evaluate(context.Background(), GateJob{
+		Gate: "nor2", Params: &p,
+		Configs: []gen.Config{testConfig(2, 6)},
+		Seeds:   []int64{1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := res.Stats.Solver
+	if st.Steps == 0 || st.Iterations == 0 || st.Factorizations == 0 {
+		t.Fatalf("solver stats %+v, want nonzero traffic from measurement and golden runs", st)
+	}
+	if st.SparseFactorizations != 0 {
+		t.Errorf("dense job reports sparse factorizations: %+v", st)
+	}
+
+	// A second job on the warm session sees a cumulative, not smaller,
+	// picture.
+	res2, err := s.Evaluate(context.Background(), GateJob{
+		Gate: "nor2", Params: &p,
+		Configs: []gen.Config{testConfig(2, 6)},
+		Seeds:   []int64{2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Stats.Solver.Steps < st.Steps {
+		t.Errorf("solver stats went backwards across jobs: %+v then %+v", st, res2.Stats.Solver)
+	}
+}
+
+// TestSessionSparseDefault: a session constructed with Solver:
+// SparseFast runs default-parameter jobs through the sparse kernel and
+// reports its traffic.
+func TestSessionSparseDefault(t *testing.T) {
+	if testing.Short() {
+		t.Skip("analog evaluation in -short mode")
+	}
+	s := New(Options{Workers: 2, Solver: spice.SparseFast})
+	ps := fastParams()
+	ps.Solver = spice.SparseFast
+	res, err := s.Evaluate(context.Background(), GateJob{
+		Gate: "nor2", Params: &ps,
+		Configs: []gen.Config{testConfig(2, 6)},
+		Seeds:   []int64{1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := res.Stats.Solver
+	if st.SparseFactorizations == 0 || st.LinearReuses == 0 {
+		t.Fatalf("sparse session solver stats %+v, want sparse kernel traffic", st)
+	}
+}
+
+// TestSessionCacheLimits: the session options plumb the memory bounds
+// into both caches.
+func TestSessionCacheLimits(t *testing.T) {
+	s := New(Options{GoldenBudget: 3, ParamLimit: 1})
+	for seed := int64(1); seed <= 3; seed++ {
+		key := eval.GoldenKey{Gate: "limit-test", Seed: seed}
+		if _, err := s.GoldenCache().GetOrCompute(key, func() (trace.Trace, error) {
+			return trace.New(false, []trace.Event{{Time: 1e-12, Value: true}}), nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := s.GoldenCache().Stats()
+	if st.Evictions == 0 {
+		t.Errorf("golden cache stats %+v, want evictions under a 10-cost budget", st)
 	}
 }

@@ -88,6 +88,11 @@ type TransientOptions struct {
 	// reference; any other node not in the circuit is rejected.
 	Record []NodeID
 	Newton NewtonOptions
+	// Solver selects the linear-solver strategy for the Newton inner
+	// loop. The zero value, DenseExact, is the bit-identical golden
+	// path; SparseFast is numerically equivalent but faster on larger
+	// systems. See SolverMode.
+	Solver SolverMode
 }
 
 // TransientResult holds the captured node waveforms.

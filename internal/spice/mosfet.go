@@ -108,6 +108,20 @@ func (m *MOSFET) Eval(vd, vg, vs float64) (i, gd, gg, gs float64) {
 //
 // stamping the partials into the Jacobian and the affine remainder as an
 // equivalent current source.
+// The stamp is split into StampNonlinear (the iterate-dependent channel
+// linearisation) and StampLinear (the iterate-independent leakage and
+// parasitic capacitances), called in exactly the historical accumulation
+// order so the dense golden path stays bit-identical. The sparse solver
+// calls the two halves separately: the linear half is frozen into a base
+// matrix once per Newton solve and only the channel is re-stamped per
+// iteration.
+func (m *MOSFET) Stamp(ctx *StampContext) {
+	m.StampNonlinear(ctx)
+	m.StampLinear(ctx)
+}
+
+// StampNonlinear stamps only the channel linearisation — the part of
+// the device that depends on the Newton iterate.
 // The body addresses the Jacobian rows directly rather than through the
 // generic addG/stampConductance helpers: a transistor stamp is the
 // densest accumulation in the Newton inner loop, and hoisting the row
@@ -115,7 +129,7 @@ func (m *MOSFET) Eval(vd, vg, vs float64) (i, gd, gg, gs float64) {
 // the stamping time. Values and per-cell accumulation order are exactly
 // the helper sequence's — only writes to distinct cells, which are
 // independent float64 sums, are emitted in a different order.
-func (m *MOSFET) Stamp(ctx *StampContext) {
+func (m *MOSFET) StampNonlinear(ctx *StampContext) {
 	iD, iG, iS := nodeVar(m.d), nodeVar(m.g), nodeVar(m.s)
 	V := ctx.V
 	var vd, vg, vs float64
@@ -168,16 +182,28 @@ func (m *MOSFET) Stamp(ctx *StampContext) {
 	if iS >= 0 {
 		rhs[iS] += ieq
 	}
+}
+
+// StampLinear stamps the iterate-independent part of the device: the
+// convergence leakage conductance and the parasitic capacitances'
+// companion models. Within one Newton solve these values are constant
+// (companion values depend only on Dt, Method and committed state), so
+// the sparse solver stamps them once per solve into a frozen base.
+func (m *MOSFET) StampLinear(ctx *StampContext) {
+	iD, iG, iS := nodeVar(m.d), nodeVar(m.g), nodeVar(m.s)
 
 	// Leakage conductance for convergence robustness.
 	if g := m.P.Gmin; g > 0 {
-		if rowD != nil {
+		data, nc := ctx.G.Data, ctx.G.Cols
+		if iD >= 0 {
+			rowD := data[iD*nc : iD*nc+nc]
 			rowD[iD] += g
 			if iS >= 0 {
 				rowD[iS] -= g
 			}
 		}
-		if rowS != nil {
+		if iS >= 0 {
+			rowS := data[iS*nc : iS*nc+nc]
 			rowS[iS] += g
 			if iD >= 0 {
 				rowS[iD] -= g

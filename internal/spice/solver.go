@@ -35,6 +35,9 @@ type Solver struct {
 	lu     la.LU
 	haveLU bool // lu factors a recent Jacobian (modified Newton only)
 
+	mode SolverMode  // linear-solver strategy of the current transient
+	sp   sparseState // SparseFast workspace (pattern, base, symbolic)
+
 	stats SolverStats
 }
 
@@ -43,8 +46,25 @@ type SolverStats struct {
 	Steps          int64 // accepted transient steps
 	Rejected       int64 // rejected (re-tried) transient steps
 	Iterations     int64 // Newton iterations
-	Factorizations int64 // LU factorizations
+	Factorizations int64 // LU factorizations (dense and sparse)
 	Reused         int64 // iterations solved on a reused (stale) LU
+
+	// SparseFast-mode counters (zero on the dense golden path).
+	LinearReuses         int64 // iterations that reused the frozen linear stamp base
+	SparseFactorizations int64 // factorizations done by the static-pivot sparse kernel
+	SparseFallbacks      int64 // sparse refactors abandoned to the dense kernel
+}
+
+// Add accumulates other into s, for aggregation across solvers.
+func (s *SolverStats) Add(other SolverStats) {
+	s.Steps += other.Steps
+	s.Rejected += other.Rejected
+	s.Iterations += other.Iterations
+	s.Factorizations += other.Factorizations
+	s.Reused += other.Reused
+	s.LinearReuses += other.LinearReuses
+	s.SparseFactorizations += other.SparseFactorizations
+	s.SparseFallbacks += other.SparseFallbacks
 }
 
 // NewSolver validates the circuit and returns a solver bound to it.
@@ -117,6 +137,13 @@ func residual(r []float64, g *la.Matrix, v, rhs []float64) {
 // bit-identical, so modified Newton is opt-in and off on the golden
 // path.
 func (s *Solver) newton(v []float64, opt NewtonOptions, gmin float64, gminStage bool) error {
+	// The sparse path serves only the transient inner loop: DC
+	// operating points and gmin homotopy stages have a different
+	// structural pattern (capacitors open, added shunt diagonals) and
+	// run once per transient, so they stay on the robust dense path.
+	if s.mode == SparseFast && gmin == 0 && !gminStage && !s.ctx.DC && !opt.ModifiedNewton {
+		return s.newtonSparse(v, opt)
+	}
 	opt.defaults()
 	s.ensure()
 	c := s.c
@@ -313,6 +340,7 @@ func (s *Solver) Transient(opt TransientOptions) (*TransientResult, error) {
 	if opt.TStop <= opt.TStart {
 		return nil, fmt.Errorf("spice: invalid transient window [%g, %g]", opt.TStart, opt.TStop)
 	}
+	s.mode = opt.Solver
 	span := opt.TStop - opt.TStart
 	if opt.MaxStep <= 0 {
 		opt.MaxStep = span / 50

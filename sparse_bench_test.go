@@ -1,0 +1,119 @@
+package hybriddelay
+
+// Interleaved dense-vs-sparse solver comparison on the two cold golden
+// workloads: the gate-level Fig. 7 pipeline and the flattened c17
+// composed golden. Each iteration times one dense pass and one sparse
+// pass back to back on the same machine, so the reported speedup_x
+// (dense seconds / sparse seconds) is immune to machine drift between
+// separate benchmark invocations. These rows feed the CI bench-smoke
+// job's BENCH_sparse.json artifact.
+
+import (
+	"testing"
+	"time"
+
+	"hybriddelay/internal/eval"
+	"hybriddelay/internal/gate"
+	"hybriddelay/internal/gen"
+	"hybriddelay/internal/netlist"
+	"hybriddelay/internal/nor"
+	"hybriddelay/internal/spice"
+)
+
+// BenchmarkSparseSpeedupGate interleaves the cold gate-level pipeline
+// (every golden transient re-simulated) under both solver modes. The
+// gate bench's MNA system is small (n = 8), where the sparse kernel's
+// skip-list replay has little structure to exploit; the win here comes
+// mostly from the frozen linear stamps.
+func BenchmarkSparseSpeedupGate(b *testing.B) {
+	pd := nor.DefaultParams()
+	pd.MaxStep = 8e-12
+	ps := pd
+	ps.Solver = spice.SparseFast
+
+	mkRunner := func(p nor.Params) *eval.Runner {
+		bench, err := gate.NOR2.NewBench(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		meas, err := bench.Measure()
+		if err != nil {
+			b.Fatal(err)
+		}
+		models, err := gate.NOR2.BuildModels(meas, p.Supply, 20e-12)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return eval.NewGateRunner(bench, models, &eval.Options{Workers: parallelBenchWorkers})
+	}
+	dense, sparse := mkRunner(pd), mkRunner(ps)
+	configs := gen.PaperConfigs()
+	for i := range configs {
+		configs[i].Transitions /= 4
+	}
+	seeds := []int64{1, 2}
+
+	var dSecs, sSecs float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		start := time.Now()
+		if _, err := dense.Run(configs, seeds); err != nil {
+			b.Fatal(err)
+		}
+		dSecs += time.Since(start).Seconds()
+		start = time.Now()
+		if _, err := sparse.Run(configs, seeds); err != nil {
+			b.Fatal(err)
+		}
+		sSecs += time.Since(start).Seconds()
+	}
+	b.StopTimer()
+	b.ReportMetric(dSecs/sSecs, "speedup_x")
+}
+
+// BenchmarkSparseSpeedupCircuit interleaves one cold composed golden
+// transient of the flattened c17 bench under both solver modes — the
+// circuit-level system is large enough (tens of unknowns) that the
+// O(n³) dense elimination dominates and the structural kernel pays off.
+func BenchmarkSparseSpeedupCircuit(b *testing.B) {
+	pd := nor.DefaultParams()
+	pd.MaxStep = 8e-12
+	ps := pd
+	ps.Solver = spice.SparseFast
+
+	nl := netlist.C17("c17")
+	mkBench := func(p nor.Params) *netlist.Bench {
+		bench, err := netlist.NewBench(nl, p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return bench
+	}
+	dense, sparse := mkBench(pd), mkBench(ps)
+	cfg := circuitBenchConfig()
+	cfg.Inputs = len(nl.Inputs)
+	inputs, err := gen.Traces(cfg, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	until := gen.Horizon(inputs, 600e-12)
+
+	var dSecs, sSecs float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		start := time.Now()
+		if _, err := dense.Golden(inputs, until); err != nil {
+			b.Fatal(err)
+		}
+		dSecs += time.Since(start).Seconds()
+		start = time.Now()
+		if _, err := sparse.Golden(inputs, until); err != nil {
+			b.Fatal(err)
+		}
+		sSecs += time.Since(start).Seconds()
+	}
+	b.StopTimer()
+	b.ReportMetric(dSecs/sSecs, "speedup_x")
+	st := sparse.SolverStats()
+	b.ReportMetric(float64(st.SparseFallbacks), "sparse_fallbacks")
+}
