@@ -1,0 +1,95 @@
+package spice
+
+import (
+	"fmt"
+	"math"
+	"testing"
+)
+
+// Review scratch: after a sparse->dense pivot fallback, does the solver
+// leave dense-LU garbage at positions outside sym.Touched() that a later
+// dense fallback (or re-analyzed fill) would consume?
+func TestReviewOffTouchedGarbage(t *testing.T) {
+	g := make([]float64, 16)
+	set := func(vals ...float64) { copy(g, vals) }
+	build := func() (*Circuit, []NodeID) {
+		c := NewCircuit()
+		n := []NodeID{c.Node("n0"), c.Node("n1"), c.Node("n2"), c.Node("n3")}
+		for i := 0; i < 4; i++ {
+			a, b := n[i], n[(i+1)%4]
+			c.Add(&switchDevice{a: a, b: b, gaa: &g[i*4], gab: &g[i*4+1], gba: &g[i*4+2], gbb: &g[i*4+3]})
+		}
+		for i, nd := range n {
+			c.AddResistor(fmt.Sprintf("R%d", i), nd, Ground, 1e3)
+			c.AddCapacitor(fmt.Sprintf("C%d", i), nd, Ground, 1e-12)
+		}
+		c.AddISource("I1", n[0], Ground, 1e-3)
+		return c, n
+	}
+	// Benign values: diagonally dominant, ring coupling.
+	set(1, 0.1, 0.1, 1, 1, 0.1, 0.1, 1, 1, 0.1, 0.1, 1, 1, 0.1, 0.1, 1)
+	c, _ := build()
+	sv, err := NewSolver(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := TransientOptions{TStart: 0, TStop: 2e-9, MaxStep: 0.25e-9, Solver: SparseFast}
+	if _, err := sv.Transient(opt); err != nil {
+		t.Fatalf("benign: %v", err)
+	}
+	if sv.Stats().SparseFallbacks != 0 {
+		t.Fatalf("benign run fell back: %+v", sv.Stats())
+	}
+	symBefore := sv.sp.sym
+	t.Logf("benign: n=%d nnz=%d fill=%d", symBefore.N(), symBefore.NNZ(), symBefore.Fill())
+
+	// Degenerate values: huge off-diagonals swamp the scheduled pivots.
+	set(0, 1e9, 1e9, 0, 0, 1e9, 1e9, 0, 0, 1e9, 1e9, 0, 0, 1e9, 1e9, 0)
+	if _, err := sv.Transient(opt); err != nil {
+		t.Logf("degenerate transient error (itself interesting): %v", err)
+	}
+	st := sv.Stats()
+	t.Logf("stats: %+v", st)
+	if st.SparseFallbacks == 0 {
+		t.Skip("no fallback triggered; scenario not reached")
+	}
+	symAfter := sv.sp.sym
+	t.Logf("re-analyzed: same sym=%v nnz=%d fill=%d", symAfter == symBefore, symAfter.NNZ(), symAfter.Fill())
+
+	// Did the re-analysis introduce touched positions outside the old
+	// touched set (manifestation b)?
+	oldTouched := map[int32]bool{}
+	for _, off := range symBefore.Touched() {
+		oldTouched[off] = true
+	}
+	newOutside := 0
+	for _, off := range symAfter.Touched() {
+		if !oldTouched[off] {
+			newOutside++
+		}
+	}
+	t.Logf("new-sym touched positions outside old touched set: %d", newOutside)
+
+	// Manifestation a: simulate the restamp that precedes any later dense
+	// fallback, then check for garbage outside the current touched set.
+	v := make([]float64, len(sv.xNew))
+	sv.restampSparse(v, true)
+	touched := map[int32]bool{}
+	for _, off := range sv.sp.sym.Touched() {
+		touched[off] = true
+	}
+	maxOff := 0.0
+	cnt := 0
+	for off, val := range sv.ctx.G.Data {
+		if !touched[int32(off)] && val != 0 {
+			cnt++
+			if a := math.Abs(val); a > maxOff {
+				maxOff = a
+			}
+		}
+	}
+	if cnt > 0 {
+		t.Fatalf("CONFIRMED: %d nonzero off-touched entries (max %g) survive restampSparse after a dense fallback; the next dense fallback (and any re-analyzed fill outside the old touched set) solves a corrupted matrix", cnt, maxOff)
+	}
+	t.Log("no off-touched garbage found")
+}
