@@ -20,6 +20,11 @@
 //	charlie     closed-form Charlie formulas vs exact solver (§V)
 //	all         every experiment at reduced size
 //
+// Beyond the experiments, `hybridlab sweep` and `hybridlab circuit`
+// run one-shot jobs with their own flags, `hybridlab serve` runs the
+// evaluation engine as a long-lived multi-tenant HTTP service, and
+// `hybridlab loadgen` benchmarks such a service (BENCH_serve.json).
+//
 // Common flags (accepted after the experiment name):
 //
 //	-csv        emit CSV instead of aligned tables/plots
@@ -134,6 +139,8 @@ func subcommands() []subcommand {
 	return []subcommand{
 		{"sweep", "scenario sweep over the gate registry (own flags; see below)", runSweepCmd},
 		{"circuit", "circuit-level accuracy report for a multi-gate netlist (own flags)", runCircuitCmd},
+		{"serve", "long-running HTTP job service around one shared session (own flags)", runServeCmd},
+		{"loadgen", "drive concurrent mixed clients against a server; writes BENCH_serve.json", runLoadgenCmd},
 	}
 }
 
@@ -246,4 +253,7 @@ func usage() {
 	fmt.Fprintln(os.Stderr, "             -reps N -seed N -seeds L -grid FILE -out FILE -csv -fast -parallel N -store DIR -solver M")
 	fmt.Fprintln(os.Stderr, "circuit flags: -name C | -netlist FILE, -mode M -mu P -sigma P -trans N")
 	fmt.Fprintln(os.Stderr, "               -reps N -seed N -seeds L -out FILE -csv -fast -parallel N -store DIR -solver M")
+	fmt.Fprintln(os.Stderr, "serve flags: -addr A -parallel N -fast -store DIR -solver M")
+	fmt.Fprintln(os.Stderr, "             -per-client N -max-active N -backlog N -golden-budget N -param-limit N")
+	fmt.Fprintln(os.Stderr, "loadgen flags: -url U -clients N -jobs N -out FILE -verify (plus the serve flags for the in-process server)")
 }

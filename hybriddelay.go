@@ -55,6 +55,10 @@
 //	                   of the worker pool and both caches, evaluating
 //	                   gate, circuit and sweep jobs through a single
 //	                   Job/Result surface with context cancellation
+//	internal/serve   - the HTTP+JSON job service around one Session:
+//	                   job registry, SSE progress streams, per-client
+//	                   admission control and the loadgen harness
+//	internal/store   - persistent content-addressed golden-trace store
 //	internal/fit     - Nelder-Mead / Brent / Levenberg-Marquardt
 //	internal/la, ode, roots, waveform, trace - math & signal substrates
 //
@@ -87,6 +91,7 @@ import (
 	"hybriddelay/internal/inertial"
 	"hybriddelay/internal/netlist"
 	"hybriddelay/internal/nor"
+	"hybriddelay/internal/serve"
 	"hybriddelay/internal/session"
 	"hybriddelay/internal/spice"
 	"hybriddelay/internal/store"
@@ -357,6 +362,81 @@ type ParamCacheStats = eval.ParamStats
 // DefaultSessionExpDMin is the exp channel's empirical pure delay a
 // session job applies when not overridden (paper: 20 ps).
 const DefaultSessionExpDMin = session.DefaultExpDMin
+
+// SessionSnapshot is a point-in-time view of a session's shared
+// resources (caches, aggregate solver traffic, worker budget) —
+// the /metrics payload's session section.
+type SessionSnapshot = session.Snapshot
+
+// Serving API: `hybridlab serve` exposes one Session as a long-lived
+// multi-tenant HTTP+JSON job service — POST /v1/jobs accepts a
+// JobSpec, GET /v1/jobs/{id} reports status and result, GET
+// /v1/jobs/{id}/events streams progress over SSE, DELETE cancels, and
+// GET /metrics exposes the cache/solver/store/admission counters. An
+// admission gate bounds concurrently running jobs globally and per
+// client with a bounded FIFO backlog (overflow answers 429), and
+// Shutdown drains in-flight jobs and flushes the golden store.
+
+// JobServer is the HTTP service around one shared Session.
+type JobServer = serve.Server
+
+// JobServerOptions configures NewJobServer: the session (required),
+// an optionally mounted golden store, and the admission bounds.
+type JobServerOptions = serve.Options
+
+// NewJobServer builds the HTTP job service; mount it on any
+// http.Server (it implements http.Handler).
+func NewJobServer(opt JobServerOptions) (*JobServer, error) { return serve.NewServer(opt) }
+
+// JobSpec is the wire form of a job submission: a gate, circuit or
+// sweep workload by value, with no bench parameters — the server pins
+// the operating point, so tenants share its caches.
+type JobSpec = serve.JobSpec
+
+// JobState is a served job's lifecycle state.
+type JobState = serve.State
+
+// The served job lifecycle.
+const (
+	JobQueued    = serve.StateQueued
+	JobRunning   = serve.StateRunning
+	JobDone      = serve.StateDone
+	JobFailed    = serve.StateFailed
+	JobCancelled = serve.StateCancelled
+)
+
+// JobStatus is the GET /v1/jobs/{id} payload.
+type JobStatus = serve.JobStatus
+
+// JobEvent is one entry of a served job's progress event log (the SSE
+// stream's data frames).
+type JobEvent = serve.Event
+
+// ServerMetrics is the GET /metrics payload.
+type ServerMetrics = serve.Metrics
+
+// AdmissionStats counts the admission gate's decisions.
+type AdmissionStats = serve.AdmissionStats
+
+// LoadOptions configures RunServeLoad's concurrent mixed-client load.
+type LoadOptions = serve.LoadOptions
+
+// LoadReport is the BENCH_serve.json payload: latency percentiles,
+// throughput and the byte-identity verdict against a one-shot
+// reference session.
+type LoadReport = serve.LoadReport
+
+// RunServeLoad drives concurrent mixed clients against a running job
+// server and assembles the latency/throughput report (`hybridlab
+// loadgen`).
+func RunServeLoad(ctx context.Context, baseURL string, opt LoadOptions) (*LoadReport, error) {
+	return serve.RunLoad(ctx, baseURL, opt)
+}
+
+// CanonicalServeResultJSON projects a Result onto its deterministic
+// content — stripping timings and cache counters — so server results
+// can be compared byte-for-byte against one-shot runs.
+func CanonicalServeResultJSON(res *Result) ([]byte, error) { return serve.CanonicalResultJSON(res) }
 
 // defaultSession backs the legacy entry points: one process-wide
 // engine. Its parametrization cache gives repeated legacy sweeps

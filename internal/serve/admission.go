@@ -1,0 +1,127 @@
+package serve
+
+import "sync"
+
+// Admission is the server's two-level concurrency gate: a global cap
+// on concurrently running jobs, a per-client running budget (tenant
+// fairness — one greedy client cannot monopolize the session's worker
+// pool), and a bounded FIFO backlog for jobs that cannot start yet.
+// A submission that fits neither a slot nor the backlog is rejected
+// (the server turns that into HTTP 429).
+type Admission struct {
+	mu        sync.Mutex
+	maxActive int // global running cap
+	perClient int // per-client running cap
+	backlogN  int // backlog capacity
+
+	running  int
+	byClient map[string]int
+	backlog  []*pending
+
+	admitted int64 // jobs ever granted a running slot
+	rejected int64 // submissions bounced at the backlog bound
+}
+
+// pending is one backlogged submission: the dispatch callback runs on
+// the admitting goroutine once a slot frees up.
+type pending struct {
+	client string
+	start  func()
+}
+
+// NewAdmission builds the gate. Non-positive values select the
+// defaults: 2 running jobs per client, 2×perClient global, backlog 16.
+func NewAdmission(maxActive, perClient, backlog int) *Admission {
+	if perClient <= 0 {
+		perClient = 2
+	}
+	if maxActive <= 0 {
+		maxActive = 2 * perClient
+	}
+	if backlog <= 0 {
+		backlog = 16
+	}
+	return &Admission{
+		maxActive: maxActive,
+		perClient: perClient,
+		backlogN:  backlog,
+		byClient:  map[string]int{},
+	}
+}
+
+// Submit offers a job for execution. If a running slot is free for the
+// client, start is invoked synchronously (before Submit returns) and
+// Submit reports (admitted=true, queued=false). Otherwise the job joins
+// the backlog (queued=true) and start runs later on whichever goroutine
+// releases the unblocking slot. When the backlog is full the submission
+// is rejected (both false) and start is never called.
+func (a *Admission) Submit(client string, start func()) (admitted, queued bool) {
+	a.mu.Lock()
+	if a.running < a.maxActive && a.byClient[client] < a.perClient {
+		a.running++
+		a.byClient[client]++
+		a.admitted++
+		a.mu.Unlock()
+		start()
+		return true, false
+	}
+	if len(a.backlog) >= a.backlogN {
+		a.rejected++
+		a.mu.Unlock()
+		return false, false
+	}
+	a.backlog = append(a.backlog, &pending{client: client, start: start})
+	a.mu.Unlock()
+	return false, true
+}
+
+// Release returns a finished job's slot and dispatches the first
+// backlogged job whose client is under budget (FIFO within
+// eligibility, so one over-budget client cannot block the queue head
+// for everyone else).
+func (a *Admission) Release(client string) {
+	a.mu.Lock()
+	a.running--
+	if a.byClient[client]--; a.byClient[client] == 0 {
+		delete(a.byClient, client)
+	}
+	var next *pending
+	if a.running < a.maxActive {
+		for i, p := range a.backlog {
+			if a.byClient[p.client] < a.perClient {
+				next = p
+				a.backlog = append(a.backlog[:i], a.backlog[i+1:]...)
+				a.running++
+				a.byClient[p.client]++
+				a.admitted++
+				break
+			}
+		}
+	}
+	a.mu.Unlock()
+	if next != nil {
+		next.start()
+	}
+}
+
+// AdmissionStats is the /metrics picture of the gate.
+type AdmissionStats struct {
+	Running   int   `json:"running"`
+	Backlog   int   `json:"backlog"`
+	Admitted  int64 `json:"admitted"`
+	Rejected  int64 `json:"rejected"`
+	MaxActive int   `json:"max_active"`
+	PerClient int   `json:"per_client"`
+	BacklogN  int   `json:"backlog_cap"`
+}
+
+// Stats snapshots the gate's counters.
+func (a *Admission) Stats() AdmissionStats {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return AdmissionStats{
+		Running: a.running, Backlog: len(a.backlog),
+		Admitted: a.admitted, Rejected: a.rejected,
+		MaxActive: a.maxActive, PerClient: a.perClient, BacklogN: a.backlogN,
+	}
+}

@@ -1,0 +1,158 @@
+package serve
+
+import (
+	"context"
+	"net/http"
+	"testing"
+	"time"
+
+	"hybriddelay/internal/session"
+	"hybriddelay/internal/store"
+	"hybriddelay/internal/sweep"
+)
+
+// ctxTimeout is context.WithTimeout with the background parent (test
+// shorthand).
+func ctxTimeout(t *testing.T, d time.Duration) (context.Context, context.CancelFunc) {
+	t.Helper()
+	return context.WithTimeout(context.Background(), d)
+}
+
+// openTestStore opens a store in a test temp dir and closes it on
+// cleanup.
+func openTestStore(t *testing.T) *store.Store {
+	t.Helper()
+	st, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatalf("store.Open: %v", err)
+	}
+	t.Cleanup(func() { st.Close() })
+	return st
+}
+
+// TestServeCancelMidJob pins the cancellation latency contract: a
+// DELETE against a large running sweep job returns promptly, the job
+// stops claiming evaluation units (far short of the grid), and reaches
+// the cancelled terminal state bounded by in-flight units — not by the
+// whole grid.
+func TestServeCancelMidJob(t *testing.T) {
+	if testing.Short() {
+		t.Skip("analog evaluation in -short mode")
+	}
+	// A single-worker session makes the grid strictly sequential: with
+	// 4 stimuli × 16 seeds = 64 evaluation units of several transitions
+	// each, the job cannot finish before the cancel lands.
+	p := fastParams()
+	sess := session.New(session.Options{BaseParams: &p, Workers: 1})
+	_, hs := newTestServer(t, Options{Session: sess})
+	stims := make([]sweep.Stimulus, 0, 4)
+	for _, tr := range []int{6, 7, 8, 9} {
+		stims = append(stims, testStimulus(tr))
+	}
+	spec := JobSpec{Kind: session.KindSweep, Sweep: &sweep.Spec{
+		Gates:     []string{"nor2"},
+		Stimuli:   stims,
+		SeedCount: 16,
+	}}
+	id := submit(t, hs.URL, spec, "")
+
+	// Wait for the job to be genuinely running (first event published).
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		st := getStatus(t, hs.URL, id)
+		if st.State == StateRunning && st.Events > 0 {
+			break
+		}
+		if st.State.terminal() {
+			t.Fatalf("job reached %s before cancel", st.State)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job never started producing events")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	delStart := time.Now()
+	req, err := http.NewRequest(http.MethodDelete, hs.URL+"/v1/jobs/"+id, nil)
+	if err != nil {
+		t.Fatalf("request: %v", err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatalf("DELETE: %v", err)
+	}
+	resp.Body.Close()
+	delLatency := time.Since(delStart)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("DELETE status %d, want 202", resp.StatusCode)
+	}
+	// The DELETE itself must not wait for the job: it only flips the
+	// context.
+	if delLatency > 2*time.Second {
+		t.Errorf("DELETE took %v — cancellation must not block on the job", delLatency)
+	}
+
+	st := waitTerminal(t, hs.URL, id, 60*time.Second)
+	if st.State != StateCancelled {
+		t.Fatalf("job ended %s (want cancelled): %s", st.State, st.Error)
+	}
+	// The job stopped claiming units: the grid (32 eval units) must not
+	// have run to completion. Count completed eval units off the event
+	// log.
+	srv := hs.Config.Handler.(*Server)
+	j, ok := srv.Registry().Get(id)
+	if !ok {
+		t.Fatalf("job missing from registry")
+	}
+	evs, _ := j.EventsSince(0)
+	evalDone := 0
+	for _, e := range evs {
+		if e.Kind == "progress" && e.Phase == session.PhaseEval && e.Err == "" {
+			evalDone++
+		}
+	}
+	if evalDone >= 64 {
+		t.Errorf("cancelled sweep still completed all %d eval units", evalDone)
+	}
+}
+
+// TestServeCancelQueuedJob cancels a job that never left the backlog:
+// the cancellation is immediate and the backlog slot is recycled.
+func TestServeCancelQueuedJob(t *testing.T) {
+	if testing.Short() {
+		t.Skip("analog evaluation in -short mode")
+	}
+	_, hs := newTestServer(t, Options{MaxActive: 1, PerClient: 1, Backlog: 4})
+	spec := JobSpec{Kind: session.KindGate, Gate: "nor2", Stimuli: []sweep.Stimulus{testStimulus(2)}, Seeds: []int64{1}}
+	first := submit(t, hs.URL, spec, "a")
+	second := submit(t, hs.URL, spec, "b") // backlogged behind MaxActive=1
+
+	req, err := http.NewRequest(http.MethodDelete, hs.URL+"/v1/jobs/"+second, nil)
+	if err != nil {
+		t.Fatalf("request: %v", err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatalf("DELETE: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted && resp.StatusCode != http.StatusConflict {
+		t.Fatalf("DELETE status %d", resp.StatusCode)
+	}
+	if st := waitTerminal(t, hs.URL, second, 120*time.Second); st.State != StateCancelled && st.State != StateDone {
+		t.Errorf("queued job ended %s", st.State)
+	}
+	if st := waitTerminal(t, hs.URL, first, 120*time.Second); st.State != StateDone {
+		t.Errorf("first job ended %s: %s", st.State, st.Error)
+	}
+	// A second DELETE against a terminal job answers 409.
+	req2, _ := http.NewRequest(http.MethodDelete, hs.URL+"/v1/jobs/"+first, nil)
+	resp2, err := http.DefaultClient.Do(req2)
+	if err != nil {
+		t.Fatalf("DELETE: %v", err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusConflict {
+		t.Errorf("DELETE of done job: status %d, want 409", resp2.StatusCode)
+	}
+}

@@ -1,0 +1,308 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"hybriddelay/internal/session"
+)
+
+// State is a job's lifecycle position in the registry.
+type State string
+
+// The job lifecycle. Queued jobs hold an admission backlog slot;
+// running jobs hold a concurrency slot; the three terminal states are
+// final (a cancelled job stays cancelled even if its last in-flight
+// unit completed successfully).
+const (
+	StateQueued    State = "queued"
+	StateRunning   State = "running"
+	StateDone      State = "done"
+	StateFailed    State = "failed"
+	StateCancelled State = "cancelled"
+)
+
+func (s State) terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCancelled
+}
+
+// Event is one element of a job's SSE stream: a progress step
+// (Kind "progress") or the single terminal marker (Kind "end"). Seq is
+// the per-job sequence number, assigned under the registry's
+// serialization — because session.Progress delivery is serialized per
+// job, Seq increases deterministically with the job's own step order.
+type Event struct {
+	Seq       int    `json:"seq"`
+	Kind      string `json:"kind"` // "progress" or "end"
+	Phase     string `json:"phase,omitempty"`
+	Scenario  int    `json:"scenario,omitempty"`
+	Seed      int64  `json:"seed,omitempty"`
+	Completed int    `json:"completed,omitempty"`
+	Total     int    `json:"total,omitempty"`
+	Err       string `json:"err,omitempty"`
+	State     State  `json:"state,omitempty"` // terminal events only
+}
+
+// Job is one submitted workload tracked by the registry. All mutable
+// fields are guarded by mu; events only grows, and waiters are woken
+// through the notify channel (closed and replaced on every append).
+type Job struct {
+	ID     string  `json:"id"`
+	Client string  `json:"client"`
+	Spec   JobSpec `json:"spec"`
+
+	sjob   session.Job // validated spec conversion, fixed at submit
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	mu       sync.Mutex
+	state    State
+	events   []Event
+	notify   chan struct{}
+	result   *session.Result
+	errMsg   string
+	created  time.Time
+	started  time.Time
+	finished time.Time
+}
+
+// withProgress returns the job's session.Job with the event publisher
+// attached as its Progress callback.
+func (j *Job) withProgress() session.Job {
+	switch sj := j.sjob.(type) {
+	case session.GateJob:
+		sj.Progress = j.progress
+		return sj
+	case session.CircuitJob:
+		sj.Progress = j.progress
+		return sj
+	case session.SweepJob:
+		sj.Progress = j.progress
+		return sj
+	}
+	return j.sjob
+}
+
+// JobStatus is the wire form of GET /v1/jobs/{id}: the job's identity,
+// state, timing, and — once terminal — its result or error.
+type JobStatus struct {
+	ID        string          `json:"id"`
+	Client    string          `json:"client"`
+	Kind      session.Kind    `json:"kind"`
+	State     State           `json:"state"`
+	CreatedAt time.Time       `json:"created_at"`
+	StartedAt *time.Time      `json:"started_at,omitempty"`
+	EndedAt   *time.Time      `json:"ended_at,omitempty"`
+	Events    int             `json:"events"`
+	Error     string          `json:"error,omitempty"`
+	Result    *session.Result `json:"result,omitempty"`
+}
+
+// Status snapshots the job for the status endpoint.
+func (j *Job) Status() JobStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	st := JobStatus{
+		ID: j.ID, Client: j.Client, Kind: j.Spec.Kind,
+		State: j.state, CreatedAt: j.created,
+		Events: len(j.events), Error: j.errMsg,
+	}
+	if !j.started.IsZero() {
+		t := j.started
+		st.StartedAt = &t
+	}
+	if !j.finished.IsZero() {
+		t := j.finished
+		st.EndedAt = &t
+	}
+	if j.state == StateDone {
+		st.Result = j.result
+	}
+	return st
+}
+
+// State returns the job's current lifecycle state.
+func (j *Job) State() State {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state
+}
+
+// Result returns the terminal outcome (result or error); ok is false
+// while the job is still queued or running.
+func (j *Job) Result() (res *session.Result, errMsg string, ok bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if !j.state.terminal() {
+		return nil, "", false
+	}
+	return j.result, j.errMsg, true
+}
+
+// publish appends one event, assigning its sequence number, and wakes
+// every waiting subscriber.
+func (j *Job) publish(e Event) {
+	j.mu.Lock()
+	e.Seq = len(j.events) + 1
+	j.events = append(j.events, e)
+	close(j.notify)
+	j.notify = make(chan struct{})
+	j.mu.Unlock()
+}
+
+// EventsSince returns the events with Seq > after, plus a channel that
+// is closed when further events arrive. The final event of every job is
+// the terminal "end" marker, so a subscriber that has seen it never
+// needs to wait again.
+func (j *Job) EventsSince(after int) ([]Event, <-chan struct{}) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	var evs []Event
+	if after < len(j.events) {
+		evs = append(evs, j.events[after:]...)
+	}
+	return evs, j.notify
+}
+
+// progress adapts the session's serialized Progress stream onto the
+// job's event log.
+func (j *Job) progress(p session.Progress) {
+	e := Event{
+		Kind: "progress", Phase: p.Phase, Scenario: p.Scenario,
+		Seed: p.Seed, Completed: p.Completed, Total: p.Total,
+	}
+	if p.Err != nil {
+		e.Err = p.Err.Error()
+	}
+	j.publish(e)
+}
+
+// finish moves the job to its terminal state and publishes the "end"
+// marker. The terminal state wins over late transitions: a job
+// cancelled while its result was being assembled reports cancelled.
+func (j *Job) finish(state State, res *session.Result, err error) {
+	j.mu.Lock()
+	if j.state.terminal() {
+		j.mu.Unlock()
+		return
+	}
+	j.state = state
+	j.result = res
+	if err != nil {
+		j.errMsg = err.Error()
+	}
+	j.finished = time.Now()
+	j.mu.Unlock()
+	j.publish(Event{Kind: "end", State: state, Err: j.errMsg})
+}
+
+// Registry is the server's in-memory job table. Jobs are never evicted
+// for the process lifetime — the table is the /metrics job inventory
+// and the status endpoint's source of truth.
+type Registry struct {
+	mu     sync.Mutex
+	nextID int
+	jobs   map[string]*Job
+	counts map[State]int
+}
+
+// NewRegistry returns an empty job table.
+func NewRegistry() *Registry {
+	return &Registry{jobs: map[string]*Job{}, counts: map[State]int{}}
+}
+
+// Add registers a new queued job and assigns its id.
+func (r *Registry) Add(spec JobSpec, client string, sjob session.Job, ctx context.Context, cancel context.CancelFunc) *Job {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.nextID++
+	j := &Job{
+		ID:      fmt.Sprintf("j%06d", r.nextID),
+		Client:  client,
+		Spec:    spec,
+		sjob:    sjob,
+		ctx:     ctx,
+		cancel:  cancel,
+		state:   StateQueued,
+		notify:  make(chan struct{}),
+		created: time.Now(),
+	}
+	r.jobs[j.ID] = j
+	r.counts[StateQueued]++
+	return j
+}
+
+// Remove drops a job that never entered the system (an admission
+// rejection after registration). Only queued jobs can be removed.
+func (r *Registry) Remove(id string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	j, ok := r.jobs[id]
+	if !ok {
+		return
+	}
+	j.mu.Lock()
+	queued := j.state == StateQueued
+	j.mu.Unlock()
+	if queued {
+		delete(r.jobs, id)
+		r.counts[StateQueued]--
+	}
+}
+
+// Get looks a job up by id.
+func (r *Registry) Get(id string) (*Job, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	j, ok := r.jobs[id]
+	return j, ok
+}
+
+// transition moves a job between states, keeping the per-state counts.
+func (r *Registry) transition(j *Job, apply func()) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	j.mu.Lock()
+	before := j.state
+	j.mu.Unlock()
+	apply()
+	j.mu.Lock()
+	after := j.state
+	j.mu.Unlock()
+	if before != after {
+		r.counts[before]--
+		r.counts[after]++
+	}
+}
+
+// Start marks a queued job running.
+func (r *Registry) Start(j *Job) {
+	r.transition(j, func() {
+		j.mu.Lock()
+		if j.state == StateQueued {
+			j.state = StateRunning
+			j.started = time.Now()
+		}
+		j.mu.Unlock()
+	})
+}
+
+// Finish moves a job to a terminal state (see Job.finish).
+func (r *Registry) Finish(j *Job, state State, res *session.Result, err error) {
+	r.transition(j, func() { j.finish(state, res, err) })
+}
+
+// Counts snapshots the per-state job counts.
+func (r *Registry) Counts() map[State]int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[State]int, len(r.counts))
+	for s, n := range r.counts {
+		if n != 0 {
+			out[s] = n
+		}
+	}
+	return out
+}

@@ -1,0 +1,46 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+)
+
+// sseWriter encodes Server-Sent Events on a streaming HTTP response.
+// Each event carries the per-job sequence number as the SSE id, the
+// event kind as the event name, and the JSON-encoded Event as data, so
+// a disconnected client can resume with Last-Event-ID semantics by
+// re-requesting /events?after=<id>.
+type sseWriter struct {
+	w http.ResponseWriter
+	f http.Flusher
+}
+
+// newSSEWriter prepares the response for streaming; ok is false when
+// the connection cannot flush incrementally (no streaming support).
+func newSSEWriter(w http.ResponseWriter) (*sseWriter, bool) {
+	f, ok := w.(http.Flusher)
+	if !ok {
+		return nil, false
+	}
+	h := w.Header()
+	h.Set("Content-Type", "text/event-stream")
+	h.Set("Cache-Control", "no-store")
+	h.Set("Connection", "keep-alive")
+	w.WriteHeader(http.StatusOK)
+	f.Flush()
+	return &sseWriter{w: w, f: f}, true
+}
+
+// Send writes one event frame and flushes it to the client.
+func (s *sseWriter) Send(e Event) error {
+	data, err := json.Marshal(e)
+	if err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(s.w, "id: %d\nevent: %s\ndata: %s\n\n", e.Seq, e.Kind, data); err != nil {
+		return err
+	}
+	s.f.Flush()
+	return nil
+}

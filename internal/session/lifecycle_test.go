@@ -1,0 +1,128 @@
+package session
+
+import (
+	"context"
+	"testing"
+
+	"hybriddelay/internal/gen"
+	"hybriddelay/internal/spice"
+	"hybriddelay/internal/store"
+)
+
+// TestSessionCloseFlushesStore exercises the write-behind drain path
+// end to end at the session layer: a job computes golden traces that
+// spill to the persistent store in the background, Session.Close
+// flushes them before the process "exits", and a second session over a
+// reopened store serves the same job warm from disk — with zero new
+// transient solves beyond the parametrization measurements.
+func TestSessionCloseFlushesStore(t *testing.T) {
+	if testing.Short() {
+		t.Skip("analog evaluation in -short mode")
+	}
+	dir := t.TempDir()
+	p := fastParams()
+	job := GateJob{Params: &p, Configs: []gen.Config{testConfig(2, 2)}, Seeds: []int64{1, 2}}
+
+	st, err := store.Open(dir)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	s1 := New(Options{Store: st})
+	cold, err := s1.Evaluate(context.Background(), job)
+	if err != nil {
+		t.Fatalf("cold Evaluate: %v", err)
+	}
+	if err := s1.Close(); err != nil {
+		t.Fatalf("Session.Close: %v", err)
+	}
+	// After Close every background write must have landed: the store's
+	// own counter is the ground truth (Flush waits for the writer, not
+	// just the queue).
+	if w := st.Stats().Writes; w == 0 {
+		t.Fatalf("no store writes landed after Session.Close; stats=%+v", st.Stats())
+	}
+	if err := st.Close(); err != nil {
+		t.Fatalf("store.Close: %v", err)
+	}
+
+	st2, err := store.Open(dir)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer st2.Close()
+	s2 := New(Options{Store: st2})
+	warm, err := s2.Evaluate(context.Background(), job)
+	if err != nil {
+		t.Fatalf("warm Evaluate: %v", err)
+	}
+	if warm.Stats.Golden.DiskHits == 0 {
+		t.Fatalf("reopened store served no disk hits; golden stats %+v, store stats %+v",
+			warm.Stats.Golden, st2.Stats())
+	}
+	if st2.Stats().Misses != 0 {
+		t.Errorf("warm run missed on disk: store stats %+v", st2.Stats())
+	}
+	if len(warm.Gate) != len(cold.Gate) {
+		t.Fatalf("row count changed across restart: %d vs %d", len(warm.Gate), len(cold.Gate))
+	}
+	for i := range warm.Gate {
+		for model, area := range warm.Gate[i].Area {
+			if got := cold.Gate[i].Area[model]; area != got {
+				t.Errorf("row %d model %s: warm area %g != cold %g", i, model, area, got)
+			}
+		}
+	}
+}
+
+// TestSessionCloseWithoutStore ensures Close is a no-op (and safe) on a
+// session with no persistent tier.
+func TestSessionCloseWithoutStore(t *testing.T) {
+	if err := New(Options{}).Close(); err != nil {
+		t.Fatalf("Close without store: %v", err)
+	}
+}
+
+// TestSessionProgressSerializedMonotonic pins the serialized-delivery
+// guarantee: Progress callbacks run one at a time and the eval-phase
+// Completed counter increases strictly by one as observed inside the
+// callback, even with many pooled workers finishing units
+// concurrently. The callback mutates shared state without any locking
+// of its own — under -race this fails loudly if delivery is not
+// serialized.
+func TestSessionProgressSerializedMonotonic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("analog evaluation in -short mode")
+	}
+	p := fastParams()
+	p.Solver = spice.SparseFast
+	var (
+		last  int // eval-phase Completed as last observed; no mutex on purpose
+		total int
+		bad   []string
+	)
+	job := GateJob{
+		Params:  &p,
+		Configs: []gen.Config{testConfig(2, 2), testConfig(2, 3)},
+		Seeds:   []int64{1, 2, 3},
+		Workers: 8,
+		Progress: func(pr Progress) {
+			if pr.Phase != PhaseEval {
+				return
+			}
+			if pr.Completed != last+1 {
+				bad = append(bad, "completed jumped")
+			}
+			last = pr.Completed
+			total = pr.Total
+		},
+	}
+	if _, err := New(Options{}).Evaluate(context.Background(), job); err != nil {
+		t.Fatalf("Evaluate: %v", err)
+	}
+	if len(bad) != 0 {
+		t.Fatalf("non-monotonic progress delivery: %d violations", len(bad))
+	}
+	if last != total || total != 6 {
+		t.Fatalf("final progress %d/%d, want 6/6", last, total)
+	}
+}

@@ -30,6 +30,7 @@ import (
 	"context"
 	"fmt"
 	"runtime"
+	"sync"
 	"time"
 
 	"hybriddelay/internal/eval"
@@ -73,6 +74,14 @@ type Options struct {
 	// Applied to a shared cache passed via Params too.
 	ParamLimit int
 
+	// BaseParams overrides the bench parameters jobs fall back to when
+	// they carry none of their own: the session's operating point. Nil
+	// selects nor.DefaultParams() under the session's Solver mode; a
+	// non-nil value is used verbatim (its own Solver field included).
+	// A server built on the session uses this to pin the operating
+	// point all tenants share.
+	BaseParams *nor.Params
+
 	// Golden, when non-nil, seeds the session with an existing
 	// golden-trace cache (e.g. to share one cache between sessions).
 	// Nil creates a private cache owned by the session.
@@ -103,13 +112,15 @@ type Options struct {
 type Session struct {
 	workers int
 	solver  spice.SolverMode
+	base    *nor.Params
 	golden  *eval.GoldenCache
 	params  *eval.ParamCache
+	store   eval.PersistentStore
 }
 
 // New builds a Session. opt zero value selects all defaults.
 func New(opt Options) *Session {
-	s := &Session{workers: opt.Workers, solver: opt.Solver, golden: opt.Golden, params: opt.Params}
+	s := &Session{workers: opt.Workers, solver: opt.Solver, base: opt.BaseParams, golden: opt.Golden, params: opt.Params, store: opt.Store}
 	if s.workers <= 0 {
 		s.workers = runtime.GOMAXPROCS(0)
 	}
@@ -136,6 +147,47 @@ func (s *Session) GoldenCache() *eval.GoldenCache { return s.golden }
 
 // ParamCache returns the session's shared parametrization cache.
 func (s *Session) ParamCache() *eval.ParamCache { return s.params }
+
+// Workers returns the session's default worker budget.
+func (s *Session) Workers() int { return s.workers }
+
+// Close drains the session's durable state: when a persistent store is
+// mounted and supports flushing (store.Store does), every golden trace
+// still queued on its write-behind path is written out before Close
+// returns. The session stays usable afterwards — Close is a flush
+// point, not a teardown — and the caller keeps ownership of the store
+// itself (see Options.Store). A server shutdown or a short-lived CLI
+// run calls Close so freshly computed traces cannot be dropped.
+func (s *Session) Close() error {
+	if f, ok := s.store.(interface{ Flush() error }); ok {
+		return f.Flush()
+	}
+	return nil
+}
+
+// Snapshot is a point-in-time view of the session's shared resources,
+// for operational surfaces (the serve mode's /metrics endpoint). All
+// counters are session-lifetime values.
+type Snapshot struct {
+	Golden  eval.CacheStats   `json:"golden"`  // shared golden-trace cache
+	Params  eval.ParamStats   `json:"params"`  // parametrization cache
+	Solver  spice.SolverStats `json:"solver"`  // aggregate over cached operating points
+	Workers int               `json:"workers"` // default worker budget
+}
+
+// Snapshot captures the session's cache and solver counters. The
+// solver picture aggregates the pooled benches of every operating
+// point in the parametrization cache (idle instances only — between
+// jobs the pools are fully idle, so a quiescent snapshot sees every
+// transient those sources ever ran).
+func (s *Session) Snapshot() Snapshot {
+	return Snapshot{
+		Golden:  s.golden.Stats(),
+		Params:  s.params.Stats(),
+		Solver:  s.params.SolverStats(),
+		Workers: s.workers,
+	}
+}
 
 // Kind names a job (and result) flavour.
 type Kind string
@@ -328,10 +380,13 @@ func (s *Session) Evaluate(ctx context.Context, job Job) (*Result, error) {
 	)
 	switch j := job.(type) {
 	case GateJob:
+		j.Progress = serializeProgress(j.Progress)
 		res, err = s.evaluateGate(ctx, j)
 	case CircuitJob:
+		j.Progress = serializeProgress(j.Progress)
 		res, err = s.evaluateCircuit(ctx, j)
 	case SweepJob:
+		j.Progress = serializeProgress(j.Progress)
 		res, err = s.evaluateSweep(ctx, j)
 	case nil:
 		return nil, fmt.Errorf("session: nil job")
@@ -345,6 +400,24 @@ func (s *Session) Evaluate(ctx context.Context, job Job) (*Result, error) {
 	res.Stats.Solver.Add(s.params.SolverStats())
 	res.Stats.WallSeconds = time.Since(start).Seconds()
 	return res, nil
+}
+
+// serializeProgress wraps a job's Progress callback in a per-job mutex
+// so events are delivered one at a time, making the delivery guarantee
+// documented on Progress independent of which engine (or pool) runs the
+// job. Within one phase the Completed counter is then strictly
+// increasing as observed by the callback — which is what lets the serve
+// mode's SSE stream assign deterministic per-job sequence numbers.
+func serializeProgress(fn func(Progress)) func(Progress) {
+	if fn == nil {
+		return nil
+	}
+	var mu sync.Mutex
+	return func(p Progress) {
+		mu.Lock()
+		defer mu.Unlock()
+		fn(p)
+	}
 }
 
 // goldenFor resolves the golden cache a job uses: its override, the
@@ -376,11 +449,15 @@ func expDMinOr(v float64) float64 {
 }
 
 // paramsOr resolves a job's bench parameters: explicit parameters are
-// used as-is (their Solver field included); nil selects the calibrated
-// defaults under the session's default solver mode.
+// used as-is (their Solver field included); nil selects the session's
+// base operating point — Options.BaseParams when set, else the
+// calibrated defaults under the session's default solver mode.
 func (s *Session) paramsOr(p *nor.Params) nor.Params {
 	if p != nil {
 		return *p
+	}
+	if s.base != nil {
+		return *s.base
 	}
 	d := nor.DefaultParams()
 	d.Solver = s.solver

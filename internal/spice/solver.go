@@ -144,6 +144,11 @@ func (s *Solver) newton(v []float64, opt NewtonOptions, gmin float64, gminStage 
 	if s.mode == SparseFast && gmin == 0 && !gminStage && !s.ctx.DC && !opt.ModifiedNewton {
 		return s.newtonSparse(v, opt)
 	}
+	// This dense solve factors ctx.G in place, leaving LU residue at
+	// positions outside the sparse pattern's touched set; the next
+	// sparse restamp must reset the workspace in full (every sparse
+	// transient's DC/gmin prelude runs through here).
+	s.sp.denseDirty = true
 	opt.defaults()
 	s.ensure()
 	c := s.c

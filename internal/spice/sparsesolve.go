@@ -41,6 +41,15 @@ type sparseState struct {
 	sym   *sparse.Symbolic
 	num   *sparse.Numeric
 	stale bool // values drifted off the static pivot order: re-analyze
+
+	// denseDirty records that the dense kernel factored ctx.G in place
+	// (a pivot fallback here, or a dense-mode Newton solve on the same
+	// workspace), leaving LU residue at positions outside the touched
+	// set. The touched-only restore in restampSparse is then
+	// insufficient: a later dense fallback would consume the residue,
+	// and a re-analysis could schedule fill slots on top of it, so the
+	// next restamp resets the matrix in full.
+	denseDirty bool
 }
 
 // ensureSparse builds the structural pattern and device partition. The
@@ -120,16 +129,20 @@ func (s *Solver) restampSparse(v []float64, firstIter bool) {
 	sp := &s.sp
 	ctx := &s.ctx
 	g, rhs := ctx.G, ctx.RHS
-	if sp.sym != nil {
+	if sp.sym != nil && !sp.denseDirty {
 		for _, off := range sp.sym.Touched() {
 			g.Data[off] = sp.linG.Data[off]
 		}
 	} else {
-		// No analysis yet: the matrix may hold anything, reset fully.
+		// No analysis yet, or the dense kernel polluted the workspace:
+		// the matrix may hold anything, reset fully. linG is zero
+		// outside the pattern, so copying pattern positions restores
+		// the complete clean state.
 		g.Zero()
 		for _, off := range sp.pattern {
 			g.Data[off] = sp.linG.Data[off]
 		}
+		sp.denseDirty = false
 	}
 	copy(rhs, sp.linRHS)
 	ctx.V = v
@@ -222,6 +235,9 @@ func (s *Solver) newtonSparse(v []float64, opt NewtonOptions) error {
 			}
 		}
 		if !solved {
+			// The in-place dense factorization overwrites the whole
+			// matrix, including positions outside the touched set.
+			sp.denseDirty = true
 			if err := s.lu.FactorSolveInPlace(ctx.G, xNew, ctx.RHS); err != nil {
 				return fmt.Errorf("spice: MNA matrix singular at t=%g: %w", ctx.Time, err)
 			}
