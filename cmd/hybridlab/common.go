@@ -129,6 +129,10 @@ func reportSolver(stderr io.Writer, st spice.SolverStats) {
 		fmt.Fprintf(stderr, "solver: sparse path: %d sparse factorizations, %d dense fallbacks, %d linear restamps skipped\n",
 			st.SparseFactorizations, st.SparseFallbacks, st.LinearReuses)
 	}
+	if st.SymbolicHits > 0 || st.SymbolicMisses > 0 {
+		fmt.Fprintf(stderr, "solver: symbolic cache: %d hits, %d misses, %d supernodes adopted\n",
+			st.SymbolicHits, st.SymbolicMisses, st.Supernodes)
+	}
 }
 
 // sessionProgress renders the session's unified progress stream as

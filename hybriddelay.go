@@ -89,6 +89,7 @@ import (
 	"hybriddelay/internal/hybrid"
 	"hybriddelay/internal/idm"
 	"hybriddelay/internal/inertial"
+	"hybriddelay/internal/la/sparse"
 	"hybriddelay/internal/netlist"
 	"hybriddelay/internal/nor"
 	"hybriddelay/internal/serve"
@@ -343,9 +344,20 @@ const (
 func ParseSolverMode(s string) (SolverMode, error) { return spice.ParseSolverMode(s) }
 
 // SolverStats counts the MNA solver work behind an evaluation — steps,
-// Newton iterations, factorizations, and the sparse path's savings.
+// Newton iterations, factorizations, and the sparse path's savings
+// (including symbolic-cache hits/misses and adopted supernodes).
 // Every session Result carries one in Stats.Solver.
 type SolverStats = spice.SolverStats
+
+// SymbolicCacheStats reports the process-wide symbolic-factorization
+// cache's counters: Misses counts Markowitz pilot analyses actually
+// run, Hits counts solvers that adopted a shared analysis instead.
+// The session snapshot (and the serve /metrics payload) carries one.
+type SymbolicCacheStats = sparse.CacheStats
+
+// SharedSymbolicCacheStats snapshots the process-wide symbolic cache
+// every SparseFast solver resolves its analyses through.
+func SharedSymbolicCacheStats() SymbolicCacheStats { return spice.SharedSymbolicCache().Stats() }
 
 // ParamCache memoizes prepared operating points — the Gate.NewBench →
 // Measure → BuildModels chain — per (gate, bench parameters, expDMin)

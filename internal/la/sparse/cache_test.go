@@ -1,0 +1,258 @@
+package sparse
+
+import (
+	"sync"
+	"testing"
+
+	"hybriddelay/internal/la"
+)
+
+// TestSymbolicCacheSingleflight: many concurrent goroutines requesting
+// a handful of distinct keys run exactly one Analyze per key (the miss
+// counter counts analyses) and all share the same *Symbolic.
+func TestSymbolicCacheSingleflight(t *testing.T) {
+	c := NewSymbolicCache(0)
+	const workers = 16
+	sizes := []int{8, 16, 24, 32}
+	mats := make([]*la.Matrix, len(sizes))
+	pats := make([][]int32, len(sizes))
+	for i, n := range sizes {
+		mats[i], pats[i] = mnaLike(n)
+	}
+	got := make([][]*Symbolic, len(sizes))
+	for i := range got {
+		got[i] = make([]*Symbolic, workers)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := range sizes {
+				sym, _, _, err := c.Get("scope", mats[i], pats[i], Options{})
+				if err != nil {
+					t.Errorf("Get: %v", err)
+					return
+				}
+				got[i][w] = sym
+			}
+		}(w)
+	}
+	wg.Wait()
+	st := c.Stats()
+	if st.Misses != int64(len(sizes)) {
+		t.Fatalf("Misses = %d, want exactly %d (one Analyze per distinct key)", st.Misses, len(sizes))
+	}
+	if want := int64(workers*len(sizes)) - st.Misses; st.Hits != want {
+		t.Fatalf("Hits = %d, want %d", st.Hits, want)
+	}
+	if st.Entries != len(sizes) {
+		t.Fatalf("Entries = %d, want %d", st.Entries, len(sizes))
+	}
+	for i := range got {
+		for w := 1; w < workers; w++ {
+			if got[i][w] != got[i][0] {
+				t.Fatalf("key %d: goroutine %d got a different *Symbolic", i, w)
+			}
+		}
+	}
+}
+
+// TestSymbolicCacheScopeAndOptionsKey: the same pattern under a
+// different scope or different pivot options is a different key — the
+// determinism and configurability contracts of the cache.
+func TestSymbolicCacheScopeAndOptionsKey(t *testing.T) {
+	c := NewSymbolicCache(0)
+	a, pat := mnaLike(12)
+	s1, _, hit, err := c.Get("op-a", a, pat, Options{})
+	if err != nil || hit {
+		t.Fatalf("first Get: hit=%v err=%v", hit, err)
+	}
+	if _, _, hit, _ := c.Get("op-a", a, pat, Options{}); !hit {
+		t.Fatal("same scope+options: want a hit")
+	}
+	s2, _, hit, err := c.Get("op-b", a, pat, Options{})
+	if err != nil || hit {
+		t.Fatalf("different scope: hit=%v err=%v (want miss)", hit, err)
+	}
+	if s1 == s2 {
+		t.Fatal("different scopes share one Symbolic")
+	}
+	if _, _, hit, _ := c.Get("op-a", a, pat, Options{PivotRel: 0.25}); hit {
+		t.Fatal("different PivotRel: want a miss")
+	}
+	// The zero Options normalize to the defaults: spelling the defaults
+	// out explicitly must land on the same key.
+	if _, _, hit, _ := c.Get("op-a", a, pat, Options{PivotRel: 0.1, RefactorRel: 1e-10}); !hit {
+		t.Fatal("explicit default options: want a hit on the zero-Options entry")
+	}
+	if st := c.Stats(); st.Misses != 3 {
+		t.Fatalf("Misses = %d, want 3", st.Misses)
+	}
+}
+
+// TestSymbolicCacheRefresh: generation-gated re-analysis. Concurrent
+// stale holders refreshing with the same old generation run exactly one
+// new Analyze; a refresh against an already-replaced generation is a
+// hit on the newer entry.
+func TestSymbolicCacheRefresh(t *testing.T) {
+	c := NewSymbolicCache(0)
+	a, pat := mnaLike(16)
+	_, gen0, _, err := c.Get("op", a, pat, Options{})
+	if err != nil {
+		t.Fatalf("Get: %v", err)
+	}
+	const workers = 12
+	syms := make([]*Symbolic, workers)
+	gens := make([]uint64, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			sym, gen, _, err := c.Refresh("op", a, pat, Options{}, gen0)
+			if err != nil {
+				t.Errorf("Refresh: %v", err)
+				return
+			}
+			syms[w], gens[w] = sym, gen
+		}(w)
+	}
+	wg.Wait()
+	for w := 1; w < workers; w++ {
+		if syms[w] != syms[0] || gens[w] != gens[0] {
+			t.Fatalf("refreshers diverged: [%d]=(%p,%d) vs [0]=(%p,%d)", w, syms[w], gens[w], syms[0], gens[0])
+		}
+	}
+	if gens[0] == gen0 {
+		t.Fatal("refresh did not advance the generation")
+	}
+	if st := c.Stats(); st.Misses != 2 {
+		t.Fatalf("Misses = %d, want 2 (initial + one shared refresh)", st.Misses)
+	}
+	// A straggler still holding gen0 refreshes against the replaced
+	// entry: hit, no new Analyze.
+	sym, gen, hit, err := c.Refresh("op", a, pat, Options{}, gen0)
+	if err != nil || !hit || sym != syms[0] || gen != gens[0] {
+		t.Fatalf("straggler refresh: sym=%p gen=%d hit=%v err=%v", sym, gen, hit, err)
+	}
+	if st := c.Stats(); st.Misses != 2 {
+		t.Fatalf("straggler caused an Analyze: Misses = %d", st.Misses)
+	}
+}
+
+// TestSymbolicCacheLRU: the completed-entry bound evicts coldest-first
+// and evicted keys re-analyze.
+func TestSymbolicCacheLRU(t *testing.T) {
+	c := NewSymbolicCache(2)
+	mats := make([]*la.Matrix, 3)
+	pats := make([][]int32, 3)
+	for i, n := range []int{8, 12, 16} {
+		mats[i], pats[i] = mnaLike(n)
+		if _, _, _, err := c.Get("op", mats[i], pats[i], Options{}); err != nil {
+			t.Fatalf("Get %d: %v", i, err)
+		}
+	}
+	st := c.Stats()
+	if st.Evictions != 1 || st.Entries != 2 {
+		t.Fatalf("after 3 inserts at limit 2: evictions=%d entries=%d", st.Evictions, st.Entries)
+	}
+	// Key 0 was coldest and evicted; key 2 must still be warm.
+	if _, _, hit, _ := c.Get("op", mats[2], pats[2], Options{}); !hit {
+		t.Fatal("most recent key evicted")
+	}
+	if _, _, hit, _ := c.Get("op", mats[0], pats[0], Options{}); hit {
+		t.Fatal("evicted key answered a hit")
+	}
+}
+
+// TestSymbolicCacheErrorNotCached: a singular pilot's failure is
+// returned but not retained, so a later call with viable values
+// retries the analysis.
+func TestSymbolicCacheErrorNotCached(t *testing.T) {
+	c := NewSymbolicCache(0)
+	n := 4
+	a := la.NewMatrix(n, n)
+	pat := []int32{0, 5, 10, 15}
+	// All-zero diagonal pattern: no admissible pivot.
+	if _, _, _, err := c.Get("op", a, pat, Options{}); err == nil {
+		t.Fatal("singular pilot analyzed successfully")
+	}
+	for i := 0; i < n; i++ {
+		a.Set(i, i, 1)
+	}
+	if _, _, hit, err := c.Get("op", a, pat, Options{}); err != nil || hit {
+		t.Fatalf("retry after error: hit=%v err=%v", hit, err)
+	}
+	if st := c.Stats(); st.Entries != 1 || st.Misses != 2 {
+		t.Fatalf("entries=%d misses=%d, want 1/2", st.Entries, st.Misses)
+	}
+}
+
+// TestSymbolicCacheStress is the -race workout: many goroutines, mixed
+// topologies and scopes, interleaved staleness refreshes. The counter
+// contract holds throughout: one Analyze per distinct key plus exactly
+// one per refresh round per key.
+func TestSymbolicCacheStress(t *testing.T) {
+	c := NewSymbolicCache(0)
+	const workers = 24
+	sizes := []int{8, 12, 16, 24, 32}
+	scopes := []string{"alpha", "beta"}
+	mats := make([]*la.Matrix, len(sizes))
+	pats := make([][]int32, len(sizes))
+	for i, n := range sizes {
+		mats[i], pats[i] = mnaLike(n)
+	}
+	distinct := len(sizes) * len(scopes)
+
+	// Round 1: concurrent cold gets over every (size, scope) pair.
+	gens := make([][]uint64, len(scopes))
+	for si := range gens {
+		gens[si] = make([]uint64, len(sizes))
+	}
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for r := 0; r < 20; r++ {
+				i := (w + r) % len(sizes)
+				si := (w + r/3) % len(scopes)
+				_, gen, _, err := c.Get(scopes[si], mats[i], pats[i], Options{})
+				if err != nil {
+					t.Errorf("Get: %v", err)
+					return
+				}
+				mu.Lock()
+				gens[si][i] = gen
+				mu.Unlock()
+			}
+		}(w)
+	}
+	wg.Wait()
+	if st := c.Stats(); st.Misses != int64(distinct) {
+		t.Fatalf("round 1: Misses = %d, want %d", st.Misses, distinct)
+	}
+
+	// Round 2: every worker believes every key went stale at its round-1
+	// generation; each key must re-analyze exactly once.
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for si := range scopes {
+				for i := range sizes {
+					if _, _, _, err := c.Refresh(scopes[si], mats[i], pats[i], Options{}, gens[si][i]); err != nil {
+						t.Errorf("Refresh: %v", err)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if st := c.Stats(); st.Misses != int64(2*distinct) {
+		t.Fatalf("round 2: Misses = %d, want %d", st.Misses, 2*distinct)
+	}
+}

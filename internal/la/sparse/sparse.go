@@ -22,6 +22,15 @@
 // scatter/gather costs of compressed-column storage while keeping the
 // asymptotic win over dense elimination.
 //
+// Analyze additionally partitions the elimination order into
+// supernodes — maximal runs of consecutive steps whose columns share
+// one sub-pattern and whose pivot rows share one U structure, which
+// the repeated gate-stage blocks of MNA matrices produce in abundance.
+// The numeric phase eliminates each supernode with a blocked kernel
+// (unrolled rank-k trailing updates, one pass per exterior row instead
+// of one per step), bit-identical to the scalar schedule: same pivot
+// order, same per-position accumulation order, same guard decisions.
+//
 // The static pivot order is chosen for the representative values seen
 // at Analyze time. If the values later drift so far that a scheduled
 // pivot loses all significance against its row (|pivot| below
@@ -107,6 +116,17 @@ type Symbolic struct {
 	touched []int32
 	stamp   []int32
 
+	// Supernode partition of the elimination order: supernode t covers
+	// the consecutive steps [snodePtr[t], snodePtr[t+1]). Steps merge
+	// when their columns share one sub-pattern below the supernode and
+	// their pivot rows share one U structure beyond it — exactly the
+	// shape the chained gate stages of MNA matrices produce — which
+	// lets the numeric phase eliminate the whole run with dense-block
+	// kernels instead of step-at-a-time scatter.
+	snodePtr []int32
+	snodes   int // supernodes of width >= 2
+	maxWidth int // widest supernode (1 when nothing merges, 0 when n == 0)
+
 	fill int
 }
 
@@ -128,6 +148,63 @@ func (s *Symbolic) Touched() []int32 { return s.touched }
 // Stamp returns the deduplicated dense offsets of the input pattern.
 // The slice is owned by the Symbolic and must not be modified.
 func (s *Symbolic) Stamp() []int32 { return s.stamp }
+
+// Supernodes returns the number of multi-column supernodes (width >= 2)
+// the analysis detected; the numeric phase eliminates each with the
+// blocked kernel instead of the scalar schedule.
+func (s *Symbolic) Supernodes() int { return s.snodes }
+
+// MaxSupernodeWidth returns the width of the widest supernode: 1 when
+// no columns merge, 0 for an empty system.
+func (s *Symbolic) MaxSupernodeWidth() int { return s.maxWidth }
+
+// maxSupernodeWidth caps how many columns one supernode may absorb:
+// wide enough to swallow the repeated gate-stage blocks that occur in
+// practice, small enough to bound the numeric phase's packed-multiplier
+// scratch.
+const maxSupernodeWidth = 32
+
+// mergeable reports whether consecutive elimination steps k and k+1 can
+// join one supernode: column k's sub-pattern must be column k+1's plus
+// the pivot row of step k+1, and pivot row k's U structure must be
+// pivot row k+1's plus the pivot column of step k+1. Chaining the
+// pairwise test over a run [k0, k1) then guarantees, by induction, that
+// every step k in the run has in-supernode targets exactly {k+1 ..
+// k1-1}, exterior targets exactly lowSteps[k1-1], and shared U columns
+// exactly upCols[k1-1] — the invariants the blocked kernel replays.
+func (s *Symbolic) mergeable(k int) bool {
+	lowK := s.lowSteps[s.lowPtr[k]:s.lowPtr[k+1]]
+	lowK1 := s.lowSteps[s.lowPtr[k+1]:s.lowPtr[k+2]]
+	if !minusOne(lowK, lowK1, int32(k+1)) {
+		return false
+	}
+	upK := s.upCols[s.upPtr[k]:s.upPtr[k+1]]
+	upK1 := s.upCols[s.upPtr[k+1]:s.upPtr[k+2]]
+	return minusOne(upK, upK1, s.colOf[k+1])
+}
+
+// minusOne reports whether a is exactly b with the single element drop
+// inserted somewhere, preserving the relative order of the common
+// elements (both schedules list targets in ascending matrix order, so
+// elementwise comparison suffices).
+func minusOne(a, b []int32, drop int32) bool {
+	if len(a) != len(b)+1 {
+		return false
+	}
+	dropped := false
+	j := 0
+	for _, v := range a {
+		if !dropped && v == drop {
+			dropped = true
+			continue
+		}
+		if j >= len(b) || b[j] != v {
+			return false
+		}
+		j++
+	}
+	return dropped
+}
 
 // Analyze runs the pilot factorization on a representative matrix a,
 // restricted to the given sparsity pattern (dense row-major offsets
@@ -313,17 +390,41 @@ func Analyze(a *la.Matrix, pattern []int32, opt Options) (*Symbolic, error) {
 			s.touched = append(s.touched, int32(off))
 		}
 	}
+
+	// Supernode partition: greedy maximal runs of pairwise-mergeable
+	// steps, width-capped. Runs of length one are singleton supernodes
+	// and keep the scalar schedule.
+	s.snodePtr = make([]int32, 1, n+1)
+	for k := 0; k < n; {
+		k1 := k + 1
+		for k1 < n && k1-k < maxSupernodeWidth && s.mergeable(k1-1) {
+			k1++
+		}
+		if w := k1 - k; w > s.maxWidth {
+			s.maxWidth = w
+		}
+		if k1-k >= 2 {
+			s.snodes++
+		}
+		s.snodePtr = append(s.snodePtr, int32(k1))
+		k = k1
+	}
 	return s, nil
 }
 
 // Numeric holds the per-solver mutable state of the numeric phase: the
-// hoisted pivot reciprocals and the permuted solution workspace. One
-// Numeric serves one solver goroutine; create more with NewNumeric for
-// concurrent use of the same Symbolic.
+// hoisted pivot reciprocals, the permuted solution workspace, and the
+// blocked kernel's packed-multiplier scratch. One Numeric serves one
+// solver goroutine; create more with NewNumeric for concurrent use of
+// the same Symbolic.
 type Numeric struct {
 	s     *Symbolic
 	recip []float64
 	xw    []float64
+	// Blocked-kernel scratch: the packed nonzero multipliers of one
+	// exterior row against one supernode, and their pivot-row bases.
+	lv   []float64
+	lrow []int
 }
 
 // NewNumeric returns a numeric-phase workspace bound to s.
@@ -332,21 +433,28 @@ func (s *Symbolic) NewNumeric() *Numeric {
 		s:     s,
 		recip: make([]float64, s.n),
 		xw:    make([]float64, s.n),
+		lv:    make([]float64, s.maxWidth),
+		lrow:  make([]int, s.maxWidth),
 	}
 }
 
 // FactorSolve refactors a over the analyzed pattern and solves a·x = b
 // in the same sweep, replaying the precomputed elimination schedule
-// with the static pivot order. a is modified in place (its structural
-// positions come to hold the LU factors); values outside the touched
-// pattern are neither read nor written, so off-pattern garbage is
-// harmless. b is not modified; x and b must have length n and may
-// alias each other. The call performs no allocations.
+// with the static pivot order. Supernodes eliminate through the blocked
+// kernel, singleton steps through the scalar schedule; the two produce
+// bit-identical factors, reciprocals and solutions (see stepBlocked for
+// the argument). a is modified in place (its structural positions come
+// to hold the LU factors); values outside the touched pattern are
+// neither read nor written, so off-pattern garbage is harmless. b is
+// not modified; x and b must have length n and may alias each other.
+// The call performs no allocations.
 //
 // Each pivot is guarded: if its magnitude falls below RefactorRel
 // times the largest magnitude in its updated row, FactorSolve returns
 // ErrPivot with a partially clobbered — re-stamp, solve densely, and
-// re-Analyze before retrying the sparse path.
+// re-Analyze before retrying the sparse path. The failing step is the
+// same one the scalar schedule would fail on, though the partial
+// clobber left behind may differ.
 func (nu *Numeric) FactorSolve(a *la.Matrix, x, b []float64) error {
 	s := nu.s
 	n := s.n
@@ -358,17 +466,93 @@ func (nu *Numeric) FactorSolve(a *la.Matrix, x, b []float64) error {
 	}
 	data := a.Data
 	xw := nu.xw
-	recip := nu.recip
 	// Gather the RHS into elimination order.
 	for k := 0; k < n; k++ {
 		xw[k] = b[s.rowOf[k]]
 	}
-	for k := 0; k < n; k++ {
+	for t := 0; t < len(s.snodePtr)-1; t++ {
+		k0, k1 := int(s.snodePtr[t]), int(s.snodePtr[t+1])
+		var err error
+		if k1-k0 == 1 {
+			err = nu.stepScalar(data, n, k0)
+		} else {
+			err = nu.stepBlocked(data, n, k0, k1)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	nu.backSolve(data, x)
+	return nil
+}
+
+// stepScalar replays one singleton elimination step: the scalar
+// schedule the pre-supernodal refactor ran for every step, and the
+// reference the blocked kernel must match bit-for-bit.
+func (nu *Numeric) stepScalar(data []float64, n, k int) error {
+	s := nu.s
+	xw := nu.xw
+	rowK := data[int(s.rowOf[k])*n : int(s.rowOf[k])*n+n]
+	pc := int(s.colOf[k])
+	up := s.upCols[s.upPtr[k]:s.upPtr[k+1]]
+	piv := rowK[pc]
+	// Stability guard against the row's current magnitudes.
+	rmax := math.Abs(piv)
+	for _, c := range up {
+		if v := math.Abs(rowK[c]); v > rmax {
+			rmax = v
+		}
+	}
+	if piv == 0 || math.Abs(piv) < s.refactorRel*rmax {
+		return ErrPivot
+	}
+	r := 1 / piv
+	nu.recip[k] = r
+	xk := xw[k]
+	for _, si := range s.lowSteps[s.lowPtr[k]:s.lowPtr[k+1]] {
+		rowI := data[int(s.rowOf[si])*n : int(s.rowOf[si])*n+n]
+		l := rowI[pc] * r
+		rowI[pc] = l
+		if l != 0 {
+			for _, c := range up {
+				rowI[c] -= l * rowK[c]
+			}
+			xw[si] -= l * xk
+		}
+	}
+	return nil
+}
+
+// stepBlocked eliminates the supernode covering steps [k0, k1) in two
+// phases. Phase A factors the diagonal block: each step runs its exact
+// scalar body restricted to the in-supernode target rows (by the
+// supernode invariant those are precisely steps k+1 .. k1-1), so every
+// guard value, reciprocal, pivot-row entry and permuted-RHS entry a
+// later read consumes is bit-identical to the scalar sweep — exterior
+// rows never write pivot rows, so deferring them cannot perturb this
+// phase. Phase B then processes each exterior row once against the
+// whole block: its multipliers are computed sequentially in step order
+// (each after the in-block column updates of the previous steps,
+// exactly as the scalar schedule interleaves them), zero multipliers
+// are skipped just as the scalar `l != 0` test skips them (skipping is
+// load-bearing for bit-identity: updating with a zero multiplier could
+// still flip a signed zero or propagate a non-finite pivot-row value),
+// and the surviving multipliers apply to the shared trailing columns
+// as an unrolled rank-k update. Per memory position the update
+// sequence is the scalar one — same multiplier values, same pivot-row
+// values, same step order, same expression shape (so platforms that
+// fuse multiply-subtract fuse both kernels identically) — only the
+// interleaving across distinct positions changes, which floating-point
+// cannot observe.
+func (nu *Numeric) stepBlocked(data []float64, n, k0, k1 int) error {
+	s := nu.s
+	xw := nu.xw
+	// Phase A: diagonal block.
+	for k := k0; k < k1; k++ {
 		rowK := data[int(s.rowOf[k])*n : int(s.rowOf[k])*n+n]
 		pc := int(s.colOf[k])
 		up := s.upCols[s.upPtr[k]:s.upPtr[k+1]]
 		piv := rowK[pc]
-		// Stability guard against the row's current magnitudes.
 		rmax := math.Abs(piv)
 		for _, c := range up {
 			if v := math.Abs(rowK[c]); v > rmax {
@@ -379,22 +563,109 @@ func (nu *Numeric) FactorSolve(a *la.Matrix, x, b []float64) error {
 			return ErrPivot
 		}
 		r := 1 / piv
-		recip[k] = r
+		nu.recip[k] = r
 		xk := xw[k]
-		for _, si := range s.lowSteps[s.lowPtr[k]:s.lowPtr[k+1]] {
-			rowI := data[int(s.rowOf[si])*n : int(s.rowOf[si])*n+n]
+		for kk := k + 1; kk < k1; kk++ {
+			rowI := data[int(s.rowOf[kk])*n : int(s.rowOf[kk])*n+n]
 			l := rowI[pc] * r
 			rowI[pc] = l
 			if l != 0 {
 				for _, c := range up {
 					rowI[c] -= l * rowK[c]
 				}
-				xw[si] -= l * xk
+				xw[kk] -= l * xk
 			}
 		}
 	}
-	// Back substitution over the U schedule, divisions hoisted into
-	// the stored reciprocals.
+	// Phase B: exterior rows. The supernode invariant makes the last
+	// step's schedules the shared ones: its lower targets are exactly
+	// the rows below the supernode, its U columns exactly the trailing
+	// columns every step in the block updates beyond the block itself.
+	ext := s.lowSteps[s.lowPtr[k1-1]:s.lowPtr[k1]]
+	shared := s.upCols[s.upPtr[k1-1]:s.upPtr[k1]]
+	lv, lrow := nu.lv, nu.lrow
+	for _, si := range ext {
+		rowI := data[int(s.rowOf[si])*n : int(s.rowOf[si])*n+n]
+		na := 0
+		for j := k0; j < k1; j++ {
+			base := int(s.rowOf[j]) * n
+			rowJ := data[base : base+n]
+			pc := int(s.colOf[j])
+			l := rowI[pc] * nu.recip[j]
+			rowI[pc] = l
+			if l != 0 {
+				for jj := j + 1; jj < k1; jj++ {
+					c := int(s.colOf[jj])
+					rowI[c] -= l * rowJ[c]
+				}
+				xw[si] -= l * xw[j]
+				lv[na] = l
+				lrow[na] = base
+				na++
+			}
+		}
+		// Fused trailing update over the shared columns, unrolled in
+		// chunks of four. Chunks apply in packing (= step) order, so
+		// each position still sees its multipliers in the scalar
+		// sequence.
+		a := 0
+		for ; a+4 <= na; a += 4 {
+			l0, l1, l2, l3 := lv[a], lv[a+1], lv[a+2], lv[a+3]
+			r0 := data[lrow[a] : lrow[a]+n]
+			r1 := data[lrow[a+1] : lrow[a+1]+n]
+			r2 := data[lrow[a+2] : lrow[a+2]+n]
+			r3 := data[lrow[a+3] : lrow[a+3]+n]
+			for _, c := range shared {
+				v := rowI[c]
+				v -= l0 * r0[c]
+				v -= l1 * r1[c]
+				v -= l2 * r2[c]
+				v -= l3 * r3[c]
+				rowI[c] = v
+			}
+		}
+		switch na - a {
+		case 3:
+			l0, l1, l2 := lv[a], lv[a+1], lv[a+2]
+			r0 := data[lrow[a] : lrow[a]+n]
+			r1 := data[lrow[a+1] : lrow[a+1]+n]
+			r2 := data[lrow[a+2] : lrow[a+2]+n]
+			for _, c := range shared {
+				v := rowI[c]
+				v -= l0 * r0[c]
+				v -= l1 * r1[c]
+				v -= l2 * r2[c]
+				rowI[c] = v
+			}
+		case 2:
+			l0, l1 := lv[a], lv[a+1]
+			r0 := data[lrow[a] : lrow[a]+n]
+			r1 := data[lrow[a+1] : lrow[a+1]+n]
+			for _, c := range shared {
+				v := rowI[c]
+				v -= l0 * r0[c]
+				v -= l1 * r1[c]
+				rowI[c] = v
+			}
+		case 1:
+			l0 := lv[a]
+			r0 := data[lrow[a] : lrow[a]+n]
+			for _, c := range shared {
+				rowI[c] -= l0 * r0[c]
+			}
+		}
+	}
+	return nil
+}
+
+// backSolve runs the back substitution over the U schedule (divisions
+// hoisted into the stored reciprocals) and scatters the solution to
+// natural unknown order.
+func (nu *Numeric) backSolve(data []float64, x []float64) {
+	s := nu.s
+	n := s.n
+	xw := nu.xw
+	recip := nu.recip
 	for k := n - 1; k >= 0; k-- {
 		rowK := data[int(s.rowOf[k])*n : int(s.rowOf[k])*n+n]
 		up := s.upCols[s.upPtr[k]:s.upPtr[k+1]]
@@ -405,9 +676,35 @@ func (nu *Numeric) FactorSolve(a *la.Matrix, x, b []float64) error {
 		}
 		xw[k] = sum * recip[k]
 	}
-	// Scatter to natural unknown order.
 	for k := 0; k < n; k++ {
 		x[s.colOf[k]] = xw[k]
 	}
+}
+
+// factorSolveScalar is the pre-supernodal refactor, kept verbatim as
+// the bit-identity reference: FactorSolve must produce exactly the
+// same LU values, reciprocals and solution, and fail on exactly the
+// same step. Exercised by the property tests and the supernode fuzz
+// target only.
+func (nu *Numeric) factorSolveScalar(a *la.Matrix, x, b []float64) error {
+	s := nu.s
+	n := s.n
+	if a.Rows != n || a.Cols != n {
+		return fmt.Errorf("sparse: matrix %dx%d does not match analyzed size %d", a.Rows, a.Cols, n)
+	}
+	if len(x) != n || len(b) != n {
+		return fmt.Errorf("sparse: slice lengths (%d, %d) do not match system size %d", len(x), len(b), n)
+	}
+	data := a.Data
+	xw := nu.xw
+	for k := 0; k < n; k++ {
+		xw[k] = b[s.rowOf[k]]
+	}
+	for k := 0; k < n; k++ {
+		if err := nu.stepScalar(data, n, k); err != nil {
+			return err
+		}
+	}
+	nu.backSolve(data, x)
 	return nil
 }

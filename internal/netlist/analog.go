@@ -106,6 +106,7 @@ func NewBench(nl *Netlist, p nor.Params) (*Bench, error) {
 	if err != nil {
 		return nil, fmt.Errorf("netlist %s: %w", nl.label(), err)
 	}
+	sv.SetSymbolicScope(nl.ContentKey() + "|" + nor.SymbolicScope("netlist", p))
 	b.solver = sv
 	return b, nil
 }
@@ -154,6 +155,7 @@ func (b *Bench) Golden(inputs []trace.Trace, until float64) (map[string]trace.Tr
 		LTETol:            b.p.LTETol,
 		Method:            b.p.Method,
 		Solver:            b.p.Solver,
+		SparsePivotRel:    b.p.SparsePivotRel,
 		Breakpoints:       bps,
 		InitialConditions: b.init,
 		Record:            b.recordIDs,

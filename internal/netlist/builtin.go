@@ -56,10 +56,64 @@ func C17(name string) *Netlist {
 	}
 }
 
+// RippleCarryAdder builds an N-bit ripple-carry adder out of NAND2
+// gates only (nine per full-adder bit: a four-NAND XOR for a^b, the
+// second XOR against the incoming carry for the sum, and the
+// carry-out NAND merging the two generate terms). Primary inputs are
+// a0..a(n-1), b0..b(n-1) and cin; recorded outputs are the sum bits
+// s0..s(n-1) and the final cout. The carry chain makes the critical
+// path grow linearly with the width, so wider instances (rca16 is in
+// the ISCAS-85 c432 size class at 144 gates) exercise deep
+// reconvergent propagation that c17 cannot.
+func RippleCarryAdder(name string, bits int) (*Netlist, error) {
+	if bits < 1 {
+		return nil, fmt.Errorf("netlist: ripple-carry adder needs at least one bit, got %d", bits)
+	}
+	n := &Netlist{Name: name, Inputs: []string{"cin"}}
+	for i := 0; i < bits; i++ {
+		n.Inputs = append(n.Inputs, fmt.Sprintf("a%d", i), fmt.Sprintf("b%d", i))
+	}
+	nand := func(inst, a, b, out string) {
+		n.Instances = append(n.Instances, Instance{
+			Name: inst, Gate: "nand2", Inputs: []string{a, b}, Output: out,
+		})
+	}
+	carry := "cin"
+	for i := 0; i < bits; i++ {
+		a, b := fmt.Sprintf("a%d", i), fmt.Sprintf("b%d", i)
+		p := fmt.Sprintf("fa%d_", i)
+		sum := fmt.Sprintf("s%d", i)
+		carryOut := "cout"
+		if i < bits-1 {
+			carryOut = fmt.Sprintf("c%d", i+1)
+		}
+		// Half sum x = a XOR b via the four-NAND construction.
+		nand(p+"g1", a, b, p+"n1")
+		nand(p+"g2", a, p+"n1", p+"n2")
+		nand(p+"g3", b, p+"n1", p+"n3")
+		nand(p+"g4", p+"n2", p+"n3", p+"x")
+		// Full sum = x XOR carry-in; n4 doubles as the propagate term.
+		nand(p+"g5", p+"x", carry, p+"n4")
+		nand(p+"g6", p+"x", p+"n4", p+"n5")
+		nand(p+"g7", carry, p+"n4", p+"n6")
+		nand(p+"g8", p+"n5", p+"n6", sum)
+		// cout = a·b + x·cin, both terms already available inverted.
+		nand(p+"g9", p+"n1", p+"n4", carryOut)
+		n.Outputs = append(n.Outputs, sum)
+		carry = carryOut
+	}
+	n.Outputs = append(n.Outputs, "cout")
+	return n, nil
+}
+
 // builtins maps the named example circuits shipped with the CLI.
 var builtins = map[string]func() (*Netlist, error){
 	"nor-invchain": func() (*Netlist, error) { return InverterChain("nor-invchain", 3) },
 	"c17":          func() (*Netlist, error) { return C17("c17"), nil },
+	"rca2":         func() (*Netlist, error) { return RippleCarryAdder("rca2", 2) },
+	"rca4":         func() (*Netlist, error) { return RippleCarryAdder("rca4", 4) },
+	"rca8":         func() (*Netlist, error) { return RippleCarryAdder("rca8", 8) },
+	"rca16":        func() (*Netlist, error) { return RippleCarryAdder("rca16", 16) },
 }
 
 // BuiltinNames lists the shipped example circuits in sorted order.

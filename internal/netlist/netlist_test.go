@@ -241,6 +241,57 @@ func TestBuiltins(t *testing.T) {
 	if _, err := InverterChain("x", 0); err == nil {
 		t.Error("zero-stage chain accepted")
 	}
+	if _, err := RippleCarryAdder("x", 0); err == nil {
+		t.Error("zero-bit adder accepted")
+	}
+}
+
+// TestRippleCarryAdderLogic verifies the NAND-only decomposition gate
+// by gate: over every input combination, topologically evaluating the
+// netlist as boolean NANDs reproduces binary addition. Instances are
+// emitted in topological order, so a single forward pass suffices.
+func TestRippleCarryAdderLogic(t *testing.T) {
+	for _, bits := range []int{1, 2, 3} {
+		nl, err := RippleCarryAdder(fmt.Sprintf("rca%d", bits), bits)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := nl.Validate(); err != nil {
+			t.Fatalf("%d bits: %v", bits, err)
+		}
+		if got, want := len(nl.Instances), 9*bits; got != want {
+			t.Fatalf("%d bits: %d instances, want %d", bits, got, want)
+		}
+		for mask := 0; mask < 1<<(2*bits+1); mask++ {
+			vals := map[string]bool{"cin": mask&1 == 1}
+			a, b := 0, 0
+			for i := 0; i < bits; i++ {
+				ab := mask >> (1 + 2*i) & 1
+				bb := mask >> (2 + 2*i) & 1
+				a |= ab << i
+				b |= bb << i
+				vals[fmt.Sprintf("a%d", i)] = ab == 1
+				vals[fmt.Sprintf("b%d", i)] = bb == 1
+			}
+			for _, inst := range nl.Instances {
+				x, okx := vals[inst.Inputs[0]]
+				y, oky := vals[inst.Inputs[1]]
+				if !okx || !oky {
+					t.Fatalf("%d bits: instance %s reads an unset net (not topological)", bits, inst.Name)
+				}
+				vals[inst.Output] = !(x && y)
+			}
+			sum := a + b + mask&1
+			for i := 0; i < bits; i++ {
+				if got, want := vals[fmt.Sprintf("s%d", i)], sum>>i&1 == 1; got != want {
+					t.Fatalf("%d bits: a=%d b=%d cin=%d: s%d = %v, want %v", bits, a, b, mask&1, i, got, want)
+				}
+			}
+			if got, want := vals["cout"], sum>>bits&1 == 1; got != want {
+				t.Fatalf("%d bits: a=%d b=%d cin=%d: cout = %v, want %v", bits, a, b, mask&1, got, want)
+			}
+		}
+	}
 }
 
 // TestShippedNetlistFiles: the JSON files under examples/netlists are

@@ -76,6 +76,7 @@ func NewNAND(p Params) (*NANDBench, error) {
 	if err != nil {
 		return nil, err
 	}
+	sv.SetSymbolicScope(SymbolicScope("nand2", p))
 	b.solver = sv
 	return b, nil
 }
@@ -91,13 +92,14 @@ func (b *NANDBench) transient(sigA, sigB waveform.Signal, tStop float64, vM0, vO
 	b.srcA.Signal = sigA
 	b.srcB.Signal = sigB
 	return b.solver.Transient(spice.TransientOptions{
-		TStart:      0,
-		TStop:       tStop,
-		MaxStep:     b.P.MaxStep,
-		LTETol:      b.P.LTETol,
-		Method:      b.P.Method,
-		Solver:      b.P.Solver,
-		Breakpoints: append([]float64(nil), breakpoints...),
+		TStart:         0,
+		TStop:          tStop,
+		MaxStep:        b.P.MaxStep,
+		LTETol:         b.P.LTETol,
+		Method:         b.P.Method,
+		Solver:         b.P.Solver,
+		SparsePivotRel: b.P.SparsePivotRel,
+		Breakpoints:    append([]float64(nil), breakpoints...),
 		InitialConditions: map[spice.NodeID]float64{
 			b.nodeM: vM0,
 			b.nodeO: vO0,

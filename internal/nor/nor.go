@@ -46,6 +46,14 @@ type Params struct {
 	// operating points computed under different solver modes never
 	// share cache or store entries.
 	Solver spice.SolverMode
+
+	// SparsePivotRel, when positive, tunes the SparseFast symbolic
+	// pilot's pivot admissibility threshold (stability vs fill; see
+	// spice.TransientOptions.SparsePivotRel). Zero selects the sparse
+	// package default; DenseExact ignores it. Like Solver it is part
+	// of the parametrization, and it joins the symbolic cache key, so
+	// differently-tuned operating points never share an analysis.
+	SparsePivotRel float64
 }
 
 // DefaultParams returns the calibrated testbench configuration.
@@ -122,7 +130,21 @@ func ValidateParams(kind string, p Params) error {
 	if p.InputRise <= 0 {
 		return fmt.Errorf("%s: input rise time must be positive", kind)
 	}
+	if p.SparsePivotRel < 0 || p.SparsePivotRel >= 1 {
+		return fmt.Errorf("%s: sparse pivot threshold must be in [0, 1), got %g", kind, p.SparsePivotRel)
+	}
 	return nil
+}
+
+// SymbolicScope derives a solver's symbolic-cache scope from a bench
+// kind and its full parameter set. The scope pins the symbolic pilot
+// to one operating point: clones and pool instances of the same bench
+// share one analysis, while benches differing in any parameter (and
+// therefore in representative matrix values) never race to seed each
+// other's static pivot order. Params is a pure value type, so the
+// rendered form is deterministic and collision-free per kind.
+func SymbolicScope(kind string, p Params) string {
+	return fmt.Sprintf("%s|%+v", kind, p)
 }
 
 // StampNOR2 writes the Fig. 1 NOR devices into c between existing nodes:
@@ -172,6 +194,7 @@ func New(p Params) (*Bench, error) {
 	if err != nil {
 		return nil, err
 	}
+	sv.SetSymbolicScope(SymbolicScope("nor2", p))
 	b.solver = sv
 	return b, nil
 }
@@ -198,13 +221,14 @@ func (b *Bench) transient(sigA, sigB waveform.Signal, tStop float64, vN0, vO0 fl
 	b.srcA.Signal = sigA
 	b.srcB.Signal = sigB
 	return b.solver.Transient(spice.TransientOptions{
-		TStart:      0,
-		TStop:       tStop,
-		MaxStep:     b.P.MaxStep,
-		LTETol:      b.P.LTETol,
-		Method:      b.P.Method,
-		Solver:      b.P.Solver,
-		Breakpoints: append([]float64(nil), breakpoints...),
+		TStart:         0,
+		TStop:          tStop,
+		MaxStep:        b.P.MaxStep,
+		LTETol:         b.P.LTETol,
+		Method:         b.P.Method,
+		Solver:         b.P.Solver,
+		SparsePivotRel: b.P.SparsePivotRel,
+		Breakpoints:    append([]float64(nil), breakpoints...),
 		InitialConditions: map[spice.NodeID]float64{
 			b.nodeN: vN0,
 			b.nodeO: vO0,

@@ -54,6 +54,7 @@ func NewNOR3(p Params) (*NOR3Bench, error) {
 	if err != nil {
 		return nil, err
 	}
+	sv.SetSymbolicScope(SymbolicScope("nor3", p))
 	b.solver = sv
 	return b, nil
 }
@@ -88,13 +89,14 @@ func (b *NOR3Bench) Run(sigA, sigB, sigC waveform.Signal, tStop, vN1, vN2, vO fl
 	b.srcB.Signal = sigB
 	b.srcC.Signal = sigC
 	res, err := b.solver.Transient(spice.TransientOptions{
-		TStart:      0,
-		TStop:       tStop,
-		MaxStep:     b.P.MaxStep,
-		LTETol:      b.P.LTETol,
-		Method:      b.P.Method,
-		Solver:      b.P.Solver,
-		Breakpoints: bps,
+		TStart:         0,
+		TStop:          tStop,
+		MaxStep:        b.P.MaxStep,
+		LTETol:         b.P.LTETol,
+		Method:         b.P.Method,
+		Solver:         b.P.Solver,
+		SparsePivotRel: b.P.SparsePivotRel,
+		Breakpoints:    bps,
 		InitialConditions: map[spice.NodeID]float64{
 			b.nodeN1: vN1,
 			b.nodeN2: vN2,

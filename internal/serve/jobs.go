@@ -166,6 +166,18 @@ func (j *Job) EventsSince(after int) ([]Event, <-chan struct{}) {
 	return evs, j.notify
 }
 
+// LogComplete reports whether a subscriber positioned at offset after
+// has seen the whole event log and the log is closed (its last event
+// is the terminal "end" marker, after which nothing is ever appended).
+// Checked under the same lock as publish, so a true result can never
+// drop a concurrently published event.
+func (j *Job) LogComplete(after int) bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	n := len(j.events)
+	return n > 0 && j.events[n-1].Kind == "end" && after >= n
+}
+
 // progress adapts the session's serialized Progress stream onto the
 // job's event log.
 func (j *Job) progress(p session.Progress) {
@@ -198,19 +210,96 @@ func (j *Job) finish(state State, res *session.Result, err error) {
 	j.publish(Event{Kind: "end", State: state, Err: j.errMsg})
 }
 
-// Registry is the server's in-memory job table. Jobs are never evicted
-// for the process lifetime — the table is the /metrics job inventory
-// and the status endpoint's source of truth.
-type Registry struct {
-	mu     sync.Mutex
-	nextID int
-	jobs   map[string]*Job
-	counts map[State]int
+// Terminal-job retention defaults: a finished job stays queryable for
+// DefaultTerminalTTL, and at most DefaultMaxTerminal terminal jobs are
+// retained (oldest-finished evicted first). Queued and running jobs
+// are never evicted.
+const (
+	DefaultTerminalTTL = 15 * time.Minute
+	DefaultMaxTerminal = 4096
+)
+
+// termRec remembers when a job reached its terminal state, in finish
+// order, so eviction can trim an expired/over-cap prefix without
+// touching job locks.
+type termRec struct {
+	id string
+	at time.Time
 }
 
-// NewRegistry returns an empty job table.
+// Registry is the server's in-memory job table — the /metrics job
+// inventory and the status endpoint's source of truth. Queued and
+// running jobs live until they finish; terminal jobs are retained for
+// a bounded time and count (see SetRetention) and then evicted lazily
+// on the next registry access. Eviction only unlinks the job from the
+// table: subscribers already holding the *Job keep streaming its
+// buffered events (every terminal job's log ends with the "end"
+// marker), while new lookups of the evicted id answer not-found.
+type Registry struct {
+	mu          sync.Mutex
+	nextID      int
+	jobs        map[string]*Job
+	counts      map[State]int
+	terminal    []termRec // terminal jobs in finish order
+	ttl         time.Duration
+	maxTerminal int
+	evictions   int64
+	now         func() time.Time // injectable clock (tests)
+}
+
+// NewRegistry returns an empty job table with default retention.
 func NewRegistry() *Registry {
-	return &Registry{jobs: map[string]*Job{}, counts: map[State]int{}}
+	return &Registry{
+		jobs:        map[string]*Job{},
+		counts:      map[State]int{},
+		ttl:         DefaultTerminalTTL,
+		maxTerminal: DefaultMaxTerminal,
+		now:         time.Now,
+	}
+}
+
+// SetRetention configures terminal-job retention. Non-positive values
+// select the defaults.
+func (r *Registry) SetRetention(ttl time.Duration, maxTerminal int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if ttl <= 0 {
+		ttl = DefaultTerminalTTL
+	}
+	if maxTerminal <= 0 {
+		maxTerminal = DefaultMaxTerminal
+	}
+	r.ttl, r.maxTerminal = ttl, maxTerminal
+}
+
+// Evictions reports how many terminal jobs retention has dropped.
+func (r *Registry) Evictions() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.evictions
+}
+
+// evictLocked trims the terminal prefix that is over the count cap or
+// past its TTL. Finish times are nondecreasing in r.terminal, so the
+// expired set is always a prefix.
+func (r *Registry) evictLocked() {
+	now := r.now()
+	i := 0
+	for i < len(r.terminal) && (len(r.terminal)-i > r.maxTerminal || now.Sub(r.terminal[i].at) >= r.ttl) {
+		rec := r.terminal[i]
+		if j, ok := r.jobs[rec.id]; ok {
+			delete(r.jobs, rec.id)
+			j.mu.Lock()
+			st := j.state
+			j.mu.Unlock()
+			r.counts[st]--
+			r.evictions++
+		}
+		i++
+	}
+	if i > 0 {
+		r.terminal = r.terminal[:copy(r.terminal, r.terminal[i:])]
+	}
 }
 
 // Add registers a new queued job and assigns its id.
@@ -252,10 +341,12 @@ func (r *Registry) Remove(id string) {
 	}
 }
 
-// Get looks a job up by id.
+// Get looks a job up by id. Expired terminal jobs are evicted first,
+// so an id past its retention window answers not-found.
 func (r *Registry) Get(id string) (*Job, bool) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	r.evictLocked()
 	j, ok := r.jobs[id]
 	return j, ok
 }
@@ -274,6 +365,10 @@ func (r *Registry) transition(j *Job, apply func()) {
 	if before != after {
 		r.counts[before]--
 		r.counts[after]++
+		if after.terminal() {
+			r.terminal = append(r.terminal, termRec{id: j.ID, at: r.now()})
+			r.evictLocked()
+		}
 	}
 }
 
@@ -294,10 +389,11 @@ func (r *Registry) Finish(j *Job, state State, res *session.Result, err error) {
 	r.transition(j, func() { j.finish(state, res, err) })
 }
 
-// Counts snapshots the per-state job counts.
+// Counts snapshots the per-state job counts (after retention).
 func (r *Registry) Counts() map[State]int {
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	r.evictLocked()
 	out := make(map[State]int, len(r.counts))
 	for s, n := range r.counts {
 		if n != 0 {

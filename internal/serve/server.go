@@ -28,6 +28,14 @@ type Options struct {
 	// jobs per client identity; Backlog bounds the admission queue.
 	// Non-positive values select the defaults (see NewAdmission).
 	MaxActive, PerClient, Backlog int
+
+	// TerminalTTL bounds how long a finished job stays queryable and
+	// MaxTerminal caps how many terminal jobs the registry retains
+	// (oldest-finished evicted first). Non-positive values select the
+	// defaults (see DefaultTerminalTTL, DefaultMaxTerminal). Subscribers
+	// already streaming an evicted job's events are unaffected.
+	TerminalTTL time.Duration
+	MaxTerminal int
 }
 
 // Server exposes one session.Session as a multi-tenant HTTP service:
@@ -64,10 +72,12 @@ func NewServer(opt Options) (*Server, error) {
 		return nil, fmt.Errorf("serve: Options.Session is required")
 	}
 	ctx, cancel := context.WithCancel(context.Background())
+	reg := NewRegistry()
+	reg.SetRetention(opt.TerminalTTL, opt.MaxTerminal)
 	s := &Server{
 		sess:       opt.Session,
 		st:         opt.Store,
-		reg:        NewRegistry(),
+		reg:        reg,
 		adm:        NewAdmission(opt.MaxActive, opt.PerClient, opt.Backlog),
 		mux:        http.NewServeMux(),
 		start:      time.Now(),
@@ -247,6 +257,14 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 				return
 			}
 		}
+		// If the log is closed and the "end" event is already behind
+		// the requested offset, nothing more will ever arrive — close
+		// instead of blocking on a dead notify channel. An "end"
+		// published between EventsSince and this check flips the held
+		// notify channel, so the select below wakes immediately.
+		if j.LogComplete(after) {
+			return
+		}
 		select {
 		case <-more:
 		case <-r.Context().Done():
@@ -263,6 +281,7 @@ type Metrics struct {
 	Session       session.Snapshot `json:"session"`
 	Store         *store.Stats     `json:"store,omitempty"`
 	Jobs          map[State]int    `json:"jobs"`
+	JobEvictions  int64            `json:"job_evictions"`
 	Admission     AdmissionStats   `json:"admission"`
 }
 
@@ -273,6 +292,7 @@ func (s *Server) MetricsSnapshot() Metrics {
 		UptimeSeconds: time.Since(s.start).Seconds(),
 		Session:       s.sess.Snapshot(),
 		Jobs:          s.reg.Counts(),
+		JobEvictions:  s.reg.Evictions(),
 		Admission:     s.adm.Stats(),
 	}
 	if s.st != nil {

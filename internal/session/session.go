@@ -36,6 +36,7 @@ import (
 	"hybriddelay/internal/eval"
 	"hybriddelay/internal/gate"
 	"hybriddelay/internal/gen"
+	"hybriddelay/internal/la/sparse"
 	"hybriddelay/internal/netlist"
 	"hybriddelay/internal/nor"
 	"hybriddelay/internal/spice"
@@ -169,10 +170,11 @@ func (s *Session) Close() error {
 // for operational surfaces (the serve mode's /metrics endpoint). All
 // counters are session-lifetime values.
 type Snapshot struct {
-	Golden  eval.CacheStats   `json:"golden"`  // shared golden-trace cache
-	Params  eval.ParamStats   `json:"params"`  // parametrization cache
-	Solver  spice.SolverStats `json:"solver"`  // aggregate over cached operating points
-	Workers int               `json:"workers"` // default worker budget
+	Golden   eval.CacheStats   `json:"golden"`   // shared golden-trace cache
+	Params   eval.ParamStats   `json:"params"`   // parametrization cache
+	Solver   spice.SolverStats `json:"solver"`   // aggregate over cached operating points
+	Symbolic sparse.CacheStats `json:"symbolic"` // process-wide symbolic-factorization cache
+	Workers  int               `json:"workers"`  // default worker budget
 }
 
 // Snapshot captures the session's cache and solver counters. The
@@ -182,10 +184,11 @@ type Snapshot struct {
 // transient those sources ever ran).
 func (s *Session) Snapshot() Snapshot {
 	return Snapshot{
-		Golden:  s.golden.Stats(),
-		Params:  s.params.Stats(),
-		Solver:  s.params.SolverStats(),
-		Workers: s.workers,
+		Golden:   s.golden.Stats(),
+		Params:   s.params.Stats(),
+		Solver:   s.params.SolverStats(),
+		Symbolic: spice.SharedSymbolicCache().Stats(),
+		Workers:  s.workers,
 	}
 }
 

@@ -528,6 +528,48 @@ func TestSessionSparseDefault(t *testing.T) {
 	}
 }
 
+// TestSessionWarmPoolSymbolicSharing pins the acceptance criterion of
+// the process-wide symbolic cache: a sparse job fanned over a worker
+// pool runs at most one Markowitz pilot per distinct topology — every
+// pooled clone adopts the shared analysis as a hit — and a warm repeat
+// adds no analyses at all.
+func TestSessionWarmPoolSymbolicSharing(t *testing.T) {
+	if testing.Short() {
+		t.Skip("analog evaluation in -short mode")
+	}
+	s := New(Options{Workers: 4, Solver: spice.SparseFast})
+	ps := fastParams()
+	ps.Solver = spice.SparseFast
+	job := GateJob{
+		Gate: "nor2", Params: &ps,
+		Configs: []gen.Config{testConfig(2, 6)},
+		Seeds:   []int64{1, 2, 3},
+	}
+	res, err := s.Evaluate(context.Background(), job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := res.Stats.Solver
+	if st.SymbolicMisses > 1 {
+		t.Fatalf("warm pool ran %d symbolic analyses for one topology (stats %+v)", st.SymbolicMisses, st)
+	}
+	if st.SymbolicMisses+st.SymbolicHits == 0 {
+		t.Fatalf("sparse job never consulted the symbolic cache: %+v", st)
+	}
+
+	job.Seeds = []int64{4}
+	res2, err := s.Evaluate(context.Background(), job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st2 := res2.Stats.Solver; st2.SymbolicMisses > 1 {
+		t.Fatalf("warm repeat re-analyzed: %d misses (stats %+v)", st2.SymbolicMisses, st2)
+	}
+	if snap := s.Snapshot(); snap.Symbolic.Hits == 0 && snap.Symbolic.Misses == 0 {
+		t.Errorf("session snapshot reports no shared symbolic-cache traffic: %+v", snap.Symbolic)
+	}
+}
+
 // TestSessionCacheLimits: the session options plumb the memory bounds
 // into both caches.
 func TestSessionCacheLimits(t *testing.T) {

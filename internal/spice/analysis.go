@@ -93,6 +93,13 @@ type TransientOptions struct {
 	// path; SparseFast is numerically equivalent but faster on larger
 	// systems. See SolverMode.
 	Solver SolverMode
+	// SparsePivotRel, when positive, overrides the SparseFast symbolic
+	// pilot's pivot admissibility threshold (sparse.Options.PivotRel):
+	// larger values trade fill reduction for static-pivot stability.
+	// Zero selects the sparse package default (0.1). Ignored by
+	// DenseExact. The value participates in the symbolic cache key, so
+	// differently-tuned solves never share an analysis.
+	SparsePivotRel float64
 }
 
 // TransientResult holds the captured node waveforms.

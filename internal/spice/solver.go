@@ -6,6 +6,7 @@ import (
 	"sort"
 
 	"hybriddelay/internal/la"
+	"hybriddelay/internal/la/sparse"
 )
 
 // Solver owns the reusable workspace for MNA analyses on one circuit:
@@ -38,6 +39,15 @@ type Solver struct {
 	mode SolverMode  // linear-solver strategy of the current transient
 	sp   sparseState // SparseFast workspace (pattern, base, symbolic)
 
+	// Symbolic-analysis sharing and tuning (SparseFast only): the
+	// cache the solver resolves Symbolics through (nil = the
+	// process-wide SharedSymbolicCache), the cache scope identifying
+	// this solver's operating point, and the pilot's pivot
+	// admissibility threshold (0 = the sparse package default).
+	symCache       *sparse.SymbolicCache
+	symScope       string
+	sparsePivotRel float64
+
 	stats SolverStats
 }
 
@@ -53,6 +63,9 @@ type SolverStats struct {
 	LinearReuses         int64 // iterations that reused the frozen linear stamp base
 	SparseFactorizations int64 // factorizations done by the static-pivot sparse kernel
 	SparseFallbacks      int64 // sparse refactors abandoned to the dense kernel
+	SymbolicHits         int64 // symbolic analyses served from the shared cache
+	SymbolicMisses       int64 // symbolic analyses this solver had to run
+	Supernodes           int64 // multi-column supernodes in the adopted symbolics
 }
 
 // Add accumulates other into s, for aggregation across solvers.
@@ -65,6 +78,9 @@ func (s *SolverStats) Add(other SolverStats) {
 	s.LinearReuses += other.LinearReuses
 	s.SparseFactorizations += other.SparseFactorizations
 	s.SparseFallbacks += other.SparseFallbacks
+	s.SymbolicHits += other.SymbolicHits
+	s.SymbolicMisses += other.SymbolicMisses
+	s.Supernodes += other.Supernodes
 }
 
 // NewSolver validates the circuit and returns a solver bound to it.
@@ -79,6 +95,21 @@ func NewSolver(c *Circuit) (*Solver, error) {
 
 // Stats returns the cumulative work counters.
 func (s *Solver) Stats() SolverStats { return s.stats }
+
+// SetSymbolicCache selects the cache SparseFast symbolic analyses
+// resolve through; nil (the default) selects the process-wide
+// SharedSymbolicCache. Tests inject private caches for isolation.
+func (s *Solver) SetSymbolicCache(c *sparse.SymbolicCache) { s.symCache = c }
+
+// SetSymbolicScope sets the symbolic cache scope: a string identifying
+// this solver's operating point (gate kind plus bench parameters, a
+// netlist content key). Solvers with equal scope, topology and options
+// share one symbolic analysis; the pilot factorization reads
+// representative *values*, so distinct operating points must use
+// distinct scopes to keep their static pivot orders deterministic. An
+// empty scope (the default) still shares safely among solvers of
+// byte-identical construction.
+func (s *Solver) SetSymbolicScope(scope string) { s.symScope = scope }
 
 // ensure sizes the workspace for the circuit's current system size.
 func (s *Solver) ensure() {
@@ -346,6 +377,7 @@ func (s *Solver) Transient(opt TransientOptions) (*TransientResult, error) {
 		return nil, fmt.Errorf("spice: invalid transient window [%g, %g]", opt.TStart, opt.TStop)
 	}
 	s.mode = opt.Solver
+	s.sparsePivotRel = opt.SparsePivotRel
 	span := opt.TStop - opt.TStart
 	if opt.MaxStep <= 0 {
 		opt.MaxStep = span / 50

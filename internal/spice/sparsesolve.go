@@ -40,7 +40,8 @@ type sparseState struct {
 
 	sym   *sparse.Symbolic
 	num   *sparse.Numeric
-	stale bool // values drifted off the static pivot order: re-analyze
+	gen   uint64 // cache generation sym was obtained under (see Refresh)
+	stale bool   // values drifted off the static pivot order: re-analyze
 
 	// denseDirty records that the dense kernel factored ctx.G in place
 	// (a pivot fallback here, or a dense-mode Newton solve on the same
@@ -50,6 +51,71 @@ type sparseState struct {
 	// and a re-analysis could schedule fill slots on top of it, so the
 	// next restamp resets the matrix in full.
 	denseDirty bool
+}
+
+// sharedSymCache is the process-wide symbolic-factorization cache:
+// every solver that does not inject its own cache resolves Analyze
+// results through it, so pooled bench clones, batched transients and
+// serve tenants working the same topology run one Markowitz pilot per
+// process instead of one per solver instance. The limit comfortably
+// exceeds the distinct (operating point × topology) pairs a session
+// touches; colder analyses are evicted LRU-first.
+var sharedSymCache = sparse.NewSymbolicCache(512)
+
+// SharedSymbolicCache returns the process-wide symbolic-factorization
+// cache (metrics surfaces and tests).
+func SharedSymbolicCache() *sparse.SymbolicCache { return sharedSymCache }
+
+// symbolicCache resolves the cache this solver analyzes through.
+func (s *Solver) symbolicCache() *sparse.SymbolicCache {
+	if s.symCache != nil {
+		return s.symCache
+	}
+	return sharedSymCache
+}
+
+// sparseOptions assembles the sparse analysis options from the
+// solver's configuration.
+func (s *Solver) sparseOptions() sparse.Options {
+	return sparse.Options{PivotRel: s.sparsePivotRel}
+}
+
+// resolveSymbolic obtains the symbolic analysis for the solver's
+// pattern through the shared cache: a plain lookup on first use, a
+// generation-gated Refresh after a staleness signal (so N pooled
+// solvers hitting staleness together run one re-analysis — whoever
+// wins replaces the shared entry, the rest adopt it as a hit). The
+// pilot reads ctx.G's current values.
+func (s *Solver) resolveSymbolic() error {
+	sp := &s.sp
+	cache := s.symbolicCache()
+	var (
+		sym *sparse.Symbolic
+		gen uint64
+		hit bool
+		err error
+	)
+	if sp.sym == nil {
+		sym, gen, hit, err = cache.Get(s.symScope, s.ctx.G, sp.pattern, s.sparseOptions())
+	} else {
+		sym, gen, hit, err = cache.Refresh(s.symScope, s.ctx.G, sp.pattern, s.sparseOptions(), sp.gen)
+	}
+	if err != nil {
+		return err
+	}
+	if hit {
+		s.stats.SymbolicHits++
+	} else {
+		s.stats.SymbolicMisses++
+	}
+	if sym != sp.sym {
+		sp.sym = sym
+		sp.num = sym.NewNumeric()
+		s.stats.Supernodes += int64(sym.Supernodes())
+	}
+	sp.gen = gen
+	sp.stale = false
+	return nil
 }
 
 // ensureSparse builds the structural pattern and device partition. The
@@ -208,12 +274,7 @@ func (s *Solver) newtonSparse(v []float64, opt NewtonOptions) error {
 			s.stats.LinearReuses++
 		}
 		if sp.sym == nil || sp.stale {
-			sym, err := sparse.Analyze(ctx.G, sp.pattern, sparse.Options{})
-			if err == nil {
-				sp.sym = sym
-				sp.num = sym.NewNumeric()
-				sp.stale = false
-			} else if sp.sym == nil {
+			if err := s.resolveSymbolic(); err != nil && sp.sym == nil {
 				// Nothing to refactor over; only the dense kernel can
 				// decide whether this iterate is genuinely singular.
 				sp.stale = true

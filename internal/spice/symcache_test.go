@@ -1,0 +1,76 @@
+package spice
+
+import (
+	"testing"
+
+	"hybriddelay/internal/la/sparse"
+)
+
+// TestSolverSharedSymbolicCache: two solvers over identical circuits
+// under the same symbolic scope run one Markowitz pilot between them —
+// the second adopts the first's analysis as a hit — while a third
+// solver under a different scope (a different operating point) gets
+// its own analysis. This is the pooled-bench contract: clones of one
+// operating point share a single symbolic factorization per process.
+func TestSolverSharedSymbolicCache(t *testing.T) {
+	cache := sparse.NewSymbolicCache(0)
+	opt := inverterOptions()
+	opt.Solver = SparseFast
+
+	run := func(scope string) SolverStats {
+		c, _ := inverterCircuit()
+		sv, err := NewSolver(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sv.SetSymbolicCache(cache)
+		sv.SetSymbolicScope(scope)
+		if _, err := sv.Transient(opt); err != nil {
+			t.Fatalf("transient: %v", err)
+		}
+		return sv.Stats()
+	}
+
+	cold := run("op-a")
+	if cold.SymbolicMisses != 1 {
+		t.Fatalf("cold solver: SymbolicMisses = %d, want 1", cold.SymbolicMisses)
+	}
+
+	warm := run("op-a")
+	if warm.SymbolicMisses != 0 {
+		t.Fatalf("warm solver re-analyzed: SymbolicMisses = %d", warm.SymbolicMisses)
+	}
+	if warm.SymbolicHits == 0 {
+		t.Fatal("warm solver never hit the shared cache")
+	}
+
+	other := run("op-b")
+	if other.SymbolicMisses != 1 {
+		t.Fatalf("different scope shared an analysis: SymbolicMisses = %d", other.SymbolicMisses)
+	}
+
+	if st := cache.Stats(); st.Misses != 2 {
+		t.Fatalf("cache ran %d analyses for two distinct scopes", st.Misses)
+	}
+}
+
+// TestSolverDefaultSymbolicCacheIsShared: a solver with no injected
+// cache resolves through the process-wide instance.
+func TestSolverDefaultSymbolicCacheIsShared(t *testing.T) {
+	c, _ := inverterCircuit()
+	sv, err := NewSolver(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sv.symbolicCache() != SharedSymbolicCache() {
+		t.Fatal("default solver does not use the shared symbolic cache")
+	}
+	sv.SetSymbolicCache(sparse.NewSymbolicCache(0))
+	if sv.symbolicCache() == SharedSymbolicCache() {
+		t.Fatal("injected cache ignored")
+	}
+	sv.SetSymbolicCache(nil)
+	if sv.symbolicCache() != SharedSymbolicCache() {
+		t.Fatal("nil injection does not restore the shared cache")
+	}
+}

@@ -233,8 +233,8 @@ func keyString(kind byte, k eval.GoldenKey) string {
 	mosString(&b, "t2", p.T2)
 	mosString(&b, "t3", p.T3)
 	mosString(&b, "t4", p.T4)
-	fmt.Fprintf(&b, "cn=%s\nco=%s\nrise=%s\nmaxstep=%s\nltetol=%s\nmethod=%d\nsolver=%d\n",
-		hx(p.CN), hx(p.CO), hx(p.InputRise), hx(p.MaxStep), hx(p.LTETol), int(p.Method), int(p.Solver))
+	fmt.Fprintf(&b, "cn=%s\nco=%s\nrise=%s\nmaxstep=%s\nltetol=%s\nmethod=%d\nsolver=%d\nsparsepivot=%s\n",
+		hx(p.CN), hx(p.CO), hx(p.InputRise), hx(p.MaxStep), hx(p.LTETol), int(p.Method), int(p.Solver), hx(p.SparsePivotRel))
 	c := k.Config
 	fmt.Fprintf(&b, "mu=%s\nsigma=%s\nmode=%d\ninputs=%d\ntransitions=%d\nstart=%s\nmingap=%s\n",
 		hx(c.Mu), hx(c.Sigma), int(c.Mode), c.Inputs, c.Transitions, hx(c.Start), hx(c.MinGap))

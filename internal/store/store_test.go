@@ -273,7 +273,7 @@ func TestSchemaDriftGuard(t *testing.T) {
 		want int
 	}{
 		{"eval.GoldenKey", eval.GoldenKey{}, 4},
-		{"nor.Params", nor.Params{}, 12},
+		{"nor.Params", nor.Params{}, 13},
 		{"waveform.Supply", waveform.Supply{}, 2},
 		{"spice.MOSParams", spice.MOSParams{}, 8},
 		{"gen.Config", gen.Config{}, 7},

@@ -105,14 +105,11 @@ func TestSparseSolverAccuracyGates(t *testing.T) {
 	}
 }
 
-// TestSparseSolverAccuracyC17 runs the composed c17 golden under both
-// solver modes and asserts every recorded net's transitions agree to
-// within the gate.
-func TestSparseSolverAccuracyC17(t *testing.T) {
-	if testing.Short() {
-		t.Skip("analog transients; skipped in -short mode")
-	}
-	nl := netlist.C17("c17")
+// netlistAccuracy runs a composed netlist's golden under both solver
+// modes and asserts every recorded net's transitions agree to within
+// the gate.
+func netlistAccuracy(t *testing.T, nl *netlist.Netlist, transitions int, seeds []int64) {
+	t.Helper()
 	p := solverGateParams()
 	denseBench, err := netlist.NewBench(nl, p)
 	if err != nil {
@@ -126,8 +123,8 @@ func TestSparseSolverAccuracyC17(t *testing.T) {
 	}
 	cfg := gen.PaperConfigs()[0]
 	cfg.Inputs = len(nl.Inputs)
-	cfg.Transitions = 20
-	for _, seed := range []int64{1, 2} {
+	cfg.Transitions = transitions
+	for _, seed := range seeds {
 		inputs, err := gen.Traces(cfg, seed)
 		if err != nil {
 			t.Fatal(err)
@@ -142,10 +139,34 @@ func TestSparseSolverAccuracyC17(t *testing.T) {
 			t.Fatalf("seed %d: sparse golden: %v", seed, err)
 		}
 		for _, net := range nl.Recorded() {
-			label := "c17 net " + net
+			label := nl.Name + " net " + net
 			if dev := maxEventDeviation(t, label, gd[net], gs[net]); dev > solverDelayTol {
 				t.Errorf("seed %d: %s: delay deviation %.3g s exceeds %.0e s", seed, label, dev, solverDelayTol)
 			}
 		}
 	}
+}
+
+// TestSparseSolverAccuracyC17 is the reconvergent composed-circuit
+// accuracy gate.
+func TestSparseSolverAccuracyC17(t *testing.T) {
+	if testing.Short() {
+		t.Skip("analog transients; skipped in -short mode")
+	}
+	netlistAccuracy(t, netlist.C17("c17"), 20, []int64{1, 2})
+}
+
+// TestSparseSolverAccuracyAdder runs the accuracy gate on the 2-bit
+// ripple-carry adder: a deeper carry-chain topology (18 NAND2 gates)
+// whose MNA system actually merges supernodes, so the blocked sparse
+// kernel is on the path being gated.
+func TestSparseSolverAccuracyAdder(t *testing.T) {
+	if testing.Short() {
+		t.Skip("analog transients; skipped in -short mode")
+	}
+	nl, err := netlist.RippleCarryAdder("rca2", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	netlistAccuracy(t, nl, 12, []int64{1})
 }

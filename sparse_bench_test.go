@@ -1,12 +1,12 @@
 package hybriddelay
 
-// Interleaved dense-vs-sparse solver comparison on the two cold golden
-// workloads: the gate-level Fig. 7 pipeline and the flattened c17
-// composed golden. Each iteration times one dense pass and one sparse
-// pass back to back on the same machine, so the reported speedup_x
-// (dense seconds / sparse seconds) is immune to machine drift between
-// separate benchmark invocations. These rows feed the CI bench-smoke
-// job's BENCH_sparse.json artifact.
+// Interleaved dense-vs-sparse solver comparison on the cold golden
+// workloads: the gate-level Fig. 7 pipeline, the flattened c17
+// composed golden, and the 4-bit ripple-carry adder. Each iteration
+// times one dense pass and one sparse pass back to back on the same
+// machine, so the reported speedup_x (dense seconds / sparse seconds)
+// is immune to machine drift between separate benchmark invocations.
+// These rows feed the CI bench-smoke job's BENCH_sparse.json artifact.
 
 import (
 	"testing"
@@ -116,4 +116,57 @@ func BenchmarkSparseSpeedupCircuit(b *testing.B) {
 	b.ReportMetric(dSecs/sSecs, "speedup_x")
 	st := sparse.SolverStats()
 	b.ReportMetric(float64(st.SparseFallbacks), "sparse_fallbacks")
+}
+
+// BenchmarkSparseSpeedupAdder interleaves one cold composed golden of
+// the 4-bit NAND-only ripple-carry adder (36 gates, the largest
+// shipped netlist class below rca16) under both solver modes. The
+// flattened MNA system is wide enough for the supernodal blocked
+// kernel to matter, and the deep carry chain keeps every stage
+// electrically active across the transient.
+func BenchmarkSparseSpeedupAdder(b *testing.B) {
+	pd := nor.DefaultParams()
+	pd.MaxStep = 8e-12
+	ps := pd
+	ps.Solver = spice.SparseFast
+
+	nl, err := netlist.RippleCarryAdder("rca4", 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	mkBench := func(p nor.Params) *netlist.Bench {
+		bench, err := netlist.NewBench(nl, p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return bench
+	}
+	dense, sparse := mkBench(pd), mkBench(ps)
+	cfg := circuitBenchConfig()
+	cfg.Inputs = len(nl.Inputs)
+	inputs, err := gen.Traces(cfg, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	until := gen.Horizon(inputs, 600e-12)
+
+	var dSecs, sSecs float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		start := time.Now()
+		if _, err := dense.Golden(inputs, until); err != nil {
+			b.Fatal(err)
+		}
+		dSecs += time.Since(start).Seconds()
+		start = time.Now()
+		if _, err := sparse.Golden(inputs, until); err != nil {
+			b.Fatal(err)
+		}
+		sSecs += time.Since(start).Seconds()
+	}
+	b.StopTimer()
+	b.ReportMetric(dSecs/sSecs, "speedup_x")
+	st := sparse.SolverStats()
+	b.ReportMetric(float64(st.SparseFallbacks), "sparse_fallbacks")
+	b.ReportMetric(float64(st.Supernodes), "supernodes")
 }
