@@ -107,6 +107,7 @@ func barChart(title string, groups []string, names []string, values map[string][
 		width = 48
 	}
 	maxV := 0.0
+	//hybrid:nondet-ok commutative max fold; the scale is independent of visit order
 	for _, vs := range values {
 		for _, v := range vs {
 			maxV = math.Max(maxV, v)

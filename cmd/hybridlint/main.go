@@ -1,0 +1,69 @@
+// Command hybridlint runs the repo's static invariant analyzers
+// (noalloc, detmap, keycomplete, lockhold — see internal/analysis)
+// over the whole module and exits non-zero on any finding.
+//
+// Usage:
+//
+//	go run ./cmd/hybridlint ./...
+//
+// Package patterns are accepted for command-line familiarity but the
+// analyzers always load and check the entire module: the noalloc and
+// keycomplete checks are transitive across packages, so a partial load
+// would silently weaken them.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"hybriddelay/internal/analysis"
+)
+
+func main() {
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: hybridlint [packages]\n\nRuns the module-wide static invariant analyzers; package\narguments are accepted but the whole module is always checked.\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	root, err := findModuleRoot()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "hybridlint: %v\n", err)
+		os.Exit(2)
+	}
+	m, err := analysis.Load(root)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "hybridlint: loading module: %v\n", err)
+		os.Exit(2)
+	}
+	diags := analysis.RunAll(m)
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "hybridlint: %d finding(s)\n", len(diags))
+		os.Exit(1)
+	}
+	fmt.Printf("hybridlint: ok (%d packages, 4 analyzers)\n", len(m.Pkgs))
+}
+
+// findModuleRoot walks up from the working directory to the nearest
+// go.mod.
+func findModuleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod found above %s", dir)
+		}
+		dir = parent
+	}
+}

@@ -1,0 +1,168 @@
+package analysis
+
+import (
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// The fixture packages under testdata/src carry golden diagnostics as
+// trailing comments of the form
+//
+//	// want "pattern" "pattern"
+//
+// where each pattern is a regexp matched against the message of a
+// diagnostic reported on that line. Every diagnostic must match a want
+// on its line, and every want must be matched by a diagnostic — so a
+// fixture fails both when an analyzer misses a seeded violation and
+// when it flags a construct that must stay allowed.
+
+// wantRe extracts the quoted patterns of one want comment.
+var wantRe = regexp.MustCompile(`"([^"]*)"`)
+
+type wantDiag struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	raw     string
+	matched bool
+}
+
+// collectWants parses a fixture module's want comments.
+func collectWants(t *testing.T, m *Module) []*wantDiag {
+	t.Helper()
+	var wants []*wantDiag
+	for _, pkg := range m.Pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+					rest, ok := strings.CutPrefix(text, "want ")
+					if !ok {
+						continue
+					}
+					pos := m.Fset.Position(c.Pos())
+					for _, match := range wantRe.FindAllStringSubmatch(rest, -1) {
+						re, err := regexp.Compile(match[1])
+						if err != nil {
+							t.Fatalf("%s:%d: bad want pattern %q: %v", pos.Filename, pos.Line, match[1], err)
+						}
+						wants = append(wants, &wantDiag{file: pos.Filename, line: pos.Line, re: re, raw: match[1]})
+					}
+				}
+			}
+		}
+	}
+	return wants
+}
+
+// runFixture loads testdata/src/<name> and checks the analyzer's
+// diagnostics against the fixture's want comments.
+func runFixture(t *testing.T, name string, run func(*Module) []Diagnostic) {
+	t.Helper()
+	m, err := LoadDir(filepath.Join("testdata", "src", name), name)
+	if err != nil {
+		t.Fatalf("load fixture %s: %v", name, err)
+	}
+	diags := run(m)
+	wants := collectWants(t, m)
+	for _, d := range diags {
+		ok := false
+		for _, w := range wants {
+			if w.file == d.Pos.Filename && w.line == d.Pos.Line && w.re.MatchString(d.Message) {
+				w.matched = true
+				ok = true
+			}
+		}
+		if !ok {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: no diagnostic matched want %q", w.file, w.line, w.raw)
+		}
+	}
+}
+
+func TestNoAllocFixture(t *testing.T) {
+	runFixture(t, "noalloctest", NoAlloc)
+}
+
+func TestDetMapFixture(t *testing.T) {
+	runFixture(t, "detmaptest", DetMap)
+}
+
+func TestKeyCompleteFixture(t *testing.T) {
+	runFixture(t, "keytest", func(m *Module) []Diagnostic {
+		return KeyComplete(m, []KeyRule{
+			{Struct: "keytest.Key", Builder: "keytest.incompleteKey"},
+			{Struct: "keytest.Key", Builder: "keytest.completeKey"},
+			{Struct: "keytest.Key", Builder: "keytest.wholesaleKey"},
+			{Struct: "keytest.Key", Builder: "keytest.pointerKey"},
+			{Struct: "keytest.RunKey", Builder: "keytest.runKey",
+				Ignore: map[string]string{"Run": "fixture: run-scoped, never part of identity"}},
+			{Struct: "keytest.RunKey", Builder: "keytest.runKeyBare",
+				Ignore: map[string]string{"Run": ""}},
+		})
+	})
+}
+
+func TestLockHoldFixture(t *testing.T) {
+	runFixture(t, "locktest", func(m *Module) []Diagnostic {
+		return LockHold(m, []string{"locktest"})
+	})
+}
+
+// TestRepoTreeClean runs the full default suite against the real
+// module, mirroring CI's lint-invariants job: the tree must stay
+// finding-free, so any new violation fails go test as well as the
+// standalone hybridlint run.
+func TestRepoTreeClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and type-checks the whole module")
+	}
+	m, err := Load(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatalf("load module: %v", err)
+	}
+	if len(m.Pkgs) < 10 {
+		t.Fatalf("suspiciously few packages loaded: %d", len(m.Pkgs))
+	}
+	for _, d := range RunAll(m) {
+		t.Errorf("%s", d)
+	}
+}
+
+func TestParseDirective(t *testing.T) {
+	cases := []struct {
+		text, name, reason string
+	}{
+		{"//hybrid:noalloc", "noalloc", ""},
+		{"//hybrid:alloc-ok cold path", "alloc-ok", "cold path"},
+		{"//hybrid:nondet-ok commutative sum", "nondet-ok", "commutative sum"},
+		{"// plain comment", "", ""},
+		{"//hybrid: trailing space name", "", "trailing space name"},
+	}
+	for _, c := range cases {
+		name, reason := parseDirective(c.text)
+		if name != c.name || reason != c.reason {
+			t.Errorf("parseDirective(%q) = %q, %q; want %q, %q", c.text, name, reason, c.name, c.reason)
+		}
+	}
+}
+
+// TestDefaultRuleIgnoresHaveReasons pins rule hygiene: every ignored
+// field in the repo's default key rules must carry a reason, the same
+// property keycomplete enforces on fixture rules.
+func TestDefaultRuleIgnoresHaveReasons(t *testing.T) {
+	m := &Module{Path: "hybriddelay"}
+	for _, r := range DefaultKeyRules(m) {
+		for _, name := range sortedRuleFields(r) {
+			if r.Ignore[name] == "" {
+				t.Errorf("rule %s -> %s ignores %s without a reason", r.Struct, r.Builder, name)
+			}
+		}
+	}
+}

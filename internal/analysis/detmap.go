@@ -1,0 +1,139 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+)
+
+// DetMap flags every range over a map in non-test module code: map
+// iteration order is randomized per run, so any map range on a path
+// that feeds deterministic output (report/CSV/JSON encoders, /metrics,
+// CLI tables) or a cache/store key builder is a byte-identity hazard.
+//
+// Two shapes pass without annotation:
+//
+//   - collect-then-sort: the range body appends keys/values into
+//     slices and at least one of those slices is passed to a sort (or
+//     slices) package call later in the same function;
+//   - an explicit //hybrid:nondet-ok <reason> on the range statement,
+//     for iterations that are genuinely order-independent (per-key map
+//     writes, commutative folds, internal bookkeeping).
+//
+// The analyzer runs module-wide rather than attempting path
+// sensitivity: every surviving iteration is therefore either sorted or
+// carries a human-auditable reason.
+func DetMap(m *Module) []Diagnostic {
+	var diags []Diagnostic
+	for _, fi := range m.FuncList {
+		if fi.Decl.Body == nil {
+			continue
+		}
+		fi := fi
+		ast.Inspect(fi.Decl.Body, func(n ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			t := m.Info.TypeOf(rs.X)
+			if t == nil {
+				return true
+			}
+			if _, isMap := t.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			if d := m.directiveAt(rs.Pos(), "nondet-ok"); d != nil {
+				if d.Reason == "" {
+					diags = append(diags, Diagnostic{
+						Pos:      m.Fset.Position(rs.Pos()),
+						Analyzer: "detmap",
+						Message:  fmt.Sprintf("//hybrid:nondet-ok in %s needs a reason", fi.Label()),
+					})
+				}
+				return true
+			}
+			if collectThenSort(m, fi.Decl, rs) {
+				return true
+			}
+			diags = append(diags, Diagnostic{
+				Pos:      m.Fset.Position(rs.Pos()),
+				Analyzer: "detmap",
+				Message: fmt.Sprintf("range over map %s in %s: iteration order is nondeterministic; sort the keys first or annotate //hybrid:nondet-ok <reason>",
+					types.ExprString(rs.X), fi.Label()),
+			})
+			return true
+		})
+	}
+	sortDiagnostics(diags)
+	return diags
+}
+
+// collectThenSort recognizes the sorted-iteration idiom: the range body
+// appends into one or more slices, and the enclosing function later
+// passes one of those slices to a sort call.
+func collectThenSort(m *Module, decl *ast.FuncDecl, rs *ast.RangeStmt) bool {
+	targets := map[types.Object]bool{}
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+			return true
+		}
+		lhs, ok := as.Lhs[0].(*ast.Ident)
+		if !ok {
+			return true
+		}
+		call, ok := as.Rhs[0].(*ast.CallExpr)
+		if !ok || len(call.Args) == 0 {
+			return true
+		}
+		if id, ok := call.Fun.(*ast.Ident); ok {
+			if b, ok := m.Info.Uses[id].(*types.Builtin); ok && b.Name() == "append" {
+				if first, ok := ast.Unparen(call.Args[0]).(*ast.Ident); ok && m.objOf(first) == m.objOf(lhs) {
+					if obj := m.objOf(lhs); obj != nil {
+						targets[obj] = true
+					}
+				}
+			}
+		}
+		return true
+	})
+	if len(targets) == 0 {
+		return false
+	}
+	sorted := false
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || len(call.Args) == 0 {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		obj := m.Info.Uses[sel.Sel]
+		if obj == nil || obj.Pkg() == nil {
+			return true
+		}
+		if p := obj.Pkg().Path(); p != "sort" && p != "slices" {
+			return true
+		}
+		arg := ast.Unparen(call.Args[0])
+		// Unwrap a sort.Interface adapter conversion: sort.Sort(byName(x)).
+		if conv, ok := arg.(*ast.CallExpr); ok && len(conv.Args) == 1 {
+			arg = ast.Unparen(conv.Args[0])
+		}
+		if id, ok := arg.(*ast.Ident); ok && targets[m.objOf(id)] {
+			sorted = true
+		}
+		return true
+	})
+	return sorted
+}
+
+// objOf resolves an identifier to its object, definition or use.
+func (m *Module) objOf(id *ast.Ident) types.Object {
+	if o := m.Info.Uses[id]; o != nil {
+		return o
+	}
+	return m.Info.Defs[id]
+}

@@ -1,0 +1,120 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// Directive is one //hybrid:<name> <reason> comment. The recognized
+// names are:
+//
+//	//hybrid:noalloc               (function doc) noalloc root
+//	//hybrid:alloc-ok <reason>     (function doc or statement) exempt
+//	//hybrid:nondet-ok <reason>    (range statement) detmap suppression
+//	//hybrid:lockhold-ok <reason>  (statement) lockhold suppression
+//
+// Suppressing directives require a non-empty reason; a bare
+// suppression is itself reported instead of honored.
+type Directive struct {
+	Name   string
+	Reason string
+	Pos    token.Pos
+}
+
+// dirKey addresses one source line.
+type dirKey struct {
+	file string
+	line int
+}
+
+// parseDirective decodes one comment's text, empty name if it is not a
+// hybrid directive.
+func parseDirective(text string) (name, reason string) {
+	rest, ok := strings.CutPrefix(strings.TrimSpace(strings.TrimPrefix(text, "//")), "hybrid:")
+	if !ok {
+		return "", ""
+	}
+	name, reason, _ = strings.Cut(rest, " ")
+	return strings.TrimSpace(name), strings.TrimSpace(reason)
+}
+
+// indexDirectives scans every comment of every file for hybrid
+// directives and indexes them by (file, line).
+func (m *Module) indexDirectives() {
+	m.dirs = map[dirKey][]Directive{}
+	for _, pkg := range m.Pkgs { //hybrid:nondet-ok directives land in a position-keyed map; lookup order irrelevant
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					name, reason := parseDirective(c.Text)
+					if name == "" {
+						continue
+					}
+					p := m.Fset.Position(c.Pos())
+					k := dirKey{p.Filename, p.Line}
+					m.dirs[k] = append(m.dirs[k], Directive{Name: name, Reason: reason, Pos: c.Pos()})
+				}
+			}
+		}
+	}
+}
+
+// directiveAt returns the named directive attached to pos: on the same
+// source line or on the line directly above it.
+func (m *Module) directiveAt(pos token.Pos, name string) *Directive {
+	p := m.Fset.Position(pos)
+	for _, line := range []int{p.Line, p.Line - 1} {
+		for _, d := range m.dirs[dirKey{p.Filename, line}] {
+			if d.Name == name {
+				d := d
+				return &d
+			}
+		}
+	}
+	return nil
+}
+
+// funcDirective returns the named directive from a function's doc
+// comment.
+func (m *Module) funcDirective(decl *ast.FuncDecl, name string) *Directive {
+	if decl.Doc == nil {
+		return nil
+	}
+	for _, c := range decl.Doc.List {
+		if n, reason := parseDirective(c.Text); n == name {
+			return &Directive{Name: n, Reason: reason, Pos: c.Pos()}
+		}
+	}
+	return nil
+}
+
+// Diagnostic is one analyzer finding.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+}
+
+// sortDiagnostics orders findings by position so output is stable.
+func sortDiagnostics(ds []Diagnostic) {
+	sort.Slice(ds, func(i, j int) bool {
+		a, b := ds[i], ds[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Message < b.Message
+	})
+}

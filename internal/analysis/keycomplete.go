@@ -1,0 +1,271 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// KeyRule pins one cache-identity struct to one of its key builders:
+// every exported field of Struct must be referenced inside Builder (or
+// a module function it calls), be covered by a wholesale use of the
+// struct value, or appear in Ignore with a reason explaining why the
+// field is run-scoped rather than identity-bearing.
+type KeyRule struct {
+	// Struct names the identity struct as "import/path.TypeName".
+	Struct string
+	// Builder names the key builder as "import/path.FuncName" or
+	// "import/path.Recv.Method" (receiver named without * or
+	// parentheses).
+	Builder string
+	// Ignore maps run-scoped exported fields to the reason they are
+	// excluded from cache identity.
+	Ignore map[string]string
+}
+
+// KeyComplete is the static generalization of the store's
+// TestSchemaDriftGuard: instead of pinning field counts and trusting a
+// human to extend every key builder, it proves that each exported
+// field of each identity struct is actually referenced by each of its
+// key builders. A field is covered when
+//
+//   - the builder (or a transitively called module function) selects a
+//     field of that name or spells it as a composite-literal key, or
+//   - the builder uses a value of the struct type wholesale — as a
+//     composite-literal element, call argument (e.g. a %+v format
+//     operand), map key, or comparison operand — which embeds every
+//     field, or
+//   - the rule ignores the field with a reason (run-scoped fields that
+//     must not contribute to identity).
+//
+// Field matching is by name, not by receiver type: builders like the
+// hdgs-v1 keyString encode spice.TransientOptions identity through the
+// nor.Params selectors that feed it, and the name-level check is what
+// ties the two schemas together.
+func KeyComplete(m *Module, rules []KeyRule) []Diagnostic {
+	var diags []Diagnostic
+	for _, r := range rules {
+		diags = append(diags, checkKeyRule(m, r)...)
+	}
+	sortDiagnostics(diags)
+	return diags
+}
+
+func checkKeyRule(m *Module, r KeyRule) []Diagnostic {
+	st, named, err := resolveStruct(m, r.Struct)
+	if err != nil {
+		return []Diagnostic{{Analyzer: "keycomplete", Message: fmt.Sprintf("bad rule: %v", err)}}
+	}
+	fi, err := resolveBuilder(m, r.Builder)
+	if err != nil {
+		return []Diagnostic{{Analyzer: "keycomplete", Message: fmt.Sprintf("bad rule: %v", err)}}
+	}
+	cov := &coverage{names: map[string]bool{}, target: named}
+	cov.walk(m, fi, map[*types.Func]bool{})
+
+	var diags []Diagnostic
+	var missing []string
+	for i := 0; i < st.NumFields(); i++ {
+		f := st.Field(i)
+		if !f.Exported() {
+			continue
+		}
+		if reason, ok := r.Ignore[f.Name()]; ok {
+			if reason == "" {
+				diags = append(diags, Diagnostic{
+					Pos:      m.Fset.Position(fi.Decl.Pos()),
+					Analyzer: "keycomplete",
+					Message:  fmt.Sprintf("rule for %s ignores field %s without a reason", r.Struct, f.Name()),
+				})
+			}
+			continue
+		}
+		if cov.wholesale || cov.names[f.Name()] {
+			continue
+		}
+		missing = append(missing, f.Name())
+	}
+	for _, name := range missing {
+		diags = append(diags, Diagnostic{
+			Pos:      m.Fset.Position(fi.Decl.Pos()),
+			Analyzer: "keycomplete",
+			Message: fmt.Sprintf("key builder %s does not reference %s.%s: two benches differing only in %s would share a cache entry; encode the field or ignore it with a reason",
+				r.Builder, r.Struct, name, name),
+		})
+	}
+	return diags
+}
+
+// resolveStruct finds an "import/path.TypeName" struct type.
+func resolveStruct(m *Module, spec string) (*types.Struct, types.Type, error) {
+	pkgPath, name, ok := cutLastSlashDot(spec)
+	if !ok {
+		return nil, nil, fmt.Errorf("struct spec %q is not import/path.TypeName", spec)
+	}
+	pkg := m.Pkgs[pkgPath]
+	if pkg == nil {
+		return nil, nil, fmt.Errorf("struct spec %q: package %s not in module", spec, pkgPath)
+	}
+	obj := pkg.Types.Scope().Lookup(name)
+	if obj == nil {
+		return nil, nil, fmt.Errorf("struct spec %q: no such type", spec)
+	}
+	st, ok := obj.Type().Underlying().(*types.Struct)
+	if !ok {
+		return nil, nil, fmt.Errorf("struct spec %q: %s is not a struct", spec, name)
+	}
+	return st, obj.Type(), nil
+}
+
+// resolveBuilder finds an "import/path.Func" or "import/path.Recv.Method"
+// function declaration.
+func resolveBuilder(m *Module, spec string) (*FuncInfo, error) {
+	pkgPath, rest, ok := cutLastSlashDot(spec)
+	if !ok {
+		return nil, fmt.Errorf("builder spec %q is not import/path.Func", spec)
+	}
+	recv, name, isMethod := strings.Cut(rest, ".")
+	if !isMethod {
+		name, recv = recv, ""
+	}
+	for _, fi := range m.FuncList {
+		if fi.Pkg.Path != pkgPath || fi.Decl.Name.Name != name {
+			continue
+		}
+		if recvName(fi.Decl) == recv {
+			return fi, nil
+		}
+	}
+	return nil, fmt.Errorf("builder spec %q: no such function", spec)
+}
+
+// recvName renders a declaration's receiver type name, "" for plain
+// functions and pointers stripped ("*ParamCache" -> "ParamCache").
+func recvName(decl *ast.FuncDecl) string {
+	if decl.Recv == nil || len(decl.Recv.List) == 0 {
+		return ""
+	}
+	t := decl.Recv.List[0].Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	if id, ok := t.(*ast.Ident); ok {
+		return id.Name
+	}
+	return types.ExprString(t)
+}
+
+// cutLastSlashDot splits "a/b/c.Name.Sub" into ("a/b/c", "Name.Sub").
+func cutLastSlashDot(spec string) (pkgPath, rest string, ok bool) {
+	slash := strings.LastIndex(spec, "/")
+	dot := strings.Index(spec[slash+1:], ".")
+	if dot < 0 {
+		return "", "", false
+	}
+	dot += slash + 1
+	return spec[:dot], spec[dot+1:], true
+}
+
+// coverage accumulates which field names a builder references, and
+// whether the struct value is used wholesale.
+type coverage struct {
+	names     map[string]bool
+	target    types.Type
+	wholesale bool
+}
+
+// walk scans one function and recurses into resolvable module callees.
+func (cov *coverage) walk(m *Module, fi *FuncInfo, seen map[*types.Func]bool) {
+	if seen[fi.Obj] || fi.Decl.Body == nil {
+		return
+	}
+	seen[fi.Obj] = true
+
+	// Positions that appear as the base expression of a selector: a
+	// target-typed value there is being projected, not used wholesale.
+	selBase := map[ast.Expr]bool{}
+	var callees []*FuncInfo
+	ast.Inspect(fi.Decl.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.SelectorExpr:
+			selBase[ast.Unparen(n.X)] = true
+			if sel, ok := m.Info.Selections[n]; ok && sel.Kind() == types.FieldVal {
+				cov.names[n.Sel.Name] = true
+			}
+		case *ast.CompositeLit:
+			if t := m.Info.TypeOf(n); t != nil {
+				if _, isStruct := t.Underlying().(*types.Struct); isStruct {
+					for _, elt := range n.Elts {
+						if kv, ok := elt.(*ast.KeyValueExpr); ok {
+							if id, ok := kv.Key.(*ast.Ident); ok {
+								cov.names[id.Name] = true
+							}
+						}
+					}
+				}
+			}
+		case *ast.CallExpr:
+			if fn := staticCallee(m, n); fn != nil {
+				if target := m.Funcs[fn.Origin()]; target != nil {
+					callees = append(callees, target)
+				}
+			}
+		}
+		return true
+	})
+	// Wholesale detection: any target-typed expression that is not the
+	// base of a field selection embeds every field (composite element,
+	// call argument, comparison, map key, assignment source).
+	ast.Inspect(fi.Decl.Body, func(n ast.Node) bool {
+		e, ok := n.(ast.Expr)
+		if !ok || selBase[e] {
+			return true
+		}
+		switch e.(type) {
+		case *ast.Ident, *ast.SelectorExpr, *ast.CallExpr, *ast.IndexExpr:
+		default:
+			return true
+		}
+		if t := m.Info.TypeOf(e); t != nil && types.Identical(t, cov.target) {
+			cov.wholesale = true
+		}
+		return true
+	})
+	for _, c := range callees {
+		cov.walk(m, c, seen)
+	}
+}
+
+// staticCallee resolves a call to a statically known *types.Func, nil
+// for builtins, conversions, func values and interface dispatch.
+func staticCallee(m *Module, n *ast.CallExpr) *types.Func {
+	switch f := ast.Unparen(n.Fun).(type) {
+	case *ast.Ident:
+		fn, _ := m.Info.Uses[f].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		if sel, ok := m.Info.Selections[f]; ok {
+			if sel.Kind() != types.MethodVal || types.IsInterface(sel.Recv()) {
+				return nil
+			}
+			fn, _ := sel.Obj().(*types.Func)
+			return fn
+		}
+		fn, _ := m.Info.Uses[f.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}
+
+// sortedRuleFields lists a rule's ignore keys in stable order (used in
+// fixture tests and debugging output).
+func sortedRuleFields(r KeyRule) []string {
+	out := make([]string, 0, len(r.Ignore))
+	for name := range r.Ignore {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,309 @@
+// Package analysis implements hybridlint: a dependency-free static
+// analyzer suite that enforces this repo's cross-cutting invariants at
+// lint time — the invariants the dynamic gates (the -benchmem CI
+// benchmarks, TestSchemaDriftGuard, the byte-identity loadgen) only
+// catch at run time:
+//
+//   - noalloc: functions annotated //hybrid:noalloc must stay free of
+//     allocating constructs, transitively through intra-module calls.
+//   - detmap: no range over a map whose iteration order can leak into
+//     deterministic output, unless the keys are sorted first or the
+//     site carries //hybrid:nondet-ok <reason>.
+//   - keycomplete: every exported field of a cache-identity struct must
+//     be referenced by each of its key builders (the static
+//     generalization of the store's schema-drift guard).
+//   - lockhold: no blocking operation (channel op, I/O, sync wait)
+//     while holding a named mutex in the serve/session layer — the
+//     SSE-hang bug class.
+//
+// The package uses only go/ast, go/parser and go/types from the
+// standard library, so the module keeps its empty go.sum.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// Package is one type-checked package of the module under analysis.
+type Package struct {
+	Path  string // import path
+	Dir   string
+	Files []*ast.File
+	Types *types.Package
+}
+
+// FuncInfo pairs a function declaration with its package, plus the
+// types object the declaration defines.
+type FuncInfo struct {
+	Decl *ast.FuncDecl
+	Pkg  *Package
+	Obj  *types.Func
+}
+
+// Label renders the function for diagnostics: "Name" for plain
+// functions, "(Recv).Name" for methods.
+func (fi *FuncInfo) Label() string {
+	if fi.Decl.Recv == nil || len(fi.Decl.Recv.List) == 0 {
+		return fi.Decl.Name.Name
+	}
+	return "(" + types.ExprString(fi.Decl.Recv.List[0].Type) + ")." + fi.Decl.Name.Name
+}
+
+// Module is the fully loaded, type-checked module: every package's
+// syntax and type information plus the directive index, shared by all
+// four analyzers.
+type Module struct {
+	Path string // module path from go.mod
+	Root string // directory containing go.mod
+	Fset *token.FileSet
+	Info *types.Info
+	Pkgs map[string]*Package
+
+	// FuncList holds every function declaration in deterministic
+	// (package path, file, offset) order; Funcs indexes the same set by
+	// the defining types object for call resolution.
+	FuncList []*FuncInfo
+	Funcs    map[*types.Func]*FuncInfo
+
+	dirs map[dirKey][]Directive
+}
+
+// moduleImporter resolves module-local import paths by type-checking
+// the package source under the module root, and everything else
+// through the stdlib source importer (the toolchain ships no compiled
+// export data, so "source" is the only dependency-free compiler mode).
+type moduleImporter struct {
+	m       *Module
+	std     types.Importer
+	loading map[string]bool
+}
+
+func (mi *moduleImporter) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if p, ok := mi.m.Pkgs[path]; ok {
+		return p.Types, nil
+	}
+	if path == mi.m.Path || strings.HasPrefix(path, mi.m.Path+"/") {
+		p, err := mi.loadLocal(path)
+		if err != nil {
+			return nil, err
+		}
+		return p.Types, nil
+	}
+	return mi.std.Import(path)
+}
+
+// loadLocal parses and type-checks one module package.
+func (mi *moduleImporter) loadLocal(path string) (*Package, error) {
+	if mi.loading[path] {
+		return nil, fmt.Errorf("import cycle through %s", path)
+	}
+	mi.loading[path] = true
+	defer delete(mi.loading, path)
+
+	rel := strings.TrimPrefix(strings.TrimPrefix(path, mi.m.Path), "/")
+	dir := filepath.Join(mi.m.Root, filepath.FromSlash(rel))
+	names, err := goFilesIn(dir)
+	if err != nil {
+		return nil, err
+	}
+	if len(names) == 0 {
+		return nil, fmt.Errorf("no buildable Go files in %s", dir)
+	}
+	var files []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(mi.m.Fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	conf := types.Config{Importer: mi}
+	tpkg, err := conf.Check(path, mi.m.Fset, files, mi.m.Info)
+	if err != nil {
+		return nil, fmt.Errorf("type-checking %s: %w", path, err)
+	}
+	p := &Package{Path: path, Dir: dir, Files: files, Types: tpkg}
+	mi.m.Pkgs[path] = p
+	return p, nil
+}
+
+// goFilesIn lists the buildable (non-test) Go files of a directory in
+// sorted order. The module has no build-constrained files, so no
+// constraint evaluation is needed.
+func goFilesIn(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		if strings.HasPrefix(name, "_") || strings.HasPrefix(name, ".") {
+			continue
+		}
+		names = append(names, name)
+	}
+	return names, nil
+}
+
+// modulePath reads the module path from a go.mod file.
+func modulePath(gomod string) (string, error) {
+	data, err := os.ReadFile(gomod)
+	if err != nil {
+		return "", err
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module "); ok {
+			return strings.Trim(strings.TrimSpace(rest), `"`), nil
+		}
+	}
+	return "", fmt.Errorf("no module directive in %s", gomod)
+}
+
+func newInfo() *types.Info {
+	return &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+	}
+}
+
+// Load parses and type-checks every package under the module rooted at
+// root (the directory containing go.mod). Directories named testdata,
+// or starting with "." or "_", are skipped, matching the go toolchain.
+func Load(root string) (*Module, error) {
+	root, err := filepath.Abs(root)
+	if err != nil {
+		return nil, err
+	}
+	modPath, err := modulePath(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	m := &Module{
+		Path: modPath,
+		Root: root,
+		Fset: token.NewFileSet(),
+		Info: newInfo(),
+		Pkgs: map[string]*Package{},
+	}
+	mi := &moduleImporter{m: m, loading: map[string]bool{}}
+	mi.std = importer.ForCompiler(m.Fset, "source", nil)
+
+	var dirs []string
+	err = filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != root && (name == "testdata" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+			return filepath.SkipDir
+		}
+		names, err := goFilesIn(path)
+		if err != nil {
+			return err
+		}
+		if len(names) > 0 {
+			dirs = append(dirs, path)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, dir := range dirs {
+		rel, err := filepath.Rel(root, dir)
+		if err != nil {
+			return nil, err
+		}
+		path := modPath
+		if rel != "." {
+			path = modPath + "/" + filepath.ToSlash(rel)
+		}
+		if _, err := mi.Import(path); err != nil {
+			return nil, err
+		}
+	}
+	m.index(dirs)
+	m.indexDirectives()
+	return m, nil
+}
+
+// LoadDir loads a single directory as a one-package module. Fixture
+// tests use this to run analyzers against testdata packages without a
+// go.mod of their own.
+func LoadDir(dir, path string) (*Module, error) {
+	dir, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	m := &Module{
+		Path: path,
+		Root: dir,
+		Fset: token.NewFileSet(),
+		Info: newInfo(),
+		Pkgs: map[string]*Package{},
+	}
+	mi := &moduleImporter{m: m, loading: map[string]bool{}}
+	mi.std = importer.ForCompiler(m.Fset, "source", nil)
+	if _, err := mi.loadLocal(path); err != nil {
+		return nil, err
+	}
+	m.index([]string{dir})
+	m.indexDirectives()
+	return m, nil
+}
+
+// index builds the deterministic function list and the object index.
+// dirs is the discovery-ordered directory list; packages are indexed
+// in that order so analyzer output is stable run to run.
+func (m *Module) index(dirs []string) {
+	m.Funcs = map[*types.Func]*FuncInfo{}
+	for _, dir := range dirs {
+		var pkg *Package
+		for _, p := range m.Pkgs { //hybrid:nondet-ok single match lookup by dir; order irrelevant
+			if p.Dir == dir {
+				pkg = p
+				break
+			}
+		}
+		if pkg == nil {
+			continue
+		}
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok {
+					continue
+				}
+				obj, _ := m.Info.Defs[fd.Name].(*types.Func)
+				if obj == nil {
+					continue
+				}
+				fi := &FuncInfo{Decl: fd, Pkg: pkg, Obj: obj}
+				m.FuncList = append(m.FuncList, fi)
+				m.Funcs[obj] = fi
+			}
+		}
+	}
+}

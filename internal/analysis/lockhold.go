@@ -1,0 +1,271 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// lockIODeny lists stdlib packages whose calls perform I/O and can
+// block indefinitely; calling into them under a held mutex stalls
+// every other path that needs the lock.
+var lockIODeny = map[string]bool{
+	"bufio":    true,
+	"io":       true,
+	"net":      true,
+	"net/http": true,
+	"os":       true,
+}
+
+// LockHold flags blocking operations performed while a named mutex is
+// held, in the packages listed in scope — the bug class behind the PR 9
+// SSE hang (a handler blocking on a dead notify channel). Within a
+// region bracketed by x.Lock()/x.Unlock() (or held to function end by
+// a defer x.Unlock()), the following are findings:
+//
+//   - channel sends, receives, and ranges over channels;
+//   - select statements without a default clause (blocking selects);
+//   - calls into net/os/io packages, time.Sleep, and sync waits
+//     (WaitGroup.Wait, Cond.Wait).
+//
+// Non-blocking constructs stay allowed: close(), selects with a
+// default clause, and acquiring a second (ordered) mutex. Function
+// literal and go-statement bodies are skipped — they run on their own
+// goroutines or schedules, not under the lock (callbacks invoked under
+// a lock are a documented blind spot; keep them synchronous and
+// channel-free). A statement carrying //hybrid:lockhold-ok <reason> is
+// exempt.
+func LockHold(m *Module, scope []string) []Diagnostic {
+	inScope := map[string]bool{}
+	for _, p := range scope {
+		inScope[p] = true
+	}
+	s := &lockholdScan{m: m}
+	for _, fi := range m.FuncList {
+		if !inScope[fi.Pkg.Path] || fi.Decl.Body == nil {
+			continue
+		}
+		s.fi = fi
+		s.block(fi.Decl.Body.List, nil)
+	}
+	sortDiagnostics(s.diags)
+	return s.diags
+}
+
+type heldLock struct {
+	name string // rendered mutex expression, e.g. "j.mu"
+	pos  token.Pos
+}
+
+type lockholdScan struct {
+	m     *Module
+	fi    *FuncInfo
+	diags []Diagnostic
+}
+
+func (s *lockholdScan) flag(pos token.Pos, desc string, held []heldLock) {
+	h := held[len(held)-1]
+	at := s.m.Fset.Position(h.pos)
+	s.diags = append(s.diags, Diagnostic{
+		Pos:      s.m.Fset.Position(pos),
+		Analyzer: "lockhold",
+		Message: fmt.Sprintf("%s in %s while holding %s (locked at line %d); blocking under a mutex can wedge every contender — release first or annotate //hybrid:lockhold-ok <reason>",
+			desc, s.fi.Label(), h.name, at.Line),
+	})
+}
+
+type lockOp int
+
+const (
+	opNone lockOp = iota
+	opLock
+	opUnlock
+	opDeferUnlock
+)
+
+// classify recognizes mutex statements: x.Lock()/x.RLock(),
+// x.Unlock()/x.RUnlock() and defer x.Unlock().
+func (s *lockholdScan) classify(st ast.Stmt) (lockOp, string) {
+	var call *ast.CallExpr
+	deferred := false
+	switch st := st.(type) {
+	case *ast.ExprStmt:
+		call, _ = st.X.(*ast.CallExpr)
+	case *ast.DeferStmt:
+		call = st.Call
+		deferred = true
+	}
+	if call == nil {
+		return opNone, ""
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return opNone, ""
+	}
+	obj, _ := s.m.Info.Uses[sel.Sel].(*types.Func)
+	if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return opNone, ""
+	}
+	name := types.ExprString(sel.X)
+	switch obj.Name() {
+	case "Lock", "RLock":
+		if deferred {
+			return opNone, ""
+		}
+		return opLock, name
+	case "Unlock", "RUnlock":
+		if deferred {
+			return opDeferUnlock, name
+		}
+		return opUnlock, name
+	}
+	return opNone, ""
+}
+
+// block walks one statement list tracking the held-lock set.
+func (s *lockholdScan) block(stmts []ast.Stmt, held []heldLock) {
+	held = append([]heldLock(nil), held...)
+	for _, st := range stmts {
+		if d := s.m.directiveAt(st.Pos(), "lockhold-ok"); d != nil {
+			if d.Reason == "" {
+				s.diags = append(s.diags, Diagnostic{
+					Pos:      s.m.Fset.Position(st.Pos()),
+					Analyzer: "lockhold",
+					Message:  fmt.Sprintf("//hybrid:lockhold-ok in %s needs a reason", s.fi.Label()),
+				})
+			}
+			continue
+		}
+		switch op, name := s.classify(st); op {
+		case opLock:
+			held = append(held, heldLock{name: name, pos: st.Pos()})
+			continue
+		case opUnlock:
+			for i := len(held) - 1; i >= 0; i-- {
+				if held[i].name == name {
+					held = append(held[:i], held[i+1:]...)
+					break
+				}
+			}
+			continue
+		case opDeferUnlock:
+			continue // the matching Lock stays held to function end
+		}
+		s.stmt(st, held)
+	}
+}
+
+// stmt dispatches one statement: composite statements recurse with the
+// current held set, and when a lock is held the statement's
+// expressions are scanned for blocking constructs.
+func (s *lockholdScan) stmt(st ast.Stmt, held []heldLock) {
+	switch st := st.(type) {
+	case *ast.BlockStmt:
+		s.block(st.List, held)
+	case *ast.IfStmt:
+		if len(held) > 0 {
+			s.exprs(st.Init, held)
+			s.exprs(st.Cond, held)
+		}
+		s.block(st.Body.List, held)
+		if st.Else != nil {
+			s.stmt(st.Else, held)
+		}
+	case *ast.ForStmt:
+		if len(held) > 0 {
+			s.exprs(st.Init, held)
+			s.exprs(st.Cond, held)
+			s.exprs(st.Post, held)
+		}
+		s.block(st.Body.List, held)
+	case *ast.RangeStmt:
+		if len(held) > 0 {
+			if t := s.m.Info.TypeOf(st.X); t != nil {
+				if _, isChan := t.Underlying().(*types.Chan); isChan {
+					s.flag(st.Pos(), "range over channel", held)
+				}
+			}
+			s.exprs(st.X, held)
+		}
+		s.block(st.Body.List, held)
+	case *ast.SwitchStmt:
+		if len(held) > 0 {
+			s.exprs(st.Init, held)
+			s.exprs(st.Tag, held)
+		}
+		for _, c := range st.Body.List {
+			s.block(c.(*ast.CaseClause).Body, held)
+		}
+	case *ast.TypeSwitchStmt:
+		for _, c := range st.Body.List {
+			s.block(c.(*ast.CaseClause).Body, held)
+		}
+	case *ast.SelectStmt:
+		if len(held) > 0 && !selectHasDefault(st) {
+			s.flag(st.Pos(), "blocking select (no default clause)", held)
+		}
+		for _, c := range st.Body.List {
+			s.block(c.(*ast.CommClause).Body, held)
+		}
+	case *ast.LabeledStmt:
+		s.stmt(st.Stmt, held)
+	default:
+		if len(held) > 0 {
+			s.exprs(st, held)
+		}
+	}
+}
+
+func selectHasDefault(st *ast.SelectStmt) bool {
+	for _, c := range st.Body.List {
+		if c.(*ast.CommClause).Comm == nil {
+			return true
+		}
+	}
+	return false
+}
+
+// exprs scans a simple statement or expression subtree for blocking
+// constructs, skipping function-literal and go-statement bodies (they
+// do not execute under the caller's lock).
+func (s *lockholdScan) exprs(n ast.Node, held []heldLock) {
+	if n == nil {
+		return
+	}
+	ast.Inspect(n, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit, *ast.GoStmt:
+			return false
+		case *ast.SendStmt:
+			s.flag(n.Pos(), "channel send", held)
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				s.flag(n.Pos(), "channel receive", held)
+			}
+		case *ast.CallExpr:
+			s.blockingCall(n, held)
+		}
+		return true
+	})
+}
+
+// blockingCall flags calls that can block or perform I/O.
+func (s *lockholdScan) blockingCall(n *ast.CallExpr, held []heldLock) {
+	sel, ok := n.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	obj, _ := s.m.Info.Uses[sel.Sel].(*types.Func)
+	if obj == nil || obj.Pkg() == nil {
+		return
+	}
+	switch pkg := obj.Pkg().Path(); {
+	case lockIODeny[pkg]:
+		s.flag(n.Pos(), fmt.Sprintf("I/O call %s.%s", obj.Pkg().Name(), obj.Name()), held)
+	case pkg == "time" && obj.Name() == "Sleep":
+		s.flag(n.Pos(), "time.Sleep", held)
+	case pkg == "sync" && obj.Name() == "Wait":
+		s.flag(n.Pos(), "sync wait ("+types.ExprString(sel.X)+".Wait)", held)
+	}
+}

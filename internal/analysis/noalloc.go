@@ -1,0 +1,359 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// noallocDeny lists stdlib packages whose exported functions allocate
+// on essentially every call (formatting, error construction, string
+// building, reflection, I/O). Calls into them from a //hybrid:noalloc
+// path are findings; calls into the rest of the stdlib (math, etc.)
+// are trusted without traversal.
+var noallocDeny = map[string]bool{
+	"bufio":         true,
+	"bytes":         true,
+	"encoding/csv":  true,
+	"encoding/json": true,
+	"errors":        true,
+	"fmt":           true,
+	"io":            true,
+	"log":           true,
+	"net":           true,
+	"net/http":      true,
+	"os":            true,
+	"reflect":       true,
+	"regexp":        true,
+	"sort":          true,
+	"strconv":       true,
+	"strings":       true,
+}
+
+// NoAlloc checks every function annotated //hybrid:noalloc — and every
+// module function statically reachable from one — for allocating
+// constructs: make/new/append, composite and function literals, string
+// concatenation, go statements, interface boxing at call arguments,
+// and calls into allocating stdlib packages.
+//
+// Three code shapes are exempt, mirroring how the hot paths are
+// actually written:
+//
+//   - growth guards: an if statement whose condition calls len or cap
+//     (workspace ensure/grow-once patterns — cold after the first call);
+//   - error returns: a return whose final error result is non-nil
+//     (fmt.Errorf on failure paths never runs in the steady state);
+//   - panics: arguments of a panic call (crash paths).
+//
+// A statement or whole function carrying //hybrid:alloc-ok <reason> is
+// exempt too; function-level alloc-ok also stops traversal into it.
+// Dynamic calls (interface methods, func values) cannot be resolved
+// statically and are skipped — the -benchmem CI gates remain the
+// runtime backstop for those edges.
+func NoAlloc(m *Module) []Diagnostic {
+	c := &noallocChecker{m: m, seen: map[*types.Func]bool{}}
+	for _, fi := range m.FuncList {
+		if m.funcDirective(fi.Decl, "noalloc") != nil {
+			c.check(fi, fi.Label())
+		}
+	}
+	sortDiagnostics(c.diags)
+	return c.diags
+}
+
+type noallocChecker struct {
+	m     *Module
+	seen  map[*types.Func]bool
+	diags []Diagnostic
+}
+
+func (c *noallocChecker) report(pos token.Pos, format string, args ...any) {
+	c.diags = append(c.diags, Diagnostic{
+		Pos:      c.m.Fset.Position(pos),
+		Analyzer: "noalloc",
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// check scans one function and recurses into its resolvable module
+// callees. Each function is scanned once even when reachable from
+// several roots.
+func (c *noallocChecker) check(fi *FuncInfo, root string) {
+	if c.seen[fi.Obj] {
+		return
+	}
+	c.seen[fi.Obj] = true
+	if d := c.m.funcDirective(fi.Decl, "alloc-ok"); d != nil {
+		if d.Reason == "" {
+			c.report(fi.Decl.Pos(), "//hybrid:alloc-ok on %s needs a reason", fi.Label())
+		}
+		return
+	}
+	if fi.Decl.Body == nil {
+		return
+	}
+	w := &noallocWalker{c: c, fi: fi, root: root}
+	w.collectExempt(fi.Decl.Body)
+	w.scan(fi.Decl.Body)
+	for _, callee := range w.callees {
+		c.check(callee, root)
+	}
+}
+
+type posRange struct{ lo, hi token.Pos }
+
+type noallocWalker struct {
+	c       *noallocChecker
+	fi      *FuncInfo
+	root    string
+	exempt  []posRange
+	callees []*FuncInfo
+}
+
+func (w *noallocWalker) flag(pos token.Pos, desc string) {
+	for _, r := range w.exempt {
+		if pos >= r.lo && pos <= r.hi {
+			return
+		}
+	}
+	w.c.report(pos, "%s in %s (//hybrid:noalloc root: %s)", desc, w.fi.Label(), w.root)
+}
+
+func (w *noallocWalker) exemptNode(n ast.Node) bool {
+	for _, r := range w.exempt {
+		if n.Pos() >= r.lo && n.Pos() <= r.hi {
+			return true
+		}
+	}
+	return false
+}
+
+// collectExempt records the position ranges the exemptions cover.
+func (w *noallocWalker) collectExempt(body *ast.BlockStmt) {
+	m := w.c.m
+	sig := w.fi.Obj.Type().(*types.Signature)
+	ast.Inspect(body, func(n ast.Node) bool {
+		if n == nil {
+			return true
+		}
+		if _, ok := n.(ast.Stmt); ok {
+			if d := m.directiveAt(n.Pos(), "alloc-ok"); d != nil {
+				if d.Reason == "" {
+					w.c.report(n.Pos(), "//hybrid:alloc-ok in %s needs a reason", w.fi.Label())
+				} else {
+					w.exempt = append(w.exempt, posRange{n.Pos(), n.End()})
+				}
+			}
+		}
+		switch n := n.(type) {
+		case *ast.IfStmt:
+			if condCallsLenOrCap(m, n.Cond) {
+				w.exempt = append(w.exempt, posRange{n.Pos(), n.End()})
+			}
+		case *ast.ReturnStmt:
+			if isErrorReturn(m, sig, n) {
+				w.exempt = append(w.exempt, posRange{n.Pos(), n.End()})
+			}
+		case *ast.CallExpr:
+			if id, ok := n.Fun.(*ast.Ident); ok {
+				if b, ok := m.Info.Uses[id].(*types.Builtin); ok && b.Name() == "panic" {
+					w.exempt = append(w.exempt, posRange{n.Pos(), n.End()})
+				}
+			}
+		}
+		return true
+	})
+}
+
+// condCallsLenOrCap reports whether an if condition calls the len or
+// cap builtin — the workspace growth-guard shape.
+func condCallsLenOrCap(m *Module, cond ast.Expr) bool {
+	found := false
+	ast.Inspect(cond, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if id, ok := call.Fun.(*ast.Ident); ok {
+			if b, ok := m.Info.Uses[id].(*types.Builtin); ok && (b.Name() == "len" || b.Name() == "cap") {
+				found = true
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// isErrorReturn reports whether a return statement's final result is an
+// error that is syntactically not nil — a failure path that never runs
+// in the allocation-free steady state.
+func isErrorReturn(m *Module, sig *types.Signature, ret *ast.ReturnStmt) bool {
+	res := sig.Results()
+	if res.Len() == 0 || len(ret.Results) != res.Len() {
+		return false
+	}
+	last := res.At(res.Len() - 1).Type()
+	if !types.Identical(last, types.Universe.Lookup("error").Type()) {
+		return false
+	}
+	if id, ok := ret.Results[len(ret.Results)-1].(*ast.Ident); ok && id.Name == "nil" {
+		return false
+	}
+	return true
+}
+
+// scan walks the body flagging allocating constructs and collecting
+// resolvable module callees.
+func (w *noallocWalker) scan(body *ast.BlockStmt) {
+	m := w.c.m
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			w.flag(n.Pos(), "function literal (closure) allocates")
+			return false // the literal is the finding; its body runs as its own function
+		case *ast.GoStmt:
+			w.flag(n.Pos(), "go statement allocates a goroutine")
+		case *ast.CompositeLit:
+			w.flag(n.Pos(), "composite literal allocates")
+		case *ast.BinaryExpr:
+			if n.Op == token.ADD && isStringType(m.Info.TypeOf(n)) {
+				w.flag(n.Pos(), "string concatenation allocates")
+			}
+		case *ast.CallExpr:
+			w.call(n)
+		}
+		return true
+	})
+}
+
+func isStringType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+// call classifies one call expression: allocating builtin, conversion,
+// denylisted stdlib call, module callee to traverse, or dynamic call
+// (skipped). It also flags concrete values boxed into interface-typed
+// parameters.
+func (w *noallocWalker) call(n *ast.CallExpr) {
+	if w.exemptNode(n) {
+		return // exempt regions are neither flagged nor traversed
+	}
+	m := w.c.m
+	fun := ast.Unparen(n.Fun)
+
+	var obj types.Object
+	switch f := fun.(type) {
+	case *ast.Ident:
+		obj = m.Info.Uses[f]
+	case *ast.SelectorExpr:
+		if sel, ok := m.Info.Selections[f]; ok {
+			// Method or field call through a value.
+			if sel.Kind() == types.FieldVal {
+				return // func-typed field: dynamic
+			}
+			if types.IsInterface(sel.Recv()) {
+				return // interface dispatch: unresolvable statically
+			}
+			obj = sel.Obj()
+		} else {
+			obj = m.Info.Uses[f.Sel] // package-qualified reference
+		}
+	default:
+		return // func-typed expression: dynamic
+	}
+
+	switch o := obj.(type) {
+	case *types.Builtin:
+		switch o.Name() {
+		case "make":
+			w.flag(n.Pos(), "make allocates")
+		case "new":
+			w.flag(n.Pos(), "new allocates")
+		case "append":
+			w.flag(n.Pos(), "append may grow its backing array")
+		}
+		return
+	case *types.TypeName:
+		// Conversion T(x).
+		if types.IsInterface(o.Type()) && len(n.Args) == 1 && !pointerShaped(m.Info.TypeOf(n.Args[0])) {
+			w.flag(n.Pos(), "conversion to interface boxes its operand")
+		}
+		if isStringType(o.Type()) && len(n.Args) == 1 {
+			if at := m.Info.TypeOf(n.Args[0]); at != nil {
+				if _, ok := at.Underlying().(*types.Slice); ok {
+					w.flag(n.Pos(), "byte/rune-slice to string conversion allocates")
+				}
+			}
+		}
+		return
+	case *types.Func:
+		w.boxedArgs(n)
+		pkg := o.Pkg()
+		if pkg == nil {
+			return
+		}
+		if pkg.Path() == m.Path || (m.Pkgs[pkg.Path()] != nil) {
+			if fi := m.Funcs[o.Origin()]; fi != nil {
+				w.callees = append(w.callees, fi)
+			}
+			return
+		}
+		if noallocDeny[pkg.Path()] {
+			w.flag(n.Pos(), fmt.Sprintf("call to allocating stdlib function %s.%s", pkg.Name(), o.Name()))
+		}
+	}
+}
+
+// boxedArgs flags concrete, non-pointer-shaped arguments passed to
+// interface-typed parameters: the conversion stores the value in an
+// interface, which escapes.
+func (w *noallocWalker) boxedArgs(n *ast.CallExpr) {
+	m := w.c.m
+	sig, ok := m.Info.TypeOf(n.Fun).(*types.Signature)
+	if ok && sig != nil {
+		params := sig.Params()
+		for i, arg := range n.Args {
+			var pt types.Type
+			switch {
+			case sig.Variadic() && i >= params.Len()-1:
+				if n.Ellipsis.IsValid() {
+					continue // forwarding an existing slice: no per-arg boxing
+				}
+				pt = params.At(params.Len() - 1).Type().(*types.Slice).Elem()
+			case i < params.Len():
+				pt = params.At(i).Type()
+			}
+			if pt == nil || !types.IsInterface(pt) {
+				continue
+			}
+			at := m.Info.TypeOf(arg)
+			if at == nil || types.IsInterface(at) || isUntypedNil(at) || pointerShaped(at) {
+				continue
+			}
+			w.flag(arg.Pos(), "argument boxed into interface parameter")
+		}
+	}
+}
+
+func isUntypedNil(t types.Type) bool {
+	b, ok := t.(*types.Basic)
+	return ok && b.Kind() == types.UntypedNil
+}
+
+// pointerShaped reports whether values of the type fit an interface
+// word without a heap copy (pointers, channels, maps, funcs).
+func pointerShaped(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	switch t.Underlying().(type) {
+	case *types.Pointer, *types.Chan, *types.Map, *types.Signature:
+		return true
+	}
+	return false
+}

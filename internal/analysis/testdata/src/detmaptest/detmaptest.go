@@ -1,0 +1,47 @@
+// Package detmaptest is a hybridlint fixture for the detmap analyzer:
+// a leaking map range, the collect-then-sort idiom, and suppressed
+// iterations.
+package detmaptest
+
+import "sort"
+
+// leakOrder feeds map iteration order straight into its output slice:
+// the seeded violation.
+func leakOrder(m map[string]int) []string {
+	var out []string
+	for k := range m { // want "range over map m in leakOrder"
+		out = append(out, k)
+	}
+	return out
+}
+
+// sortedKeys collects then sorts: recognized, no annotation needed.
+func sortedKeys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// total folds commutatively; the reasoned directive suppresses the
+// finding.
+func total(m map[string]int) int {
+	sum := 0
+	//hybrid:nondet-ok fixture: commutative integer sum; order-independent
+	for _, v := range m {
+		sum += v
+	}
+	return sum
+}
+
+// bareSuppression's directive is missing its reason and is reported.
+func bareSuppression(m map[string]int) int {
+	n := 0
+	//hybrid:nondet-ok
+	for range m { // want "needs a reason"
+		n++
+	}
+	return n
+}

@@ -1,0 +1,58 @@
+// Package keytest is a hybridlint fixture for the keycomplete
+// analyzer: key builders that drop, spell, embed, or deliberately
+// ignore fields of a cache-identity struct. The rules binding these
+// builders to their structs live in the analysis package's tests.
+package keytest
+
+import "fmt"
+
+// Key is the fixture identity struct.
+type Key struct {
+	Gate string
+	VDD  float64
+	Seed int64
+}
+
+// incompleteKey drops Seed from the key: the seeded violation.
+func incompleteKey(k Key) string { // want "does not reference keytest.Key.Seed"
+	return fmt.Sprintf("%s|%g", k.Gate, k.VDD)
+}
+
+// completeKey spells every field explicitly.
+func completeKey(k Key) string {
+	return fmt.Sprintf("%s|%g|%d", k.Gate, k.VDD, k.Seed)
+}
+
+// wholesaleKey embeds the whole value as a format operand; every field
+// is covered.
+func wholesaleKey(k Key) string {
+	return fmt.Sprintf("%+v", k)
+}
+
+// pointerKey covers its fields through a transitive helper: the *Key
+// argument is not a wholesale embedding of the value, so coverage
+// comes from the selectors inside ptrPart.
+func pointerKey(k *Key) string {
+	return ptrPart(k)
+}
+
+func ptrPart(k *Key) string {
+	return fmt.Sprintf("%s|%g|%d", k.Gate, k.VDD, k.Seed)
+}
+
+// RunKey mixes identity (Gate) with a run-scoped field (Run).
+type RunKey struct {
+	Gate string
+	Run  int
+}
+
+// runKey keys Gate only; its rule ignores Run with a reason.
+func runKey(k RunKey) string {
+	return k.Gate
+}
+
+// runKeyBare is identical, but its rule's ignore entry carries no
+// reason and is reported.
+func runKeyBare(k RunKey) string { // want "ignores field Run without a reason"
+	return k.Gate
+}

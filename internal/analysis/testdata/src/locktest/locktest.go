@@ -1,0 +1,137 @@
+// Package locktest is a hybridlint fixture for the lockhold analyzer:
+// blocking operations under a held mutex next to the non-blocking
+// shapes (close, select-with-default, nested locks) that stay allowed.
+package locktest
+
+import (
+	"os"
+	"sync"
+	"time"
+)
+
+// box guards a counter and a notification channel with a mutex.
+type box struct {
+	mu     sync.Mutex
+	notify chan struct{}
+	n      int
+}
+
+// recvUnderLock blocks on a channel while holding mu: the seeded
+// violation.
+func (b *box) recvUnderLock(ch chan int) int {
+	b.mu.Lock()
+	v := <-ch // want "channel receive"
+	b.mu.Unlock()
+	return v
+}
+
+// recvAfterUnlock releases first: clean.
+func (b *box) recvAfterUnlock(ch chan int) int {
+	b.mu.Lock()
+	b.n++
+	b.mu.Unlock()
+	return <-ch
+}
+
+// deferredHold holds to function end through the defer.
+func (b *box) deferredHold(ch chan int) int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return <-ch // want "channel receive"
+}
+
+// sendSuppressed documents a provably non-blocking send.
+func (b *box) sendSuppressed(ch chan int) {
+	b.mu.Lock()
+	//hybrid:lockhold-ok fixture: channel buffered to capacity; the send cannot block
+	ch <- 1
+	b.mu.Unlock()
+}
+
+// bareSuppression's directive is missing its reason and is reported.
+func (b *box) bareSuppression(ch chan int) {
+	b.mu.Lock()
+	//hybrid:lockhold-ok
+	ch <- 1 // want "needs a reason"
+	b.mu.Unlock()
+}
+
+// publish swaps the notify channel; close never blocks, so the
+// broadcast-under-lock idiom stays allowed.
+func (b *box) publish() {
+	b.mu.Lock()
+	close(b.notify)
+	b.notify = make(chan struct{})
+	b.mu.Unlock()
+}
+
+// tryRecv uses a default clause: non-blocking, allowed.
+func (b *box) tryRecv(ch chan int) (int, bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	select {
+	case v := <-ch:
+		return v, true
+	default:
+		return 0, false
+	}
+}
+
+// blockingSelect has no default clause and can park the goroutine
+// while mu is held.
+func (b *box) blockingSelect(ch chan int) int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	v := 0
+	select { // want "blocking select"
+	case v = <-ch:
+	}
+	return v
+}
+
+// drainUnderLock ranges over a channel while holding mu.
+func (b *box) drainUnderLock(ch chan int) {
+	b.mu.Lock()
+	for v := range ch { // want "range over channel"
+		b.n += v
+	}
+	b.mu.Unlock()
+}
+
+// sleepUnderLock parks every contender for the sleep duration.
+func (b *box) sleepUnderLock() {
+	b.mu.Lock()
+	time.Sleep(time.Millisecond) // want "time.Sleep"
+	b.mu.Unlock()
+}
+
+// ioUnderLock performs file I/O with mu held.
+func (b *box) ioUnderLock(f *os.File) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return f.Close() // want "I/O call os.Close"
+}
+
+// wgWait blocks on a WaitGroup with mu held.
+func (b *box) wgWait(wg *sync.WaitGroup) {
+	b.mu.Lock()
+	wg.Wait() // want "sync wait"
+	b.mu.Unlock()
+}
+
+// nested acquires a second ordered lock: allowed.
+func (b *box) nested(other *box) {
+	b.mu.Lock()
+	other.mu.Lock()
+	other.n++
+	other.mu.Unlock()
+	b.mu.Unlock()
+}
+
+// spawn starts a goroutine under the lock; the goroutine body runs on
+// its own schedule and is not scanned.
+func (b *box) spawn(ch chan int) {
+	b.mu.Lock()
+	go func() { ch <- 1 }()
+	b.mu.Unlock()
+}

@@ -1,0 +1,140 @@
+// Package noalloctest is a hybridlint fixture for the noalloc
+// analyzer: seeded allocating constructs on annotated hot paths next
+// to the exempt shapes (growth guards, error returns, alloc-ok
+// suppressions) that must stay clean.
+package noalloctest
+
+import "fmt"
+
+// point is a small value type for the composite-literal case.
+type point struct{ x, y float64 }
+
+// sink is an interface target for the dynamic-dispatch case.
+type sink interface{ put(int) }
+
+// buf is a reusable workspace for the growth-guard case.
+type buf struct{ v []float64 }
+
+//hybrid:noalloc
+func hotMake(n int) []float64 {
+	return make([]float64, n) // want "make allocates in hotMake"
+}
+
+//hybrid:noalloc
+func hotAppend(dst []int, v int) []int {
+	dst = append(dst, v) // want "append may grow its backing array"
+	return dst
+}
+
+//hybrid:noalloc
+func hotFmt(x int) string {
+	return fmt.Sprint(x) // want "call to allocating stdlib function fmt.Sprint" "argument boxed into interface parameter"
+}
+
+//hybrid:noalloc
+func hotConcat(a, b string) string {
+	return a + b // want "string concatenation allocates"
+}
+
+//hybrid:noalloc
+func hotLit(a, b float64) point {
+	return point{a, b} // want "composite literal allocates"
+}
+
+//hybrid:noalloc
+func hotClosure(n int) func() int {
+	f := func() int { return n } // want "function literal"
+	return f
+}
+
+//hybrid:noalloc
+func hotGo(ch chan int) {
+	go drain(ch) // want "go statement allocates a goroutine"
+}
+
+func drain(ch chan int) {
+	for range ch {
+	}
+}
+
+//hybrid:noalloc
+func hotBytes(b []byte) string {
+	return string(b) // want "byte/rune-slice to string conversion allocates"
+}
+
+//hybrid:noalloc
+func hotTransitive(n int) int {
+	return scratchSum(n)
+}
+
+// scratchSum is not annotated itself; it is reached from hotTransitive
+// and scanned transitively.
+func scratchSum(n int) int {
+	v := make([]int, n) // want "make allocates in scratchSum"
+	return len(v)
+}
+
+// ensure grows the workspace at most once per size: the len guard
+// marks the branch as a cold growth path, so the make inside it is
+// exempt.
+//
+//hybrid:noalloc
+func (b *buf) ensure(n int) {
+	if len(b.v) < n {
+		b.v = make([]float64, n)
+	}
+}
+
+// checked allocates only on its failure path: a return whose error
+// result is non-nil is exempt, so the fmt.Errorf never fires a
+// finding.
+//
+//hybrid:noalloc
+func checked(n int) (int, error) {
+	if n < 0 {
+		return 0, fmt.Errorf("negative size %d", n)
+	}
+	return 2 * n, nil
+}
+
+// hotDyn dispatches through an interface: statically unresolvable, so
+// the call is skipped and the -benchmem CI gates remain the runtime
+// backstop.
+//
+//hybrid:noalloc
+func hotDyn(s sink, v int) {
+	s.put(v)
+}
+
+// suppressed documents an intentional allocation with a reasoned
+// statement-level directive.
+//
+//hybrid:noalloc
+func suppressed(n int) []int {
+	//hybrid:alloc-ok fixture: scratch buffer built once per call by design
+	out := make([]int, n)
+	return out
+}
+
+// coldCall reaches a function that opts out wholesale: a reasoned
+// function-level alloc-ok stops traversal.
+//
+//hybrid:noalloc
+func coldCall() int {
+	return len(coldSetup())
+}
+
+//hybrid:alloc-ok fixture: one-time setup path, never in the hot loop
+func coldSetup() []int {
+	return make([]int, 8)
+}
+
+// bareSuppression's directive is missing its reason: the directive is
+// reported and the allocation is still flagged.
+//
+//hybrid:noalloc
+func bareSuppression(n int) []int {
+	//hybrid:alloc-ok
+	out := make([]int, n) // want "needs a reason" "make allocates"
+	return out
+}

@@ -280,6 +280,7 @@ type CircuitResult struct {
 func normalizeBy(area map[string]float64) map[string]float64 {
 	out := make(map[string]float64, len(area))
 	base := area[ModelInertial]
+	//hybrid:nondet-ok each model writes its own out[name] from a base read before the loop; distinct keys
 	for name, a := range area {
 		if base <= 0 {
 			out[name] = math.NaN()
@@ -313,6 +314,7 @@ func MergeCircuitSeedResults(nl *netlist.Netlist, cfg gen.Config, parts []Circui
 		res.Seeds = append(res.Seeds, p.Seed)
 		for _, net := range res.Nets {
 			res.GoldenEv[net] += p.GoldenEv[net]
+			//hybrid:nondet-ok one visit per distinct model key per part; parts and nets fold in fixed slice order, so the float sums are reproducible
 			for model, a := range p.Area[net] {
 				res.Area[net][model] += a
 			}

@@ -197,6 +197,7 @@ func traceCost(tr trace.Trace) int64 { return int64(1 + len(tr.Events)) }
 // setCost sums the member traces of a circuit trace set.
 func setCost(set map[string]trace.Trace) int64 {
 	var c int64
+	//hybrid:nondet-ok commutative integer sum; total is independent of visit order
 	for _, tr := range set {
 		c += traceCost(tr)
 	}
@@ -330,6 +331,7 @@ func (c *GoldenCache) Stats() CacheStats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	n := 0
+	//hybrid:nondet-ok commutative count of completed entries; order-independent
 	for _, e := range c.table {
 		select {
 		case <-e.ready:
@@ -337,6 +339,7 @@ func (c *GoldenCache) Stats() CacheStats {
 		default:
 		}
 	}
+	//hybrid:nondet-ok commutative count of completed entries; order-independent
 	for _, e := range c.sets {
 		select {
 		case <-e.ready:

@@ -125,6 +125,7 @@ func (c *ParamCache) Stats() ParamStats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	n := 0
+	//hybrid:nondet-ok commutative count of completed entries; order-independent
 	for _, e := range c.table {
 		select {
 		case <-e.ready:
@@ -142,6 +143,7 @@ func (c *ParamCache) Stats() ParamStats {
 func (c *ParamCache) SolverStats() spice.SolverStats {
 	c.mu.Lock()
 	pts := make([]*OperatingPoint, 0, len(c.table))
+	//hybrid:nondet-ok collects points for a commutative counter sum (SolverStats.Add); aggregate is order-independent
 	for _, e := range c.table {
 		select {
 		case <-e.ready:

@@ -69,6 +69,7 @@ func EvaluateSeedContext(ctx context.Context, golden GoldenSource, m Models, cfg
 	if err != nil {
 		return res, fmt.Errorf("eval: seed %d: %w", seed, err)
 	}
+	//hybrid:nondet-ok each model writes its own Area[name]; distinct keys, so visit order cannot change the result
 	for name, tr := range models {
 		res.Area[name] = trace.DeviationArea(g, tr, 0, until)
 	}
@@ -89,11 +90,13 @@ func MergeSeedResults(cfg gen.Config, parts []SeedResult) RunResult {
 	for _, p := range parts {
 		res.Seeds = append(res.Seeds, p.Seed)
 		res.GoldenEv += p.GoldenEv
+		//hybrid:nondet-ok one visit per distinct model key per part; parts fold in fixed slice order, so the float sums are reproducible
 		for name, a := range p.Area {
 			res.Area[name] += a
 		}
 	}
 	base := res.Area[ModelInertial]
+	//hybrid:nondet-ok each model writes its own Normalized[name] from a base read before the loop; distinct keys
 	for name, a := range res.Area {
 		if base <= 0 {
 			// No inertial deviation to normalize against: the ratio is

@@ -134,6 +134,13 @@ func (f *LU) FactorInPlace(a *Matrix) error {
 // at or above the elimination front are never swapped again). Fusing
 // the passes saves a separate permute + forward-substitution walk per
 // solve, which matters in the Newton inner loop.
+//
+// Allocation-free in the steady state (the pivot workspace grows once
+// per size): enforced statically by hybridlint's noalloc analyzer and
+// dynamically by CI's BenchmarkSolverNewton -benchmem gate, which
+// drives this function every iteration.
+//
+//hybrid:noalloc
 func (f *LU) FactorSolveInPlace(a *Matrix, x, b []float64) error {
 	if a.Rows != a.Cols {
 		return fmt.Errorf("la: cannot factor non-square %dx%d matrix", a.Rows, a.Cols)

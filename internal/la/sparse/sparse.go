@@ -455,6 +455,13 @@ func (s *Symbolic) NewNumeric() *Numeric {
 // re-Analyze before retrying the sparse path. The failing step is the
 // same one the scalar schedule would fail on, though the partial
 // clobber left behind may differ.
+//
+// "Performs no allocations" is enforced statically by hybridlint's
+// noalloc analyzer (this annotation) and dynamically by CI's "enforce
+// zero-allocation sparse numeric refactor" gate on every size row of
+// BenchmarkSparseFactorSolve's -benchmem allocs/op.
+//
+//hybrid:noalloc
 func (nu *Numeric) FactorSolve(a *la.Matrix, x, b []float64) error {
 	s := nu.s
 	n := s.n
@@ -544,6 +551,8 @@ func (nu *Numeric) stepScalar(data []float64, n, k int) error {
 // fuse multiply-subtract fuse both kernels identically) — only the
 // interleaving across distinct positions changes, which floating-point
 // cannot observe.
+//
+//hybrid:noalloc
 func (nu *Numeric) stepBlocked(data []float64, n, k0, k1 int) error {
 	s := nu.s
 	xw := nu.xw

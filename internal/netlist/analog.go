@@ -88,6 +88,7 @@ func NewBench(nl *Netlist, p nor.Params) (*Bench, error) {
 			return nil, fmt.Errorf("netlist %s: instance %q: %w", nl.label(), inst.Name, err)
 		}
 		b.nodes[inst.Output] = sub.Out
+		//hybrid:nondet-ok map-to-map copy with distinct keys; visit order cannot change the merged contents
 		for node, v := range sub.Initial {
 			b.init[node] = v
 		}

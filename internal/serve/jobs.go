@@ -395,6 +395,7 @@ func (r *Registry) Counts() map[State]int {
 	defer r.mu.Unlock()
 	r.evictLocked()
 	out := make(map[State]int, len(r.counts))
+	//hybrid:nondet-ok map-to-map copy with distinct keys; the /metrics JSON encoder sorts map keys on output
 	for s, n := range r.counts {
 		if n != 0 {
 			out[s] = n

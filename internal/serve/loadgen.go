@@ -187,6 +187,7 @@ func RunLoad(ctx context.Context, baseURL string, opt LoadOptions) (*LoadReport,
 	if opt.Reference != nil {
 		rep.Verified = true
 		rep.ByteIdentical = true
+		//hybrid:nondet-ok per-spec verification; the verdict is a conjunction over independent comparisons, order cannot change it
 		for si, got := range perSpec {
 			sjob, err := specs[si].Job()
 			if err != nil {

@@ -114,6 +114,7 @@ func (s *Solver) SetSymbolicScope(scope string) { s.symScope = scope }
 // ensure sizes the workspace for the circuit's current system size.
 func (s *Solver) ensure() {
 	n := s.c.unknowns()
+	//hybrid:alloc-ok one-time workspace build behind the nil/size guard; cold after the first call per system size
 	if s.ctx.G == nil || s.ctx.G.Rows != n {
 		s.ctx.G = la.NewMatrix(n, n)
 	}
@@ -167,6 +168,13 @@ func residual(r []float64, g *la.Matrix, v, rhs []float64) {
 // the converged solution then agrees within tolerance but is NOT
 // bit-identical, so modified Newton is opt-in and off on the golden
 // path.
+//
+// This loop is allocation-free in the steady state, enforced twice:
+// statically by hybridlint's noalloc analyzer (this annotation), and
+// dynamically by CI's "enforce zero-allocation Newton inner loop" gate
+// on BenchmarkSolverNewton's -benchmem allocs/op.
+//
+//hybrid:noalloc
 func (s *Solver) newton(v []float64, opt NewtonOptions, gmin float64, gminStage bool) error {
 	// The sparse path serves only the transient inner loop: DC
 	// operating points and gmin homotopy stages have a different
@@ -418,6 +426,7 @@ func (s *Solver) Transient(opt TransientOptions) (*TransientResult, error) {
 		for i := range v {
 			v[i] = 0
 		}
+		//hybrid:nondet-ok each node writes its own v[i]; distinct keys touch distinct indices, so visit order cannot change the result
 		for n, val := range opt.InitialConditions {
 			if i := nodeVar(n); i >= 0 {
 				v[i] = val

@@ -86,6 +86,8 @@ func (s *Solver) sparseOptions() sparse.Options {
 // solvers hitting staleness together run one re-analysis — whoever
 // wins replaces the shared entry, the rest adopt it as a hit). The
 // pilot reads ctx.G's current values.
+//
+//hybrid:alloc-ok cold path: runs once per topology (or per staleness refresh), never in the per-iteration loop
 func (s *Solver) resolveSymbolic() error {
 	sp := &s.sp
 	cache := s.symbolicCache()
@@ -122,6 +124,8 @@ func (s *Solver) resolveSymbolic() error {
 // pattern is derived from device topology, not stamped values: a
 // MOSFET in cutoff stamps numeric zeros at structurally live
 // positions, so value-based extraction would under-approximate.
+//
+//hybrid:alloc-ok one-time topology build, guarded by sp.built; never re-runs in the iteration loop
 func (s *Solver) ensureSparse() {
 	sp := &s.sp
 	if sp.built {
@@ -227,6 +231,13 @@ func (s *Solver) restampSparse(v []float64, firstIter bool) {
 // system is solved by the static-pivot sparse refactor, falling back
 // to the dense partial-pivot kernel (and scheduling a re-analysis)
 // when a scheduled pivot degrades.
+//
+// Allocation-free in the steady state (the one-time topology build and
+// cold symbolic resolution are //hybrid:alloc-ok): enforced statically
+// by hybridlint's noalloc analyzer and dynamically by CI's -benchmem
+// gates on BenchmarkSolverNewton and BenchmarkSparseFactorSolve.
+//
+//hybrid:noalloc
 func (s *Solver) newtonSparse(v []float64, opt NewtonOptions) error {
 	opt.defaults()
 	s.ensure()

@@ -266,6 +266,15 @@ func TestClosedStore(t *testing.T) {
 // changes golden identity, so it MUST be added to keyString (and this
 // count) — otherwise two benches differing only in the new field would
 // share a store entry.
+//
+// This is the runtime backstop for hybridlint's keycomplete analyzer
+// (internal/analysis, CI's lint-invariants job), which statically
+// proves that every exported field of nor.Params /
+// spice.TransientOptions / sparse.Options is referenced by each key
+// builder. The two are deliberately redundant: the analyzer catches a
+// field that never reaches keyString, this count catches drift in
+// structs the analyzer has no rule for (MOSParams, Supply, GoldenKey,
+// gen.Config) and any rename-and-readd the name-based check would miss.
 func TestSchemaDriftGuard(t *testing.T) {
 	for _, c := range []struct {
 		name string

@@ -833,6 +833,7 @@ func buildScenarioResult(sc Scenario, merged eval.RunResult, parts []eval.SeedRe
 		CacheMisses:  misses,
 		WallSeconds:  float64(nanos) / 1e9,
 	}
+	//hybrid:nondet-ok map-to-map copy with distinct keys; the report JSON/CSV encoders emit models in sorted/declared order
 	for name, v := range merged.Normalized {
 		res.Normalized[name] = Ratio(v)
 	}
